@@ -1,0 +1,42 @@
+# Developer entry points. Everything is plain `go` — no external tools.
+
+GO ?= go
+
+.PHONY: all build test race bench vet fmt cover examples experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/summary/ ./internal/symexec/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+cover:
+	$(GO) test -cover ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/linuxdpm
+	$(GO) run ./examples/pythonc
+	$(GO) run ./examples/wrappers
+	$(GO) run ./examples/incremental
+
+# Regenerate every table and statistic of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/ridbench -all
+
+clean:
+	$(GO) clean ./...

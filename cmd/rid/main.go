@@ -1,0 +1,189 @@
+// Command rid analyzes mini-C sources for reference count bugs using
+// inconsistent path pair checking.
+//
+// Usage:
+//
+//	rid [flags] file.c [file2.c ...]
+//	rid [flags] -dir path/to/tree
+//
+// Flags select the predefined API specifications (-spec linux-dpm or
+// -spec python-c, plus -spec-file for custom DSL files), tune the path and
+// sub-case budgets, and control output verbosity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/summary"
+	"repro/rid"
+)
+
+func main() {
+	var (
+		specName = flag.String("spec", "linux-dpm", "predefined API specs: linux-dpm or python-c")
+		specFile = flag.String("spec-file", "", "additional summary-DSL file to merge")
+		dir      = flag.String("dir", "", "analyze every *.c file under this directory")
+		maxPaths = flag.Int("max-paths", 100, "maximum paths enumerated per function")
+		maxSubs  = flag.Int("max-subcases", 10, "maximum summary entries per path")
+		cat2     = flag.Int("cat2-conds", 3, "category-2 complexity gate (conditional branches)")
+		workers  = flag.Int("workers", 1, "parallel SCC workers (-1 = all cores)")
+		verbose  = flag.Bool("v", false, "print full two-entry evidence for each bug")
+		stats    = flag.Bool("stats", false, "print classification and analysis statistics")
+		separate = flag.Bool("separate", false, "analyze files separately with a shared summary DB (§5.3)")
+		saveSums = flag.String("save-summaries", "", "write the computed summary database to this JSON file")
+		dotFn    = flag.String("dot", "", "print the named function's CFG in Graphviz dot syntax and exit")
+		format   = flag.String("format", "text", "report format: text, json or sarif")
+		suppress = flag.String("suppress", "", "comma-separated function names whose reports are discarded")
+	)
+	flag.Parse()
+
+	var specs rid.Specs
+	switch *specName {
+	case "linux-dpm":
+		specs = rid.LinuxDPMSpecs()
+	case "python-c":
+		specs = rid.PythonCSpecs()
+	default:
+		fatalf("unknown -spec %q (want linux-dpm or python-c)", *specName)
+	}
+	if *specFile != "" {
+		data, err := os.ReadFile(*specFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var perr error
+		specs, perr = specs.Parse(*specFile, string(data))
+		if perr != nil {
+			fatalf("%v", perr)
+		}
+	}
+
+	if *separate {
+		runSeparate(flag.Args(), *specName, *specFile, *workers, *saveSums)
+		return
+	}
+
+	a := rid.New(specs)
+	opts := rid.Options{
+		MaxPaths:     *maxPaths,
+		MaxSubcases:  *maxSubs,
+		MaxCat2Conds: *cat2,
+		Workers:      *workers,
+	}
+	if *suppress != "" {
+		opts.Suppress = strings.Split(*suppress, ",")
+	}
+	a.SetOptions(opts)
+
+	if *dir != "" {
+		if err := a.AddDir(*dir); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	for _, f := range flag.Args() {
+		if err := a.AddFile(f); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if a.NumFunctions() == 0 {
+		fatalf("no functions to analyze (pass files or -dir)")
+	}
+
+	if *dotFn != "" {
+		dot := a.FunctionCFG(*dotFn)
+		if dot == "" {
+			fatalf("function %q not defined", *dotFn)
+		}
+		fmt.Print(dot)
+		return
+	}
+
+	res, err := a.Run()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := res.WriteReports(os.Stdout, *format, *verbose); err != nil {
+		fatalf("%v", err)
+	}
+	if *stats {
+		fmt.Printf("functions: %d total, %d analyzed, %d paths\n",
+			res.FuncsTotal, res.FuncsAnalyzed, res.PathsEnumerated)
+		c := res.Categories
+		fmt.Printf("categories: refcount=%d affecting(analyzed)=%d affecting(skipped)=%d other=%d\n",
+			c.RefcountChanging, c.AffectingAnalyzed, c.AffectingUnanalyzed, c.Other)
+	}
+	if len(res.Bugs) > 0 {
+		os.Exit(1)
+	}
+}
+
+// runSeparate implements the §5.3 separate-compilation mode: each file is
+// lowered on its own and file groups are analyzed in dependency order with
+// a shared summary database.
+func runSeparate(paths []string, specName, specFile string, workers int, saveSums string) {
+	files := make(map[string]string, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		files[p] = string(data)
+	}
+	if len(files) == 0 {
+		fatalf("-separate needs explicit file arguments")
+	}
+	var sp *spec.Specs
+	switch specName {
+	case "linux-dpm":
+		sp = spec.LinuxDPM()
+	case "python-c":
+		sp = spec.PythonC()
+	default:
+		fatalf("unknown -spec %q", specName)
+	}
+	if specFile != "" {
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		extra, err := spec.Parse(specFile, string(data))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sp.Merge(extra)
+	}
+	res, err := core.AnalyzeFiles(files, sp, core.Options{Workers: workers})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, r := range res.ReportsByFunction() {
+		fmt.Println(r)
+	}
+	if saveSums != "" {
+		if err := saveDB(res.DB, saveSums); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if len(res.Reports) > 0 {
+		os.Exit(1)
+	}
+}
+
+func saveDB(db *summary.DB, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return db.Save(f)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rid: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the rid binary once per test run.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "rid")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+const buggyDriver = `
+extern int pm_runtime_get_sync(struct device *dev);
+extern int pm_runtime_put(struct device *dev);
+extern int do_transfer(struct device *dev);
+
+int drv_op(struct device *dev) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    if (ret < 0)
+        return ret;
+    ret = do_transfer(dev);
+    pm_runtime_put(dev);
+    return ret;
+}
+`
+
+func writeDriver(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "drv.c")
+	if err := os.WriteFile(p, []byte(buggyDriver), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCLIReportsBugAndExitCode(t *testing.T) {
+	bin := buildCLI(t)
+	src := writeDriver(t)
+	out, err := exec.Command(bin, src).CombinedOutput()
+	if err == nil {
+		t.Fatal("exit code must be non-zero when bugs are found")
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("exit: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "drv_op") || !strings.Contains(string(out), "[dev].pm") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestCLISarifFormat(t *testing.T) {
+	bin := buildCLI(t)
+	src := writeDriver(t)
+	out, _ := exec.Command(bin, "-format", "sarif", src).CombinedOutput()
+	s := string(out)
+	if !strings.Contains(s, `"version": "2.1.0"`) || !strings.Contains(s, "RID001") {
+		t.Fatalf("sarif output: %s", s)
+	}
+}
+
+func TestCLISuppress(t *testing.T) {
+	bin := buildCLI(t)
+	src := writeDriver(t)
+	out, err := exec.Command(bin, "-suppress", "drv_op", src).CombinedOutput()
+	if err != nil {
+		t.Fatalf("suppressed run should exit 0: %v\n%s", err, out)
+	}
+	if strings.TrimSpace(string(out)) != "" {
+		t.Fatalf("suppressed output: %s", out)
+	}
+}
+
+func TestCLIDot(t *testing.T) {
+	bin := buildCLI(t)
+	src := writeDriver(t)
+	out, err := exec.Command(bin, "-dot", "drv_op", src).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.HasPrefix(string(out), `digraph "drv_op"`) {
+		t.Fatalf("dot output: %s", out)
+	}
+}
+
+func TestCLIStats(t *testing.T) {
+	bin := buildCLI(t)
+	src := writeDriver(t)
+	out, _ := exec.Command(bin, "-stats", src).CombinedOutput()
+	if !strings.Contains(string(out), "categories:") {
+		t.Fatalf("stats output: %s", out)
+	}
+}
+
+func TestCLIUnknownSpec(t *testing.T) {
+	bin := buildCLI(t)
+	out, err := exec.Command(bin, "-spec", "bogus", "x.c").CombinedOutput()
+	if err == nil || !strings.Contains(string(out), "unknown -spec") {
+		t.Fatalf("expected spec error, got: %s", out)
+	}
+}
+
+func TestCLISeparateMode(t *testing.T) {
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	w := filepath.Join(dir, "w.c")
+	d := filepath.Join(dir, "d.c")
+	if err := os.WriteFile(w, []byte(`
+int ss_get(struct ss_iface *intf) {
+    int status;
+    status = pm_runtime_get_sync(&intf->dev);
+    if (status < 0)
+        pm_runtime_put_sync(&intf->dev);
+    if (status > 0)
+        status = 0;
+    return status;
+}
+void ss_put(struct ss_iface *intf) {
+    pm_runtime_put_sync(&intf->dev);
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d, []byte(`
+int op(struct ss_iface *intf, struct device *aux) {
+    int result;
+    result = ss_get(intf);
+    if (result)
+        goto error;
+    result = create_thing(aux);
+    if (result)
+        goto error;
+    ss_put(intf);
+error:
+    return result;
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sums := filepath.Join(dir, "sums.json")
+	out, err := exec.Command(bin, "-separate", "-save-summaries", sums, w, d).CombinedOutput()
+	if err == nil {
+		t.Fatal("bug expected in separate mode")
+	}
+	if !strings.Contains(string(out), "op") {
+		t.Fatalf("output: %s", out)
+	}
+	data, err := os.ReadFile(sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "ss_get") {
+		t.Fatal("summary database missing wrapper")
+	}
+}

@@ -1,0 +1,97 @@
+// Command ridbench regenerates the paper's evaluation tables and
+// statistics (§6) against the synthetic corpora and prints them alongside
+// the paper's own numbers.
+//
+//	ridbench -all            # everything
+//	ridbench -table1         # function classification (Table 1)
+//	ridbench -table2         # RID vs Cpychecker (Table 2)
+//	ridbench -dpm            # §6.2 reports vs confirmed bugs
+//	ridbench -misuse         # §6.3 pm_runtime_get census
+//	ridbench -perf           # §6.5 scaling series
+//	ridbench -show-specs     # the predefined summaries (Figure 7)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/spec"
+	"repro/internal/summary"
+)
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "run every experiment")
+		table1    = flag.Bool("table1", false, "Table 1: function classification")
+		table2    = flag.Bool("table2", false, "Table 2: RID vs Cpychecker")
+		dpm       = flag.Bool("dpm", false, "§6.2: DPM bug reports vs confirmed")
+		misuse    = flag.Bool("misuse", false, "§6.3: pm_runtime_get misuse census")
+		perf      = flag.Bool("perf", false, "§6.5: performance scaling")
+		ablations = flag.Bool("ablations", false, "design-decision ablations (DESIGN.md §5)")
+		showSpecs = flag.Bool("show-specs", false, "print the predefined summaries (Figure 7)")
+		workers   = flag.Int("workers", 1, "parallel SCC workers (-1 = all cores)")
+		seed      = flag.Int64("seed", 317, "corpus seed")
+	)
+	flag.Parse()
+	any := *table1 || *table2 || *dpm || *misuse || *perf || *showSpecs || *ablations
+	if *all || !any {
+		*table1, *table2, *dpm, *misuse, *perf, *ablations = true, true, true, true, true, true
+	}
+
+	if *showSpecs {
+		printSpecs("Linux DPM", spec.LinuxDPM())
+		printSpecs("Python/C", spec.PythonC())
+	}
+	if *table1 {
+		cfg := experiments.DefaultTable1()
+		cfg.Seed = *seed
+		cfg.Workers = *workers
+		r, err := experiments.Table1(cfg)
+		check(err)
+		fmt.Println(r.Format())
+	}
+	if *dpm {
+		r, err := experiments.DPMBugs(*seed, *workers)
+		check(err)
+		fmt.Println(r.Format())
+	}
+	if *misuse {
+		r, err := experiments.Misuse(*seed, *workers)
+		check(err)
+		fmt.Println(r.Format())
+	}
+	if *table2 {
+		r, err := experiments.Table2(*workers)
+		check(err)
+		fmt.Println(r.Format())
+	}
+	if *perf {
+		pts, err := experiments.Perf([]int{1, 2, 4}, *workers)
+		check(err)
+		fmt.Println(experiments.FormatPerf(pts, *workers))
+	}
+	if *ablations {
+		rows, err := experiments.Ablations()
+		check(err)
+		fmt.Println(experiments.FormatAblations(rows))
+	}
+}
+
+func printSpecs(title string, s *spec.Specs) {
+	fmt.Printf("Predefined summaries: %s (Figure 7)\n", title)
+	db := summary.NewDB()
+	s.ApplyTo(db)
+	for _, name := range db.Names() {
+		fmt.Print(db.Get(name))
+	}
+	fmt.Println()
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ridbench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBenchMisuseAndTable2(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "ridbench")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-misuse", "-table2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"error-handled call sites: 96",
+		"missing the decrement:    67",
+		"detected by RID:          40 of 67",
+		"krbV               48 ( 48)       86 ( 86)       14 ( 14)",
+		"total              86 ( 86)      114 (114)       16 ( 16)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBenchShowSpecs(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "ridbench")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-show-specs").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "pm_runtime_get_sync") || !strings.Contains(s, "Py_DECREF") {
+		t.Errorf("specs output incomplete:\n%s", s)
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func build(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ridgen")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestGenerateKernelCorpusToDisk(t *testing.T) {
+	bin := build(t)
+	out := filepath.Join(t.TempDir(), "corpus")
+	if o, err := exec.Command(bin, "-kind", "kernel", "-out", out, "-others", "5", "-truth").CombinedOutput(); err != nil {
+		t.Fatalf("%v\n%s", err, o)
+	}
+	files, err := filepath.Glob(filepath.Join(out, "drivers", "gen", "*.c"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no generated files: %v %v", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "pm_runtime_get") {
+		t.Error("generated file lacks DPM calls")
+	}
+	truth, err := os.ReadFile(filepath.Join(out, "TRUTH.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(truth), "pattern=") {
+		t.Error("truth labels missing")
+	}
+}
+
+func TestGeneratePycCorpusToDisk(t *testing.T) {
+	bin := build(t)
+	out := filepath.Join(t.TempDir(), "pyc")
+	if o, err := exec.Command(bin, "-kind", "pyc", "-out", out, "-truth").CombinedOutput(); err != nil {
+		t.Fatalf("%v\n%s", err, o)
+	}
+	for _, mod := range []string{"krbV", "ldap", "pyaudio"} {
+		files, _ := filepath.Glob(filepath.Join(out, mod, "*.c"))
+		if len(files) == 0 {
+			t.Errorf("module %s missing", mod)
+		}
+		if _, err := os.Stat(filepath.Join(out, mod, "TRUTH.txt")); err != nil {
+			t.Errorf("module %s truth missing", mod)
+		}
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	bin := build(t)
+	if _, err := exec.Command(bin, "-kind", "bogus").CombinedOutput(); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+}

@@ -1,0 +1,93 @@
+// Wrappers demonstrates the property §6.2 highlights as RID's key
+// advantage over rule-based checkers: wrapper functions around refcount
+// APIs need no annotations. RID derives each wrapper's summary bottom-up —
+// including conditional behavior like "no net change when an error is
+// returned" — and then checks every caller against that derived contract.
+//
+// Run with: go run ./examples/wrappers
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/rid"
+)
+
+const src = `
+struct device;
+struct ss_iface { struct device dev; };
+
+extern int pm_runtime_get_sync(struct device *dev);
+extern int pm_runtime_put_sync(struct device *dev);
+extern int do_io(struct device *dev);
+
+/* Conditional wrapper: +1 only when it returns success. */
+int ss_get(struct ss_iface *intf) {
+    int status;
+    status = pm_runtime_get_sync(&intf->dev);
+    if (status < 0)
+        pm_runtime_put_sync(&intf->dev);
+    if (status > 0)
+        status = 0;
+    return status;
+}
+
+/* Transparent wrapper: passes the unconditional +1 through. */
+int ss_get_direct(struct ss_iface *intf) {
+    return pm_runtime_get_sync(&intf->dev);
+}
+
+void ss_put(struct ss_iface *intf) {
+    pm_runtime_put_sync(&intf->dev);
+}
+
+/* Correct against ss_get's contract. */
+int user_ok(struct ss_iface *intf) {
+    int ret;
+    ret = ss_get(intf);
+    if (ret)
+        return ret;
+    do_io(&intf->dev);
+    ss_put(intf);
+    return 0;
+}
+
+/* Buggy: treats the transparent wrapper as if it were conditional. */
+int user_bad(struct ss_iface *intf) {
+    int ret;
+    ret = ss_get_direct(intf);
+    if (ret < 0)
+        return ret;
+    ret = do_io(&intf->dev);
+    ss_put(intf);
+    return ret;
+}
+`
+
+func main() {
+	a := rid.New(rid.LinuxDPMSpecs())
+	if err := a.AddSource("wrappers.c", src); err != nil {
+		log.Fatal(err)
+	}
+	res, err := a.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Automatically derived wrapper summaries (no annotations):")
+	fmt.Println()
+	for _, fn := range []string{"ss_get", "ss_get_direct", "ss_put"} {
+		fmt.Print(res.FunctionSummary(fn))
+	}
+	fmt.Println()
+	fmt.Println("Reports:")
+	for _, b := range res.Bugs {
+		fmt.Printf("  %s\n", b)
+	}
+	fmt.Println()
+	fmt.Println("user_ok follows ss_get's derived contract and is silent;")
+	fmt.Println("user_bad assumed ss_get_direct balances on error and is reported.")
+	fmt.Println("Rule-based tools need a manually maintained wrapper list for this;")
+	fmt.Println("RID computes it (§2.1, §6.2).")
+}

@@ -1,0 +1,208 @@
+package cpyrule
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/lower"
+	"repro/internal/spec"
+)
+
+func check(t *testing.T, src string) []*Report {
+	t.Helper()
+	prog, err := lower.SourceString("mod.c", src)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return New(spec.PythonC(), Config{}).Check(prog)
+}
+
+func reportsFor(rs []*Report, fn string) []*Report {
+	var out []*Report
+	for _, r := range rs {
+		if r.Fn == fn {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestCleanAllocationReturn(t *testing.T) {
+	src := `
+PyObject *make(void) {
+    PyObject *o;
+    o = PyList_New(1);
+    if (o == NULL)
+        return NULL;
+    return o;
+}
+`
+	if rs := check(t, src); len(rs) != 0 {
+		for _, r := range rs {
+			t.Errorf("unexpected: %s", r)
+		}
+	}
+}
+
+func TestLeakOnErrorPath(t *testing.T) {
+	src := `
+int fill(PyObject *o);
+
+PyObject *make(void) {
+    PyObject *o;
+    o = PyList_New(1);
+    if (o == NULL)
+        return NULL;
+    if (fill(o) < 0)
+        return NULL;
+    return o;
+}
+`
+	rs := reportsFor(check(t, src), "make")
+	if len(rs) != 1 || rs[0].Kind != Leak {
+		t.Fatalf("reports: %v", rs)
+	}
+}
+
+func TestConsistentLeakCaught(t *testing.T) {
+	// RID misses this (no inconsistent pair); the escape rule catches it.
+	src := `
+int always_leak(PyObject *o) {
+    Py_INCREF(o);
+    return 0;
+}
+`
+	rs := reportsFor(check(t, src), "always_leak")
+	if len(rs) != 1 || rs[0].Kind != Leak {
+		t.Fatalf("reports: %v", rs)
+	}
+}
+
+func TestOverDecrement(t *testing.T) {
+	src := `
+int drop_twice(PyObject *o) {
+    Py_DECREF(o);
+    Py_DECREF(o);
+    return 0;
+}
+`
+	rs := reportsFor(check(t, src), "drop_twice")
+	if len(rs) != 1 || rs[0].Kind != OverDecre {
+		t.Fatalf("reports: %v", rs)
+	}
+}
+
+func TestBalancedIncDec(t *testing.T) {
+	src := `
+int touch(PyObject *o) {
+    Py_INCREF(o);
+    Py_DECREF(o);
+    return 0;
+}
+`
+	if rs := reportsFor(check(t, src), "touch"); len(rs) != 0 {
+		t.Fatalf("reports: %v", rs)
+	}
+}
+
+func TestStealEscapes(t *testing.T) {
+	// The item's reference escapes into the list via PyList_SetItem, so
+	// the +1 from the allocation is balanced by the escape.
+	src := `
+int put(PyObject *lst) {
+    PyObject *v;
+    v = PyInt_FromLong(5);
+    if (v == NULL)
+        return -1;
+    PyList_SetItem(lst, 0, v);
+    return 0;
+}
+`
+	if rs := reportsFor(check(t, src), "put"); len(rs) != 0 {
+		for _, r := range rs {
+			t.Errorf("unexpected: %s", r)
+		}
+	}
+}
+
+func TestWrapperFalsePositive(t *testing.T) {
+	// A wrapper around Py_INCREF violates the escape rule by construction —
+	// the documented Cpychecker false-positive class (§2.1).
+	src := `
+void my_incref(PyObject *o) {
+    Py_INCREF(o);
+}
+`
+	rs := reportsFor(check(t, src), "my_incref")
+	if len(rs) != 1 {
+		t.Fatalf("wrapper must be flagged: %v", rs)
+	}
+}
+
+func TestNonSSAReassignmentMissed(t *testing.T) {
+	// The second allocation rebinds o; the non-SSA tracker gets confused
+	// and misses the leak of the first object (RID-specific bug class in
+	// Table 2).
+	src := `
+PyObject *remake(void) {
+    PyObject *o;
+    o = PyList_New(1);
+    if (o == NULL)
+        return NULL;
+    o = PyList_New(2);
+    if (o == NULL)
+        return NULL;
+    return o;
+}
+`
+	if rs := reportsFor(check(t, src), "remake"); len(rs) != 0 {
+		for _, r := range rs {
+			t.Errorf("non-SSA checker should be confused, got: %s", r)
+		}
+	}
+}
+
+func TestBorrowedGetterUntracked(t *testing.T) {
+	src := `
+PyObject *peek(PyObject *lst) {
+    PyObject *v;
+    v = PyList_GetItem(lst, 0);
+    return v;
+}
+`
+	// Returning a borrowed reference without INCREF: flagged on the lst?
+	// No: the returned value is untracked (borrowed getter), and lst
+	// itself is unchanged and not returned. No reports.
+	if rs := reportsFor(check(t, src), "peek"); len(rs) != 0 {
+		for _, r := range rs {
+			t.Errorf("unexpected: %s", r)
+		}
+	}
+}
+
+func TestReturnedArgumentNeedsIncref(t *testing.T) {
+	src := `
+PyObject *identity(PyObject *o) {
+    return o;
+}
+PyObject *identity_ok(PyObject *o) {
+    Py_INCREF(o);
+    return o;
+}
+`
+	rs := check(t, src)
+	if len(reportsFor(rs, "identity")) != 1 {
+		t.Errorf("returning a borrowed argument must be flagged: %v", rs)
+	}
+	if len(reportsFor(rs, "identity_ok")) != 0 {
+		t.Errorf("incremented return is clean: %v", reportsFor(rs, "identity_ok"))
+	}
+}
+
+func TestVoidPathIgnored(t *testing.T) {
+	prog := ir.NewProgram()
+	rs := New(spec.PythonC(), Config{}).Check(prog)
+	if len(rs) != 0 {
+		t.Fatal("empty program")
+	}
+}

@@ -1,0 +1,214 @@
+package grepscan
+
+import "testing"
+
+func scanOne(t *testing.T, src string) ([]CallSite, Stats) {
+	t.Helper()
+	sc := &Scanner{}
+	return sc.ScanAll(map[string]string{"a.c": src})
+}
+
+func TestBracedErrorPathWithPut(t *testing.T) {
+	src := `
+int f(struct device *dev) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    if (ret < 0) {
+        pm_runtime_put_noidle(dev);
+        return ret;
+    }
+    return 0;
+}
+`
+	sites, st := scanOne(t, src)
+	if st.WithHandling != 1 || st.MissingPut != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if !sites[0].PutOnError || sites[0].API != "pm_runtime_get_sync" {
+		t.Errorf("site: %+v", sites[0])
+	}
+}
+
+func TestSingleStatementErrorReturn(t *testing.T) {
+	src := `
+int f(struct device *dev) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    if (ret < 0)
+        return ret;
+    return 0;
+}
+`
+	sites, st := scanOne(t, src)
+	if st.WithHandling != 1 || st.MissingPut != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if sites[0].PutOnError {
+		t.Error("missing put not detected")
+	}
+}
+
+func TestUnhandledCallNotCounted(t *testing.T) {
+	src := `
+void f(struct device *dev) {
+    pm_runtime_get(dev);
+    pm_runtime_put(dev);
+}
+`
+	_, st := scanOne(t, src)
+	if st.WithHandling != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.TotalCalls != 1 {
+		t.Errorf("total get calls: %d", st.TotalCalls)
+	}
+}
+
+func TestResultIgnoredNotCounted(t *testing.T) {
+	src := `
+int f(struct device *dev, int mode) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    if (mode < 0)
+        return -1;
+    pm_runtime_put(dev);
+    return 0;
+}
+`
+	// The if tests mode, not ret: no error handling of the call result.
+	_, st := scanOne(t, src)
+	if st.WithHandling != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestEnclosingFunctionTracked(t *testing.T) {
+	src := `
+int outer_op(struct device *dev) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    if (ret < 0)
+        return ret;
+    return 0;
+}
+`
+	sites, _ := scanOne(t, src)
+	if len(sites) != 1 || sites[0].EnclosingFn != "outer_op" {
+		t.Fatalf("sites: %+v", sites)
+	}
+}
+
+func TestWrapperExclusion(t *testing.T) {
+	src := `
+int my_wrapper_get(struct device *dev) {
+    int status;
+    status = pm_runtime_get_sync(dev);
+    if (status < 0)
+        pm_runtime_put_sync(dev);
+    return status;
+}
+`
+	sc := &Scanner{ExcludeFn: func(fn string) bool { return fn == "my_wrapper_get" }}
+	sites, st := sc.ScanAll(map[string]string{"w.c": src})
+	if len(sites) != 0 || st.WithHandling != 0 {
+		t.Fatalf("wrapper not excluded: %+v", st)
+	}
+}
+
+func TestGotoErrorPathCountsAsMissing(t *testing.T) {
+	// A textual scanner cannot follow the goto; the error branch shows no
+	// put, so the site counts as missing (a known methodological limit the
+	// §6.3 experiment inherits from the paper's regex census).
+	src := `
+int f(struct device *dev) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    if (ret < 0)
+        goto out;
+    return 0;
+out:
+    pm_runtime_put(dev);
+    return ret;
+}
+`
+	_, st := scanOne(t, src)
+	if st.MissingPut != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestMultipleSitesOneFile(t *testing.T) {
+	src := `
+int a_op(struct device *dev) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    if (ret < 0)
+        return ret;
+    return 0;
+}
+
+int b_op(struct device *dev) {
+    int err;
+    err = pm_runtime_get(dev);
+    if (err < 0) {
+        pm_runtime_put_noidle(dev);
+        return err;
+    }
+    return 0;
+}
+`
+	sites, st := scanOne(t, src)
+	if st.WithHandling != 2 || st.MissingPut != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if sites[0].EnclosingFn != "a_op" || sites[1].EnclosingFn != "b_op" {
+		t.Errorf("sites: %+v", sites)
+	}
+}
+
+func TestDeterministicFileOrder(t *testing.T) {
+	files := map[string]string{
+		"z.c": "\nint zf(struct device *d) {\n    int r;\n    r = pm_runtime_get(d);\n    if (r < 0)\n        return r;\n    return 0;\n}\n",
+		"a.c": "\nint af(struct device *d) {\n    int r;\n    r = pm_runtime_get(d);\n    if (r < 0)\n        return r;\n    return 0;\n}\n",
+	}
+	sc := &Scanner{}
+	s1, _ := sc.ScanAll(files)
+	s2, _ := sc.ScanAll(files)
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("non-deterministic scan order")
+		}
+	}
+	if s1[0].File != "a.c" {
+		t.Errorf("first file: %s", s1[0].File)
+	}
+}
+
+func TestWindowLimitsSearch(t *testing.T) {
+	// The error check is 8 lines after the call; a window of 2 misses it,
+	// the default of 6 would too, a window of 10 finds it.
+	src := `
+int f(struct device *dev) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    dev_dbg(dev);
+    dev_dbg(dev);
+    dev_dbg(dev);
+    dev_dbg(dev);
+    dev_dbg(dev);
+    dev_dbg(dev);
+    dev_dbg(dev);
+    if (ret < 0)
+        return ret;
+    return 0;
+}
+`
+	narrow := &Scanner{Window: 2}
+	if sites := narrow.Scan("a.c", src); len(sites) != 0 {
+		t.Errorf("narrow window found %d sites", len(sites))
+	}
+	wide := &Scanner{Window: 10}
+	if sites := wide.Scan("a.c", src); len(sites) != 1 {
+		t.Errorf("wide window found %d sites", len(sites))
+	}
+}

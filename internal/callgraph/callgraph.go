@@ -1,0 +1,176 @@
+// Package callgraph builds the static call graph of an abstract program
+// and provides the orderings the analysis needs: Tarjan strongly-connected
+// components, and (reverse) topological order over the SCC condensation.
+// Recursion is "broken" the way the paper describes (§4.2): functions in a
+// cycle are ordered deterministically within their SCC and calls to
+// not-yet-summarized members are treated as unknown.
+package callgraph
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Graph is the call graph over defined functions. Calls to undefined
+// functions (externs, predefined APIs) appear in Callees but not as nodes.
+type Graph struct {
+	Prog  *ir.Program
+	Nodes []string            // defined functions, in definition order
+	Out   map[string][]string // edges to *defined* callees only
+	In    map[string][]string
+	All   map[string][]string // edges including undefined callees
+
+	sccOf  map[string]int
+	sccs   [][]string // SCC id → members (deterministic order)
+	sccDAG [][]int    // SCC id → successor SCC ids
+}
+
+// Build constructs the call graph for prog.
+func Build(prog *ir.Program) *Graph {
+	g := &Graph{
+		Prog: prog,
+		Out:  make(map[string][]string),
+		In:   make(map[string][]string),
+		All:  make(map[string][]string),
+	}
+	for _, name := range prog.Order {
+		g.Nodes = append(g.Nodes, name)
+	}
+	for _, name := range g.Nodes {
+		fn := prog.Funcs[name]
+		callees := fn.Callees()
+		g.All[name] = callees
+		for _, c := range callees {
+			if _, defined := prog.Funcs[c]; !defined {
+				continue
+			}
+			g.Out[name] = append(g.Out[name], c)
+			g.In[c] = append(g.In[c], name)
+		}
+	}
+	g.tarjan()
+	return g
+}
+
+// SCCs returns the strongly connected components in reverse topological
+// order: every callee SCC appears before any of its callers. This is the
+// summarization order of §4.2.
+func (g *Graph) SCCs() [][]string { return g.sccs }
+
+// SCCOf returns the SCC index of fn (indices follow SCCs() order).
+func (g *Graph) SCCOf(fn string) int { return g.sccOf[fn] }
+
+// SCCSuccs returns, for SCC i, the SCC indices it depends on (its callees'
+// SCCs); all of them precede i in SCCs() order.
+func (g *Graph) SCCSuccs(i int) []int { return g.sccDAG[i] }
+
+// ReverseTopo returns the defined functions with callees before callers.
+func (g *Graph) ReverseTopo() []string {
+	var out []string
+	for _, scc := range g.sccs {
+		out = append(out, scc...)
+	}
+	return out
+}
+
+// Topo returns the defined functions with callers before callees.
+func (g *Graph) Topo() []string {
+	rt := g.ReverseTopo()
+	out := make([]string, len(rt))
+	for i, f := range rt {
+		out[len(rt)-1-i] = f
+	}
+	return out
+}
+
+// tarjan computes SCCs iteratively (generated corpora have deep chains).
+func (g *Graph) tarjan() {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	g.sccOf = make(map[string]int)
+	next := 0
+
+	type frame struct {
+		node string
+		ei   int
+	}
+	var visit func(root string)
+	visit = func(root string) {
+		var frames []frame
+		push := func(v string) {
+			index[v] = next
+			low[v] = next
+			next++
+			stack = append(stack, v)
+			onStack[v] = true
+			frames = append(frames, frame{v, 0})
+		}
+		push(root)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			succs := g.Out[f.node]
+			if f.ei < len(succs) {
+				w := succs[f.ei]
+				f.ei++
+				if _, seen := index[w]; !seen {
+					push(w)
+				} else if onStack[w] {
+					if index[w] < low[f.node] {
+						low[f.node] = index[w]
+					}
+				}
+				continue
+			}
+			// Pop frame; maybe emit SCC.
+			v := f.node
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.node] {
+					low[p.node] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []string
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Strings(comp) // deterministic member order
+				id := len(g.sccs)
+				for _, m := range comp {
+					g.sccOf[m] = id
+				}
+				g.sccs = append(g.sccs, comp)
+			}
+		}
+	}
+	for _, n := range g.Nodes {
+		if _, seen := index[n]; !seen {
+			visit(n)
+		}
+	}
+	// Tarjan emits SCCs in reverse topological order already.
+	g.sccDAG = make([][]int, len(g.sccs))
+	for i, comp := range g.sccs {
+		seen := map[int]bool{i: true}
+		for _, m := range comp {
+			for _, c := range g.Out[m] {
+				cs := g.sccOf[c]
+				if !seen[cs] {
+					seen[cs] = true
+					g.sccDAG[i] = append(g.sccDAG[i], cs)
+				}
+			}
+		}
+		sort.Ints(g.sccDAG[i])
+	}
+}

@@ -1,0 +1,183 @@
+// Package cfg provides control-flow-graph utilities over the abstract IR:
+// successor/predecessor maps, back-edge detection, reachability, and the
+// entry-to-exit path enumeration of analysis Step I (§4.2), with loops
+// unrolled at most once and a configurable path budget.
+package cfg
+
+import (
+	"repro/internal/ir"
+)
+
+// Graph is the CFG view of a function.
+type Graph struct {
+	Fn    *ir.Func
+	Succ  [][]int
+	Pred  [][]int
+	back  map[[2]int]bool // edges (from, to) that close a loop
+	reach []bool
+}
+
+// New builds the CFG for fn.
+func New(fn *ir.Func) *Graph {
+	n := len(fn.Blocks)
+	g := &Graph{
+		Fn:   fn,
+		Succ: make([][]int, n),
+		Pred: make([][]int, n),
+		back: make(map[[2]int]bool),
+	}
+	for _, b := range fn.Blocks {
+		g.Succ[b.Index] = b.Succs()
+		for _, s := range g.Succ[b.Index] {
+			g.Pred[s] = append(g.Pred[s], b.Index)
+		}
+	}
+	g.findBackEdges()
+	g.findReachable()
+	return g
+}
+
+// findBackEdges marks edges whose target is on the current DFS stack.
+func (g *Graph) findBackEdges() {
+	n := len(g.Succ)
+	state := make([]int, n) // 0 unvisited, 1 on stack, 2 done
+	// Iterative DFS to avoid recursion limits on generated functions.
+	type frame struct {
+		node int
+		next int
+	}
+	var stack []frame
+	push := func(v int) {
+		state[v] = 1
+		stack = append(stack, frame{v, 0})
+	}
+	push(0)
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(g.Succ[f.node]) {
+			s := g.Succ[f.node][f.next]
+			f.next++
+			switch state[s] {
+			case 0:
+				push(s)
+			case 1:
+				g.back[[2]int{f.node, s}] = true
+			}
+			continue
+		}
+		state[f.node] = 2
+		stack = stack[:len(stack)-1]
+	}
+}
+
+func (g *Graph) findReachable() {
+	g.reach = make([]bool, len(g.Succ))
+	work := []int{0}
+	g.reach[0] = true
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range g.Succ[v] {
+			if !g.reach[s] {
+				g.reach[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+}
+
+// IsBackEdge reports whether from→to closes a loop.
+func (g *Graph) IsBackEdge(from, to int) bool { return g.back[[2]int{from, to}] }
+
+// Reachable reports whether block b is reachable from the entry.
+func (g *Graph) Reachable(b int) bool { return g.reach[b] }
+
+// NumReachable returns the number of reachable blocks.
+func (g *Graph) NumReachable() int {
+	n := 0
+	for _, r := range g.reach {
+		if r {
+			n++
+		}
+	}
+	return n
+}
+
+// HasLoop reports whether the function contains any back edge.
+func (g *Graph) HasLoop() bool { return len(g.back) > 0 }
+
+// Path is a sequence of block indices from the entry block to a block
+// terminated by a return.
+type Path struct {
+	Blocks []int
+}
+
+// EnumerateResult carries the enumerated paths plus whether the budget
+// truncated the enumeration (§5.2: such functions get a default summary
+// entry in addition to whatever was analyzed).
+type EnumerateResult struct {
+	Paths     []Path
+	Truncated bool
+}
+
+// Enumerate lists entry-to-exit paths. Each back edge is taken at most
+// once per path (the paper's "loops are unrolled at most once") and at
+// most maxPaths paths are produced; maxPaths <= 0 means the default of 100
+// (the paper's evaluation setting).
+func (g *Graph) Enumerate(maxPaths int) EnumerateResult {
+	if maxPaths <= 0 {
+		maxPaths = 100
+	}
+	var res EnumerateResult
+	// DFS with explicit stack of (block, taken-back-edges) is awkward to
+	// copy cheaply; use recursion with shared state and an on-path slice.
+	var cur []int
+	usedBack := make(map[[2]int]int)
+	var walk func(b int)
+	walk = func(b int) {
+		if len(res.Paths) >= maxPaths {
+			res.Truncated = true
+			return
+		}
+		cur = append(cur, b)
+		defer func() { cur = cur[:len(cur)-1] }()
+		blk := g.Fn.Blocks[b]
+		t := blk.Terminator()
+		if t.Op == ir.OpReturn {
+			p := Path{Blocks: make([]int, len(cur))}
+			copy(p.Blocks, cur)
+			res.Paths = append(res.Paths, p)
+			return
+		}
+		for _, s := range g.Succ[b] {
+			e := [2]int{b, s}
+			if g.back[e] {
+				if usedBack[e] >= 1 {
+					continue // unroll at most once
+				}
+				usedBack[e]++
+				walk(s)
+				usedBack[e]--
+			} else {
+				walk(s)
+			}
+			if len(res.Paths) >= maxPaths {
+				res.Truncated = true
+				return
+			}
+		}
+	}
+	walk(0)
+	return res
+}
+
+// Instrs returns the straight-line instruction sequence of the path,
+// including each block's terminator (the symbolic executor interprets
+// branch terminators by looking at the next block in the path).
+func (p Path) Instrs(fn *ir.Func) []*ir.Instr {
+	var out []*ir.Instr
+	for _, b := range p.Blocks {
+		out = append(out, fn.Blocks[b].Instrs...)
+	}
+	return out
+}

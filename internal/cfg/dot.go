@@ -1,0 +1,43 @@
+package cfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the CFG in Graphviz dot syntax, one node per basic block
+// with its instructions, back edges dashed. Useful when triaging a report:
+//
+//	dot -Tsvg foo.dot > foo.svg
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Fn.Name)
+	b.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	for _, blk := range g.Fn.Blocks {
+		if !g.Reachable(blk.Index) {
+			continue
+		}
+		var label strings.Builder
+		fmt.Fprintf(&label, "b%d:\\l", blk.Index)
+		for _, in := range blk.Instrs {
+			label.WriteString(escapeDot(in.String()))
+			label.WriteString("\\l")
+		}
+		fmt.Fprintf(&b, "  b%d [label=\"%s\"];\n", blk.Index, label.String())
+		for _, s := range g.Succ[blk.Index] {
+			attr := ""
+			if g.IsBackEdge(blk.Index, s) {
+				attr = " [style=dashed, label=\"back\"]"
+			}
+			fmt.Fprintf(&b, "  b%d -> b%d%s;\n", blk.Index, s, attr)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}

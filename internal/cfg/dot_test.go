@@ -1,0 +1,42 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDotOutput(t *testing.T) {
+	g := mustCFG(t, `
+int f(int n) {
+    int i = 0;
+    while (i < n)
+        i = g(i);
+    return i;
+}`, "f")
+	dot := g.Dot()
+	for _, want := range []string{
+		`digraph "f"`,
+		"->",
+		"style=dashed", // the loop's back edge
+		"return",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Error("dot output not closed")
+	}
+}
+
+func TestDotSkipsUnreachable(t *testing.T) {
+	g := mustCFG(t, `
+int f(int a) {
+    return a;
+    g(a);
+}`, "f")
+	dot := g.Dot()
+	if strings.Contains(dot, "g(a)") {
+		t.Errorf("unreachable block rendered:\n%s", dot)
+	}
+}

@@ -1,0 +1,252 @@
+// Package core orchestrates the complete RID analysis: predefined-summary
+// installation, call-graph construction, the two-phase function
+// classification of §5.2, and summary-based inter-procedural IPP checking
+// in reverse topological order (optionally SCC-parallel, §5.3).
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/callgraph"
+	"repro/internal/ipp"
+	"repro/internal/ir"
+	"repro/internal/solver"
+	"repro/internal/spec"
+	"repro/internal/summary"
+	"repro/internal/symexec"
+)
+
+// Options configures an analysis run. The zero value selects the paper's
+// evaluation settings.
+type Options struct {
+	Exec         symexec.Config
+	MaxCat2Conds int  // §5.2 complexity gate; default 3
+	Workers      int  // parallel SCC workers; default 1, <0 means GOMAXPROCS
+	NoCache      bool // disable solver memoization (ablation)
+	// AnalyzeAll disables the §5.2 selective analysis and summarizes every
+	// function (ablation; expensive on large corpora).
+	AnalyzeAll bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxCat2Conds == 0 {
+		o.MaxCat2Conds = 3
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+	if o.Workers < 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Exec.MaxPaths == 0 {
+		o.Exec = symexec.Config{
+			MaxPaths:        100,
+			MaxSubcases:     10,
+			PruneInfeasible: true,
+			KeepLocalConds:  o.Exec.KeepLocalConds,
+		}
+	}
+	return o
+}
+
+// Stats aggregates run metrics.
+type Stats struct {
+	FuncsTotal      int
+	FuncsAnalyzed   int
+	PathsEnumerated int
+	ClassifyTime    time.Duration
+	AnalyzeTime     time.Duration
+	Solver          solver.Stats
+}
+
+// Result is the outcome of Analyze.
+type Result struct {
+	Reports        []*ipp.Report
+	DB             *summary.DB
+	Classification *Classification
+	Stats          Stats
+}
+
+// ReportsByFunction returns the reports grouped and sorted by function
+// name, for deterministic output.
+func (r *Result) ReportsByFunction() []*ipp.Report {
+	out := make([]*ipp.Report, len(r.Reports))
+	copy(out, r.Reports)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fn != out[j].Fn {
+			return out[i].Fn < out[j].Fn
+		}
+		return out[i].Refcount.Key() < out[j].Refcount.Key()
+	})
+	return out
+}
+
+// Analyze runs RID over prog with the given API specifications.
+func Analyze(prog *ir.Program, specs *spec.Specs, opts Options) *Result {
+	opts = opts.withDefaults()
+	db := summary.NewDB()
+	if specs != nil {
+		specs.ApplyTo(db)
+	}
+	return analyzeWithDB(prog, db, opts, nil)
+}
+
+// analyzeWithDB runs the pipeline against an existing summary database
+// (multi-file and incremental modes carry summaries across calls). When
+// only is non-nil, functions it rejects keep their existing summaries and
+// are not re-analyzed.
+func analyzeWithDB(prog *ir.Program, db *summary.DB, opts Options, only func(string) bool) *Result {
+	g := callgraph.Build(prog)
+
+	t0 := time.Now()
+	cl := classify(g, db, opts.MaxCat2Conds)
+	classifyTime := time.Since(t0)
+
+	// Which functions get summarized?
+	toAnalyze := func(fn string) bool {
+		if s := db.Get(fn); s != nil && s.Predefined {
+			return false // predefined summaries are never re-derived
+		}
+		if only != nil && !only(fn) {
+			return false
+		}
+		if opts.AnalyzeAll {
+			return true
+		}
+		switch cl.Category[fn] {
+		case CatRefcount:
+			return true
+		case CatAffecting:
+			return cl.Analyzed[fn]
+		}
+		return false
+	}
+
+	res := &Result{DB: db, Classification: cl}
+	res.Stats.FuncsTotal = len(g.Nodes)
+	res.Stats.ClassifyTime = classifyTime
+
+	t1 := time.Now()
+	if opts.Workers <= 1 {
+		analyzeSequential(prog, g, db, toAnalyze, opts, res)
+	} else {
+		analyzeParallel(prog, g, db, toAnalyze, opts, res)
+	}
+	res.Stats.AnalyzeTime = time.Since(t1)
+
+	sortReports(res)
+	return res
+}
+
+// sortReports orders reports by function then refcount for deterministic
+// output.
+func sortReports(res *Result) {
+	sort.Slice(res.Reports, func(i, j int) bool {
+		a, b := res.Reports[i], res.Reports[j]
+		if a.Fn != b.Fn {
+			return a.Fn < b.Fn
+		}
+		return a.Refcount.Key() < b.Refcount.Key()
+	})
+}
+
+// analyzeOne summarizes a single function and checks its path entries.
+func analyzeOne(fn *ir.Func, db *summary.DB, slv *solver.Solver, opts Options) ([]*ipp.Report, *summary.Summary, int) {
+	ex := symexec.New(db, slv, opts.Exec)
+	sres := ex.Summarize(fn)
+	reports, sum := ipp.Check(sres, slv)
+	return reports, sum, sres.NumPaths
+}
+
+func analyzeSequential(prog *ir.Program, g *callgraph.Graph, db *summary.DB, toAnalyze func(string) bool, opts Options, res *Result) {
+	slv := solver.New()
+	if opts.NoCache {
+		slv.DisableCache()
+	}
+	for _, fn := range g.ReverseTopo() {
+		if !toAnalyze(fn) {
+			continue
+		}
+		reports, sum, paths := analyzeOne(prog.Funcs[fn], db, slv, opts)
+		db.Put(sum)
+		res.Reports = append(res.Reports, reports...)
+		res.Stats.FuncsAnalyzed++
+		res.Stats.PathsEnumerated += paths
+	}
+	res.Stats.Solver = slv.Stats()
+}
+
+// analyzeParallel schedules SCCs across workers once their callee SCCs are
+// done (§5.3: "Multiple SCCs can be analyzed in parallel as long as the
+// SCCs they depend on have been analyzed").
+func analyzeParallel(prog *ir.Program, g *callgraph.Graph, db *summary.DB, toAnalyze func(string) bool, opts Options, res *Result) {
+	sccs := g.SCCs()
+	n := len(sccs)
+	// Dependency counts over the SCC DAG.
+	waiting := make([]int, n)
+	dependents := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for _, dep := range g.SCCSuccs(i) {
+			waiting[i]++
+			dependents[dep] = append(dependents[dep], i)
+		}
+	}
+
+	var (
+		mu      sync.Mutex
+		ready   = make(chan int, n)
+		done    sync.WaitGroup
+		pending = n
+	)
+	for i := 0; i < n; i++ {
+		if waiting[i] == 0 {
+			ready <- i
+		}
+	}
+
+	complete := func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, d := range dependents[i] {
+			waiting[d]--
+			if waiting[d] == 0 {
+				ready <- d
+			}
+		}
+		pending--
+		if pending == 0 {
+			close(ready)
+		}
+	}
+
+	workers := opts.Workers
+	done.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer done.Done()
+			slv := solver.New()
+			if opts.NoCache {
+				slv.DisableCache()
+			}
+			for i := range ready {
+				for _, fn := range sccs[i] {
+					if !toAnalyze(fn) {
+						continue
+					}
+					reports, sum, paths := analyzeOne(prog.Funcs[fn], db, slv, opts)
+					db.Put(sum)
+					mu.Lock()
+					res.Reports = append(res.Reports, reports...)
+					res.Stats.FuncsAnalyzed++
+					res.Stats.PathsEnumerated += paths
+					mu.Unlock()
+				}
+				complete(i)
+			}
+		}()
+	}
+	done.Wait()
+}

@@ -1,0 +1,558 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/lower"
+	"repro/internal/spec"
+)
+
+// analyze lowers src and runs the full pipeline with Linux DPM specs.
+func analyze(t *testing.T, src string, opts Options) *Result {
+	t.Helper()
+	prog, err := lower.SourceString("test.c", src)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return Analyze(prog, spec.LinuxDPM(), opts)
+}
+
+// figure1Src is the running example of the paper (Figures 1 and 2),
+// including the reg_read implementation given in Figure 2.
+const figure1Src = `
+void inc_pmcount(struct device *d);
+
+int reg_read(struct device *d, int reg) {
+    if (d) {
+        int ret;
+        ret = random();
+        if (ret >= 0)
+            return ret;
+    }
+    return -1;
+}
+
+int foo(struct device *dev) {
+    assert(dev != NULL);
+    int v = reg_read(dev, 0x54);
+    if (v <= 0)
+        goto exit;
+    inc_pmcount(dev);
+exit:
+    return 0;
+}
+`
+
+// inc_pmcount has no body above; give it the paper's predefined summary via
+// the DSL so the example is self-contained.
+const incPMCountSpec = `
+summary inc_pmcount(d) {
+  entry { cons: [d] != null; changes: [d].pm += 1; return: ; }
+  entry { cons: [d] == null; changes: ; return: ; }
+}
+`
+
+func TestFigure2Foo(t *testing.T) {
+	prog, err := lower.SourceString("fig1.c", figure1Src)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	specs := spec.LinuxDPM()
+	specs.Merge(spec.MustParse("inc_pmcount", incPMCountSpec))
+	res := Analyze(prog, specs, Options{})
+
+	// Exactly one IPP: foo's paths disagree on [dev].pm.
+	if len(res.Reports) != 1 {
+		for _, r := range res.Reports {
+			t.Logf("report: %s", r)
+		}
+		t.Fatalf("reports = %d, want 1", len(res.Reports))
+	}
+	r := res.Reports[0]
+	if r.Fn != "foo" {
+		t.Errorf("report function = %s, want foo", r.Fn)
+	}
+	if r.Refcount.Key() != "[dev].pm" {
+		t.Errorf("refcount = %s, want [dev].pm", r.Refcount)
+	}
+	if r.DeltaA == r.DeltaB {
+		t.Errorf("deltas must differ: %d vs %d", r.DeltaA, r.DeltaB)
+	}
+	// The deltas are +1 and 0 in some order.
+	if !(r.DeltaA == 1 && r.DeltaB == 0 || r.DeltaA == 0 && r.DeltaB == 1) {
+		t.Errorf("deltas = %d, %d; want {0, +1}", r.DeltaA, r.DeltaB)
+	}
+
+	// reg_read must have been summarized precisely: an entry with
+	// [0] >= 0 under [d] != null, and an entry returning -1.
+	rr := res.DB.Get("reg_read")
+	if rr == nil {
+		t.Fatal("reg_read has no summary")
+	}
+	text := rr.String()
+	if !strings.Contains(text, "([0] >= 0)") {
+		t.Errorf("reg_read summary lost [0] >= 0:\n%s", text)
+	}
+	if !strings.Contains(text, "-1") {
+		t.Errorf("reg_read summary lost the -1 entry:\n%s", text)
+	}
+	if rr.ChangesRefcounts() {
+		t.Errorf("reg_read must not change refcounts:\n%s", text)
+	}
+}
+
+func TestFigure2FooSummaryAfterDrop(t *testing.T) {
+	prog, err := lower.SourceString("fig1.c", figure1Src)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	specs := spec.LinuxDPM()
+	specs.Merge(spec.MustParse("inc_pmcount", incPMCountSpec))
+	res := Analyze(prog, specs, Options{})
+
+	// One side of the IPP was dropped: all remaining entries of foo must
+	// have identical changes (mutually consistent).
+	foo := res.DB.Get("foo")
+	if foo == nil || len(foo.Entries) == 0 {
+		t.Fatal("foo has no summary")
+	}
+	first := foo.Entries[0]
+	for _, e := range foo.Entries[1:] {
+		if !e.SameChanges(first) {
+			t.Errorf("surviving entries disagree:\n%s", foo)
+		}
+	}
+}
+
+// Figure 8: pm_runtime_get_sync increments even on error; returning early
+// on error without a put is an IPP.
+const figure8Src = `
+int drm_crtc_helper_set_config(struct drm_mode_set *set);
+
+int radeon_crtc_set_config(struct drm_mode_set *set, struct device *dev) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    if (ret < 0)
+        return ret;
+    ret = drm_crtc_helper_set_config(set);
+    pm_runtime_put_autosuspend(dev);
+    return ret;
+}
+`
+
+func TestFigure8GetSyncErrorReturn(t *testing.T) {
+	res := analyze(t, figure8Src, Options{})
+	if len(res.Reports) != 1 {
+		for _, r := range res.Reports {
+			t.Logf("report: %s", r)
+		}
+		t.Fatalf("reports = %d, want 1", len(res.Reports))
+	}
+	r := res.Reports[0]
+	if r.Fn != "radeon_crtc_set_config" || r.Refcount.Key() != "[dev].pm" {
+		t.Errorf("got %s on %s", r.Fn, r.Refcount)
+	}
+}
+
+// The corrected version balances the count on the error path: no IPP.
+const figure8FixedSrc = `
+int drm_crtc_helper_set_config(struct drm_mode_set *set);
+
+int radeon_crtc_set_config(struct drm_mode_set *set, struct device *dev) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    if (ret < 0) {
+        pm_runtime_put_noidle(dev);
+        return ret;
+    }
+    ret = drm_crtc_helper_set_config(set);
+    pm_runtime_put_autosuspend(dev);
+    return ret;
+}
+`
+
+func TestFigure8FixedIsClean(t *testing.T) {
+	res := analyze(t, figure8FixedSrc, Options{})
+	if len(res.Reports) != 0 {
+		for _, r := range res.Reports {
+			t.Errorf("unexpected report: %s", r)
+		}
+	}
+}
+
+// Figure 9: the USB wrapper changes nothing on error; RID summarizes it
+// precisely and then catches idmouse_open's missing put on the
+// idmouse_create_image error path.
+const figure9Src = `
+int idmouse_create_image(struct device *dev);
+
+int usb_autopm_get_interface(struct usb_interface *intf) {
+    int status;
+    status = pm_runtime_get_sync(&intf->dev);
+    if (status < 0)
+        pm_runtime_put_sync(&intf->dev);
+    if (status > 0)
+        status = 0;
+    return status;
+}
+
+void usb_autopm_put_interface(struct usb_interface *intf) {
+    pm_runtime_put_sync(&intf->dev);
+}
+
+int idmouse_open(struct usb_interface *interface, struct device *dev) {
+    int result;
+    result = usb_autopm_get_interface(interface);
+    if (result)
+        goto error;
+    result = idmouse_create_image(dev);
+    if (result)
+        goto error;
+    usb_autopm_put_interface(interface);
+error:
+    return result;
+}
+`
+
+func TestFigure9WrapperAndErrorPath(t *testing.T) {
+	res := analyze(t, figure9Src, Options{})
+
+	// The wrapper itself is consistent: on success (status >= 0 → return
+	// 0 with +1) vs failure (status < 0 → return <0 with net 0), the
+	// return value distinguishes the paths. No report on it.
+	for _, r := range res.Reports {
+		if r.Fn == "usb_autopm_get_interface" {
+			t.Errorf("wrapper wrongly reported: %s", r)
+		}
+	}
+
+	// Its summary must be precise: a +1 entry and a 0-change entry with
+	// disjoint return constraints.
+	w := res.DB.Get("usb_autopm_get_interface")
+	if w == nil {
+		t.Fatal("wrapper has no summary")
+	}
+	var sawInc, sawZero bool
+	for _, e := range w.Entries {
+		key := "[intf].dev.pm"
+		if c, ok := e.Changes[key]; ok && c.Delta == 1 {
+			sawInc = true
+		}
+		if len(e.Changes) == 0 {
+			sawZero = true
+		}
+	}
+	if !sawInc || !sawZero {
+		t.Errorf("wrapper summary imprecise (inc=%t zero=%t):\n%s", sawInc, sawZero, w)
+	}
+
+	// idmouse_open must be reported: the idmouse_create_image error path
+	// leaks the +1.
+	found := false
+	for _, r := range res.Reports {
+		if r.Fn == "idmouse_open" && r.Refcount.Key() == "[interface].dev.pm" {
+			found = true
+		}
+	}
+	if !found {
+		for _, r := range res.Reports {
+			t.Logf("report: %s", r)
+		}
+		t.Error("idmouse_open bug not reported")
+	}
+}
+
+// Figure 10: the inconsistency is only visible across functions connected
+// by a function pointer; RID must NOT report it (documented false
+// negative).
+const figure10Src = `
+int dev_err(struct device *d);
+
+int arizona_irq_thread(int irq, struct arizona *arizona) {
+    int ret;
+    ret = pm_runtime_get_sync(arizona->dev);
+    if (ret < 0) {
+        dev_err(arizona->dev);
+        return 0;
+    }
+    pm_runtime_put(arizona->dev);
+    return 1;
+}
+`
+
+func TestFigure10Missed(t *testing.T) {
+	res := analyze(t, figure10Src, Options{})
+	// One path returns IRQ_NONE(0) with +1, the other IRQ_HANDLED(1) with
+	// net 0 — distinguishable by return value, hence no IPP.
+	for _, r := range res.Reports {
+		t.Errorf("Figure 10 must be a false negative, got: %s", r)
+	}
+}
+
+// §6.4: a bitmask condition is outside the abstraction; the two paths look
+// indistinguishable and RID raises a (false) positive.
+const bitmaskFPSrc = `
+void do_work(struct device *dev);
+
+void maybe_get(struct device *dev, int flags) {
+    if (flags & 4) {
+        pm_runtime_get(dev);
+        do_work(dev);
+    }
+}
+`
+
+func TestFalsePositiveBitmask(t *testing.T) {
+	res := analyze(t, bitmaskFPSrc, Options{})
+	if len(res.Reports) != 1 {
+		t.Fatalf("expected the documented bitmask false positive, got %d reports", len(res.Reports))
+	}
+	if res.Reports[0].Fn != "maybe_get" {
+		t.Errorf("report on %s", res.Reports[0].Fn)
+	}
+}
+
+// A distinguishable pair via arguments: flag tested linearly. No report.
+const linearGuardSrc = `
+void do_work(struct device *dev);
+
+void maybe_get(struct device *dev, int flags) {
+    if (flags > 0) {
+        pm_runtime_get(dev);
+        do_work(dev);
+        pm_runtime_put(dev);
+    }
+}
+`
+
+func TestLinearGuardClean(t *testing.T) {
+	res := analyze(t, linearGuardSrc, Options{})
+	if len(res.Reports) != 0 {
+		for _, r := range res.Reports {
+			t.Errorf("unexpected: %s", r)
+		}
+	}
+}
+
+// An argument-distinguished inconsistency is NOT an IPP either: the caller
+// can tell the paths apart by the argument it passed.
+const argGuardSrc = `
+void get_if_positive(struct device *dev, int flags) {
+    if (flags > 0)
+        pm_runtime_get(dev);
+}
+`
+
+func TestArgumentDistinguishedNoReport(t *testing.T) {
+	res := analyze(t, argGuardSrc, Options{})
+	if len(res.Reports) != 0 {
+		for _, r := range res.Reports {
+			t.Errorf("argument-guarded paths are distinguishable: %s", r)
+		}
+	}
+}
+
+func TestClassificationCategories(t *testing.T) {
+	src := `
+int helper_status(struct device *dev) {
+    int v = random();
+    if (v > 0)
+        return 0;
+    return -1;
+}
+
+int unrelated_math(int a) {
+    int v = random();
+    return v;
+}
+
+int driver_op(struct device *dev) {
+    int st;
+    st = helper_status(dev);
+    if (st < 0)
+        return st;
+    pm_runtime_get(dev);
+    pm_runtime_put(dev);
+    return 0;
+}
+`
+	res := analyze(t, src, Options{})
+	cl := res.Classification
+	if cl.Category["driver_op"] != CatRefcount {
+		t.Errorf("driver_op: %s", cl.Category["driver_op"])
+	}
+	if cl.Category["helper_status"] != CatAffecting {
+		t.Errorf("helper_status: %s", cl.Category["helper_status"])
+	}
+	if cl.Category["unrelated_math"] != CatOther {
+		t.Errorf("unrelated_math: %s", cl.Category["unrelated_math"])
+	}
+	if !cl.Analyzed["helper_status"] {
+		t.Error("helper_status has 1 branch, must pass the ≤3 gate")
+	}
+	if cl.NumRefcount != 1 || cl.NumAffectingAnalyzed != 1 || cl.NumOther != 1 {
+		t.Errorf("counts: %+v", *cl)
+	}
+}
+
+func TestCategory2GateExcludesComplexHelpers(t *testing.T) {
+	src := `
+int complex_helper(struct device *dev, int a, int b, int c, int d) {
+    if (a > 0) { if (b > 0) { if (c > 0) { if (d > 0) return 1; } } }
+    return -1;
+}
+
+int driver_op(struct device *dev, int a, int b, int c, int d) {
+    int st;
+    st = complex_helper(dev, a, b, c, d);
+    if (st < 0)
+        return st;
+    pm_runtime_get(dev);
+    pm_runtime_put(dev);
+    return 0;
+}
+`
+	res := analyze(t, src, Options{})
+	cl := res.Classification
+	if cl.Category["complex_helper"] != CatAffecting {
+		t.Fatalf("complex_helper: %s", cl.Category["complex_helper"])
+	}
+	if cl.Analyzed["complex_helper"] {
+		t.Error("4 branches must exceed the ≤3 gate")
+	}
+	if cl.NumAffectingUnanalyzed != 1 {
+		t.Errorf("counts: %+v", *cl)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	src := figure1Src + figure8Src + figure9Src
+	prog, err := lower.SourceString("all.c", src)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	specs := spec.LinuxDPM()
+	specs.Merge(spec.MustParse("inc_pmcount", incPMCountSpec))
+
+	seq := Analyze(prog, specs, Options{Workers: 1})
+	par := Analyze(prog, specs, Options{Workers: 4})
+	if len(seq.Reports) != len(par.Reports) {
+		t.Fatalf("sequential %d reports, parallel %d", len(seq.Reports), len(par.Reports))
+	}
+	for i := range seq.Reports {
+		if seq.Reports[i].Key() != par.Reports[i].Key() {
+			t.Errorf("report %d differs: %s vs %s", i, seq.Reports[i], par.Reports[i])
+		}
+	}
+}
+
+func TestRecursionBroken(t *testing.T) {
+	src := `
+int even(struct device *dev, int n);
+
+int odd(struct device *dev, int n) {
+    if (n == 0)
+        return 0;
+    return even(dev, n);
+}
+
+int even(struct device *dev, int n) {
+    if (n == 0) {
+        pm_runtime_get(dev);
+        pm_runtime_put(dev);
+        return 1;
+    }
+    return odd(dev, n);
+}
+`
+	// Must terminate and not panic; mutual recursion forms one SCC.
+	res := analyze(t, src, Options{})
+	_ = res
+}
+
+func TestLoopUnrollBounded(t *testing.T) {
+	src := `
+void poll_device(struct device *dev, int n) {
+    int i = 0;
+    while (i < n) {
+        pm_runtime_get(dev);
+        do_io(dev);
+        pm_runtime_put(dev);
+        i = step(i);
+    }
+}
+`
+	res := analyze(t, src, Options{})
+	// Balanced in every iteration: no report.
+	for _, r := range res.Reports {
+		t.Errorf("unexpected: %s", r)
+	}
+}
+
+func TestLoopLeakDetected(t *testing.T) {
+	src := `
+int try_io(struct device *dev);
+
+int pump(struct device *dev, int n) {
+    int i = 0;
+    while (i < n) {
+        pm_runtime_get(dev);
+        if (try_io(dev) < 0)
+            return -1;
+        pm_runtime_put(dev);
+        i = step(i);
+    }
+    return -1;
+}
+`
+	res := analyze(t, src, Options{})
+	// The early return leaks +1 while the clean exit returns -1 too:
+	// indistinguishable, so RID reports it.
+	found := false
+	for _, r := range res.Reports {
+		if r.Fn == "pump" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("loop error-path leak not reported")
+	}
+}
+
+func TestVoidFunctionPairs(t *testing.T) {
+	src := `
+void balanced(struct device *dev, int a) {
+    pm_runtime_get(dev);
+    if (a > 0)
+        do_thing(dev);
+    pm_runtime_put(dev);
+}
+`
+	res := analyze(t, src, Options{})
+	for _, r := range res.Reports {
+		t.Errorf("unexpected: %s", r)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	res := analyze(t, figure8Src, Options{})
+	if res.Stats.FuncsTotal != 1 || res.Stats.FuncsAnalyzed != 1 {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+	if res.Stats.PathsEnumerated < 2 {
+		t.Errorf("paths: %d", res.Stats.PathsEnumerated)
+	}
+	if res.Stats.Solver.Queries == 0 {
+		t.Error("solver stats empty")
+	}
+}
+
+func TestValidateIRBeforeAnalyze(t *testing.T) {
+	prog := ir.NewProgram()
+	res := Analyze(prog, nil, Options{})
+	if len(res.Reports) != 0 || res.Stats.FuncsTotal != 0 {
+		t.Error("empty program must analyze to nothing")
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/lower"
+	"repro/internal/spec"
+)
+
+// TestGoldenRealisticDriver pins the exact reports on a realistic,
+// multi-layer driver file (testdata/rtl_driver.c): the Figure-8-class and
+// Figure-9-class bugs and nothing else — wrappers, helpers, the correct
+// driver op and the Figure-10 handler all stay silent.
+func TestGoldenRealisticDriver(t *testing.T) {
+	data, err := os.ReadFile("testdata/rtl_driver.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lower.SourceString("rtl_driver.c", string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Analyze(prog, spec.LinuxDPM(), Options{})
+
+	want := map[string]string{
+		"rtl_resume": "[priv].dev.pm",
+		"rtl_xmit":   "[priv].dev.pm",
+	}
+	got := map[string]string{}
+	for _, r := range res.Reports {
+		got[r.Fn] = r.Refcount.Key()
+	}
+	for fn, rc := range want {
+		if got[fn] != rc {
+			t.Errorf("expected report on %s (%s), got %q", fn, rc, got[fn])
+		}
+	}
+	for fn := range got {
+		if _, ok := want[fn]; !ok {
+			t.Errorf("unexpected report on %s", fn)
+		}
+	}
+	// The two-layer wrapper must have a precise conditional summary.
+	open := res.DB.Get("rtl_open_hw")
+	if open == nil {
+		t.Fatal("rtl_open_hw unsummarized")
+	}
+	var sawInc, sawZero bool
+	for _, e := range open.Entries {
+		if c, ok := e.Changes["[priv].dev.pm"]; ok && c.Delta == 1 {
+			sawInc = true
+		}
+		if len(e.Changes) == 0 {
+			sawZero = true
+		}
+	}
+	if !sawInc || !sawZero {
+		t.Errorf("imprecise two-layer wrapper summary:\n%s", open)
+	}
+	// Classification: the status helper is category 2 and analyzed.
+	if res.Classification.Category["rtl_link_ok"] != CatAffecting {
+		t.Errorf("rtl_link_ok: %s", res.Classification.Category["rtl_link_ok"])
+	}
+}
+
+// TestDeepRecursionChain stress-tests SCC handling on a 60-function cycle
+// threaded through refcount code; the analysis must terminate and stay
+// deterministic.
+func TestDeepRecursionChain(t *testing.T) {
+	src := "extern int pm_runtime_get(struct device *d);\nextern int pm_runtime_put(struct device *d);\n"
+	src += "int hop0(struct device *d, int n);\n"
+	for i := 0; i < 60; i++ {
+		next := (i + 1) % 60
+		src += `
+int hop` + itoa(i) + `(struct device *d, int n) {
+    if (n == 0) {
+        pm_runtime_get(d);
+        pm_runtime_put(d);
+        return 0;
+    }
+    return hop` + itoa(next) + `(d, n);
+}
+`
+	}
+	prog, err := lower.SourceString("chain.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(prog, spec.LinuxDPM(), Options{})
+	b := Analyze(prog, spec.LinuxDPM(), Options{Workers: 4})
+	if len(a.Reports) != len(b.Reports) {
+		t.Errorf("recursion chain nondeterministic: %d vs %d", len(a.Reports), len(b.Reports))
+	}
+	if a.Stats.FuncsAnalyzed != 60 {
+		t.Errorf("analyzed: %d", a.Stats.FuncsAnalyzed)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

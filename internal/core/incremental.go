@@ -1,0 +1,58 @@
+package core
+
+import (
+	"repro/internal/callgraph"
+	"repro/internal/ir"
+	"repro/internal/spec"
+	"repro/internal/summary"
+)
+
+// Incremental re-analyzes prog after the named functions changed, reusing
+// the previous run's summaries for every function whose behavior cannot
+// have changed — the incremental recheck of §5.4: once an inconsistency in
+// a function is fixed, only that function and its transitive callers need
+// re-analysis; "previously calculated summaries of unaffected functions"
+// are taken from prev as-is.
+//
+// The returned result contains reports only for the re-analyzed functions;
+// combine with the previous run's reports for untouched code as needed.
+func Incremental(prog *ir.Program, specs *spec.Specs, opts Options, prev *summary.DB, changed []string) *Result {
+	opts = opts.withDefaults()
+
+	// Affected = changed ∪ transitive callers of changed.
+	g := callgraph.Build(prog)
+	affected := make(map[string]bool, len(changed))
+	var queue []string
+	for _, fn := range changed {
+		if !affected[fn] {
+			affected[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, caller := range g.In[fn] {
+			if !affected[caller] {
+				affected[caller] = true
+				queue = append(queue, caller)
+			}
+		}
+	}
+
+	// Seed the database with predefined specs and the previous summaries
+	// of unaffected functions.
+	db := summary.NewDB()
+	if specs != nil {
+		specs.ApplyTo(db)
+	}
+	if prev != nil {
+		for _, name := range prev.Names() {
+			if !affected[name] && !db.Has(name) {
+				db.Put(prev.Get(name))
+			}
+		}
+	}
+
+	return analyzeWithDB(prog, db, opts, func(fn string) bool { return affected[fn] })
+}

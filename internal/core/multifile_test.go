@@ -1,0 +1,236 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lower"
+	"repro/internal/spec"
+)
+
+func TestAnalyzeFilesMatchesLinked(t *testing.T) {
+	files := map[string]string{
+		"wrapper.c": `
+int ss_get(struct ss_iface *intf) {
+    int status;
+    status = pm_runtime_get_sync(&intf->dev);
+    if (status < 0)
+        pm_runtime_put_sync(&intf->dev);
+    if (status > 0)
+        status = 0;
+    return status;
+}
+void ss_put(struct ss_iface *intf) {
+    pm_runtime_put_sync(&intf->dev);
+}
+`,
+		"driver.c": `
+int op(struct ss_iface *intf, struct device *aux) {
+    int result;
+    result = ss_get(intf);
+    if (result)
+        goto error;
+    result = create_thing(aux);
+    if (result)
+        goto error;
+    ss_put(intf);
+error:
+    return result;
+}
+`,
+	}
+	multi, err := AnalyzeFiles(files, spec.LinuxDPM(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Linked analysis for comparison.
+	linked := files["wrapper.c"] + files["driver.c"]
+	prog, err := lower.SourceString("all.c", linked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Analyze(prog, spec.LinuxDPM(), Options{})
+
+	if len(multi.Reports) != len(full.Reports) {
+		t.Fatalf("multi %d reports, linked %d", len(multi.Reports), len(full.Reports))
+	}
+	for i := range multi.Reports {
+		if multi.Reports[i].Key() != full.Reports[i].Key() {
+			t.Errorf("report %d: %s vs %s", i, multi.Reports[i], full.Reports[i])
+		}
+	}
+	// The wrapper's summary was computed in its own group and carried.
+	if !multi.DB.Has("ss_get") {
+		t.Error("wrapper summary missing from the shared database")
+	}
+}
+
+func TestAnalyzeFilesMutualDependency(t *testing.T) {
+	// a.c and b.c call into each other: one SCC, linked and analyzed
+	// together without error.
+	files := map[string]string{
+		"a.c": `
+int af(struct device *dev, int n) {
+    if (n == 0) {
+        pm_runtime_get(dev);
+        pm_runtime_put(dev);
+        return 0;
+    }
+    return bf(dev, n);
+}
+`,
+		"b.c": `
+int bf(struct device *dev, int n) {
+    if (n == 0)
+        return 0;
+    return af(dev, n);
+}
+`,
+	}
+	res, err := AnalyzeFiles(files, spec.LinuxDPM(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FuncsTotal != 2 {
+		t.Errorf("functions: %d", res.Stats.FuncsTotal)
+	}
+}
+
+func TestAnalyzeFilesParseError(t *testing.T) {
+	if _, err := AnalyzeFiles(map[string]string{"x.c": "int broken("}, spec.LinuxDPM(), Options{}); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestIncrementalEquivalence(t *testing.T) {
+	buggy := `
+int wrapper_get(struct device *dev) {
+    return pm_runtime_get_sync(dev);
+}
+
+int op(struct device *dev) {
+    int ret;
+    ret = wrapper_get(dev);
+    if (ret < 0)
+        return ret;
+    ret = do_transfer(dev);
+    pm_runtime_put(dev);
+    return ret;
+}
+
+int unrelated(struct device *dev) {
+    pm_runtime_get(dev);
+    pm_runtime_put(dev);
+    return 0;
+}
+`
+	prog, err := lower.SourceString("v1.c", buggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := Analyze(prog, spec.LinuxDPM(), Options{})
+	if len(first.Reports) != 1 || first.Reports[0].Fn != "op" {
+		t.Fatalf("v1 reports: %v", first.Reports)
+	}
+
+	// Fix op (balance the error path); wrapper_get and unrelated are
+	// untouched.
+	fixed := `
+int wrapper_get(struct device *dev) {
+    return pm_runtime_get_sync(dev);
+}
+
+int op(struct device *dev) {
+    int ret;
+    ret = wrapper_get(dev);
+    if (ret < 0) {
+        pm_runtime_put_noidle(dev);
+        return ret;
+    }
+    ret = do_transfer(dev);
+    pm_runtime_put(dev);
+    return ret;
+}
+
+int unrelated(struct device *dev) {
+    pm_runtime_get(dev);
+    pm_runtime_put(dev);
+    return 0;
+}
+`
+	prog2, err := lower.SourceString("v2.c", fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := Incremental(prog2, spec.LinuxDPM(), Options{}, first.DB, []string{"op"})
+	full := Analyze(prog2, spec.LinuxDPM(), Options{})
+
+	if len(inc.Reports) != len(full.Reports) {
+		t.Fatalf("incremental %d reports, full %d", len(inc.Reports), len(full.Reports))
+	}
+	// Only op was affected: one function re-analyzed instead of three.
+	if inc.Stats.FuncsAnalyzed != 1 {
+		t.Errorf("re-analyzed %d functions, want 1", inc.Stats.FuncsAnalyzed)
+	}
+	if full.Stats.FuncsAnalyzed != 3 {
+		t.Errorf("full analysis covered %d, want 3", full.Stats.FuncsAnalyzed)
+	}
+}
+
+func TestIncrementalCallerReanalyzed(t *testing.T) {
+	// Changing the wrapper must re-analyze its caller too (the §5.4
+	// recheck of callers once a summary changes).
+	src := `
+int wrapper_get(struct device *dev) {
+    return pm_runtime_get_sync(dev);
+}
+
+int op(struct device *dev) {
+    int ret;
+    ret = wrapper_get(dev);
+    if (ret < 0)
+        return ret;
+    ret = do_transfer(dev);
+    pm_runtime_put(dev);
+    return ret;
+}
+`
+	prog, err := lower.SourceString("v1.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := Analyze(prog, spec.LinuxDPM(), Options{})
+
+	// "Fix" the wrapper to conditional semantics: op, written for the
+	// transparent contract, is now clean — the incremental recheck of the
+	// caller must clear the report.
+	fixedSrc := `
+int wrapper_get(struct device *dev) {
+    int status;
+    status = pm_runtime_get_sync(dev);
+    if (status < 0)
+        pm_runtime_put_noidle(dev);
+    return status;
+}
+
+int op(struct device *dev) {
+    int ret;
+    ret = wrapper_get(dev);
+    if (ret < 0)
+        return ret;
+    ret = do_transfer(dev);
+    pm_runtime_put(dev);
+    return ret;
+}
+`
+	prog2, err := lower.SourceString("v2.c", fixedSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := Incremental(prog2, spec.LinuxDPM(), Options{}, first.DB, []string{"wrapper_get"})
+	if inc.Stats.FuncsAnalyzed != 2 {
+		t.Errorf("re-analyzed %d, want 2 (wrapper and its caller)", inc.Stats.FuncsAnalyzed)
+	}
+	for _, r := range inc.Reports {
+		t.Errorf("fixed program reported: %s", r)
+	}
+}

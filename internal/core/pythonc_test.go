@@ -1,0 +1,217 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lower"
+	"repro/internal/spec"
+)
+
+func analyzePyC(t *testing.T, src string, opts Options) *Result {
+	t.Helper()
+	prog, err := lower.SourceString("mod.c", src)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return Analyze(prog, spec.PythonC(), opts)
+}
+
+// Error-path leak: the PyList_New failure path and the do_fill failure path
+// both return NULL, but only the latter holds a +1 on the list — an IPP on
+// the locally created object.
+const pyLeakSrc = `
+int do_fill(PyObject *lst, PyObject *a);
+
+PyObject *make_list(PyObject *a) {
+    PyObject *lst;
+    lst = PyList_New(2);
+    if (lst == NULL)
+        return NULL;
+    if (do_fill(lst, a) < 0)
+        return NULL;
+    return lst;
+}
+`
+
+func TestPyCErrorPathLeak(t *testing.T) {
+	res := analyzePyC(t, pyLeakSrc, Options{})
+	found := false
+	for _, r := range res.Reports {
+		if r.Fn == "make_list" {
+			found = true
+			if r.DeltaA == r.DeltaB {
+				t.Errorf("deltas equal: %s", r)
+			}
+		}
+	}
+	if !found {
+		for _, r := range res.Reports {
+			t.Logf("report: %s", r)
+		}
+		t.Error("error-path leak not reported")
+	}
+}
+
+const pyLeakFixedSrc = `
+int do_fill(PyObject *lst, PyObject *a);
+
+PyObject *make_list(PyObject *a) {
+    PyObject *lst;
+    lst = PyList_New(2);
+    if (lst == NULL)
+        return NULL;
+    if (do_fill(lst, a) < 0) {
+        Py_DECREF(lst);
+        return NULL;
+    }
+    return lst;
+}
+`
+
+func TestPyCErrorPathFixed(t *testing.T) {
+	res := analyzePyC(t, pyLeakFixedSrc, Options{})
+	for _, r := range res.Reports {
+		t.Errorf("fixed code reported: %s", r)
+	}
+}
+
+// The exported summary of an allocation wrapper must expose the +1 on [0]
+// so callers are checked against it.
+const pyWrapperSrc = `
+PyObject *my_new_list(int n) {
+    return PyList_New(n);
+}
+
+int use_list(PyObject *unused) {
+    PyObject *l;
+    l = my_new_list(3);
+    if (l == NULL)
+        return -1;
+    if (random() < 0)
+        return -1;
+    Py_DECREF(l);
+    return -1;
+}
+`
+
+func TestPyCWrapperSummaryAndCallerBug(t *testing.T) {
+	res := analyzePyC(t, pyWrapperSrc, Options{})
+	w := res.DB.Get("my_new_list")
+	if w == nil {
+		t.Fatal("wrapper unsummarized")
+	}
+	sawNewRef := false
+	for _, e := range w.Entries {
+		if c, ok := e.Changes["[0].rc"]; ok && c.Delta == 1 {
+			sawNewRef = true
+		}
+	}
+	if !sawNewRef {
+		t.Errorf("wrapper summary lost the new reference:\n%s", w)
+	}
+	// use_list leaks l on the random()<0 path; both error paths return -1.
+	found := false
+	for _, r := range res.Reports {
+		if r.Fn == "use_list" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("caller leak through wrapper not reported")
+	}
+}
+
+// Same-return, different-changes on arguments (the PyErr_SetObject shape).
+const pyArgIncSrc = `
+int set_error(PyObject *t, PyObject *v, int code) {
+    if (code < 0) {
+        PyErr_SetObject(t, v);
+        return -1;
+    }
+    return -1;
+}
+`
+
+func TestPyCArgumentRefcountIPP(t *testing.T) {
+	res := analyzePyC(t, pyArgIncSrc, Options{})
+	// code is an argument, so the paths ARE distinguishable by arguments —
+	// wait: condition is on code, an argument. Per the IPP definition the
+	// pair must be feasible "given the same arguments"; code < 0 and
+	// code >= 0 cannot hold together, so NO report is correct here.
+	for _, r := range res.Reports {
+		t.Errorf("argument-distinguished paths reported: %s", r)
+	}
+}
+
+// The same shape with the guard on a non-argument (register read) IS an IPP.
+const pyRandIncSrc = `
+int set_error_rand(PyObject *t, PyObject *v) {
+    int code = random();
+    if (code < 0) {
+        PyErr_SetObject(t, v);
+        return -1;
+    }
+    return -1;
+}
+`
+
+func TestPyCUnobservableGuardIPP(t *testing.T) {
+	res := analyzePyC(t, pyRandIncSrc, Options{})
+	if len(res.Reports) == 0 {
+		t.Fatal("expected IPP on [t].rc / [v].rc")
+	}
+	keys := map[string]bool{}
+	for _, r := range res.Reports {
+		keys[r.Refcount.Key()] = true
+	}
+	if !keys["[t].rc"] || !keys["[v].rc"] {
+		t.Errorf("refcounts reported: %v", keys)
+	}
+}
+
+// Py_XDECREF's two entries must both instantiate: null-ness of the
+// argument selects the entry.
+const pyXDecrefSrc = `
+void drop(PyObject *o) {
+    Py_XDECREF(o);
+}
+`
+
+func TestPyCXDecrefSummary(t *testing.T) {
+	res := analyzePyC(t, pyXDecrefSrc, Options{})
+	for _, r := range res.Reports {
+		t.Errorf("Py_XDECREF wrapper reported: %s", r)
+	}
+	d := res.DB.Get("drop")
+	if d == nil {
+		t.Fatal("drop unsummarized")
+	}
+	var sawDec, sawNone bool
+	for _, e := range d.Entries {
+		if c, ok := e.Changes["[o].rc"]; ok && c.Delta == -1 {
+			sawDec = true
+		}
+		if len(e.Changes) == 0 {
+			sawNone = true
+		}
+	}
+	if !sawDec || !sawNone {
+		t.Errorf("drop summary entries (dec=%t none=%t):\n%s", sawDec, sawNone, d)
+	}
+}
+
+// A consistent leak — every path increments and nothing ever balances it —
+// has no inconsistent pair: RID stays silent (the documented weakness the
+// escape-rule baseline covers; Table 2 "Cpychecker-specific").
+const pyConsistentLeakSrc = `
+void always_leak(PyObject *o) {
+    Py_INCREF(o);
+}
+`
+
+func TestPyCConsistentLeakMissed(t *testing.T) {
+	res := analyzePyC(t, pyConsistentLeakSrc, Options{})
+	for _, r := range res.Reports {
+		t.Errorf("consistent change must not be an IPP: %s", r)
+	}
+}

@@ -1,0 +1,106 @@
+/* A realistic composite driver file: several subsystem layers, mixed
+ * correct and buggy runtime-PM usage. Expected reports are pinned by
+ * TestGoldenRealisticDriver. */
+
+struct device;
+struct rtl_priv { struct device dev; int flags; };
+struct sk_buff;
+
+extern int pm_runtime_get(struct device *dev);
+extern int pm_runtime_get_sync(struct device *dev);
+extern int pm_runtime_put(struct device *dev);
+extern int pm_runtime_put_sync(struct device *dev);
+extern int pm_runtime_put_noidle(struct device *dev);
+extern int pm_runtime_put_autosuspend(struct device *dev);
+extern int dev_err(struct device *dev);
+extern int rtl_hw_init(struct device *dev);
+extern int rtl_dma_map(struct device *dev, struct sk_buff *skb);
+extern int rtl_fw_load(struct device *dev);
+
+/* Layer 1: conditional wrapper, usb_autopm style. Correct. */
+int rtl_pm_get(struct rtl_priv *priv) {
+    int status;
+    status = pm_runtime_get_sync(&priv->dev);
+    if (status < 0)
+        pm_runtime_put_sync(&priv->dev);
+    if (status > 0)
+        status = 0;
+    return status;
+}
+
+void rtl_pm_put(struct rtl_priv *priv) {
+    pm_runtime_put_sync(&priv->dev);
+}
+
+/* Layer 2: open wrapper over layer 1. Correct (conditional again). */
+int rtl_open_hw(struct rtl_priv *priv) {
+    int err;
+    err = rtl_pm_get(priv);
+    if (err)
+        return err;
+    err = rtl_hw_init(&priv->dev);
+    if (err < 0) {
+        rtl_pm_put(priv);
+        return err;
+    }
+    return 0;
+}
+
+/* Status helper: category 2, one branch. */
+int rtl_link_ok(struct device *dev) {
+    int v;
+    v = rtl_fw_load(dev);
+    if (v > 0)
+        return 0;
+    return -1;
+}
+
+/* BUG 1 (Figure-8 class): error return leaks the unconditional +1. */
+int rtl_resume(struct rtl_priv *priv) {
+    int ret;
+    ret = pm_runtime_get_sync(&priv->dev);
+    if (ret < 0)
+        return ret;
+    ret = rtl_hw_init(&priv->dev);
+    pm_runtime_put_autosuspend(&priv->dev);
+    return ret;
+}
+
+/* BUG 2 (Figure-9 class): second error exit leaks the wrapper's +1. */
+int rtl_xmit(struct rtl_priv *priv, struct sk_buff *skb) {
+    int rc;
+    rc = rtl_open_hw(priv);
+    if (rc)
+        goto out;
+    rc = rtl_dma_map(&priv->dev, skb);
+    if (rc)
+        goto out;
+    rtl_pm_put(priv);
+out:
+    return rc;
+}
+
+/* Correct: helper-guarded, balanced on every path. */
+int rtl_poll(struct rtl_priv *priv) {
+    int st;
+    st = rtl_link_ok(&priv->dev);
+    if (st < 0)
+        return st;
+    pm_runtime_get(&priv->dev);
+    if (rtl_fw_load(&priv->dev) < 0)
+        dev_err(&priv->dev);
+    pm_runtime_put(&priv->dev);
+    return 0;
+}
+
+/* Real bug RID cannot see (Figure-10 class): distinct returns. */
+int rtl_irq(int irq, struct rtl_priv *priv) {
+    int ret;
+    ret = pm_runtime_get_sync(&priv->dev);
+    if (ret < 0) {
+        dev_err(&priv->dev);
+        return 0;
+    }
+    pm_runtime_put(&priv->dev);
+    return 1;
+}

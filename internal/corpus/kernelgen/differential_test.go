@@ -1,0 +1,78 @@
+package kernelgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/spec"
+)
+
+// ptrParams guesses which parameters hold object pointers from the
+// generator's naming conventions.
+func ptrParams(params []string) []bool {
+	out := make([]bool, len(params))
+	for i, p := range params {
+		switch {
+		case strings.Contains(p, "dev"), strings.Contains(p, "intf"),
+			strings.Contains(p, "aux"), p == "o", p == "set":
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// TestDifferentialGroundTruth validates the corpus labels dynamically: a
+// pattern marked as a *detectable* bug must admit a dynamic IPP witness
+// (two executions, same arguments and return value, different refcount
+// deltas), while correct patterns and the undetectable-by-design bug
+// classes must not. FP patterns are excluded: their indistinguishability
+// is an artifact of the abstraction (havocked bit operations), which the
+// interpreter shares, so they are not dynamically decidable.
+func TestDifferentialGroundTruth(t *testing.T) {
+	mix := Mix{
+		CorrectBalanced:   2,
+		CorrectErrHandled: 2,
+		CorrectWrapperUse: 2,
+		CorrectHeld:       2,
+		BugGetErrReturn:   2,
+		BugWrapperErrPath: 2,
+		BugWrapperMisuse:  2,
+		BugDoublePut:      2,
+		BugIRQStyle:       2,
+		BugAsymmetricErr:  2,
+		BugLoopErrPath:    2,
+		CorrectLoop:       2,
+		CorrectSwitch:     2,
+		BugDeepWrapper:    2,
+	}
+	c := Generate(Config{Seed: 33, Mix: mix})
+	realProg := buildProgram(t, c)
+	specs := spec.LinuxDPM()
+
+	for fn, info := range c.Truth {
+		f := realProg.Funcs[fn]
+		if f == nil {
+			t.Fatalf("labeled function %s not in program", fn)
+		}
+		w, werr := interp.FindWitness(realProg, specs, fn, ptrParams(f.Params), 800, 101)
+		if werr != nil {
+			t.Fatalf("%s: %v", fn, werr)
+		}
+		switch {
+		case info.Real && info.Detectable:
+			if w == nil {
+				t.Errorf("%s (%s): detectable bug has no dynamic witness", fn, info.Pattern)
+			}
+		case info.FPExpected:
+			// Not decidable dynamically under the shared abstraction.
+		default:
+			// Correct patterns and undetectable bug classes: the runtime
+			// must never produce same-return different-delta executions.
+			if w != nil {
+				t.Errorf("%s (%s): unexpected dynamic witness\n  A: %s\n  B: %s",
+					fn, info.Pattern, w.A.Key(), w.B.Key())
+			}
+		}
+	}
+}

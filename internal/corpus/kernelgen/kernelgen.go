@@ -1,0 +1,723 @@
+// Package kernelgen generates a deterministic, Linux-like driver corpus in
+// the mini-C language, with ground-truth labels. It stands in for the
+// Linux 3.17 tree of the paper's evaluation (§6): the DPM APIs are extern
+// declarations covered by predefined summaries; subsystems define wrapper
+// pairs (including a faithful usb_autopm_get_interface clone); drivers
+// instantiate the paper's bug patterns (Figures 8, 9, 10), correct
+// patterns, and the documented false-positive patterns (§6.4); helper
+// functions populate category 2 and a mass of utility functions populates
+// category 3 (Table 1).
+//
+// Every generated function is labeled: whether it contains a real bug,
+// whether that bug is within RID's reach (detectable), and whether a report
+// on it would be a false positive. The §6.3 call-site census is labeled the
+// same way.
+package kernelgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Pattern identifies a generation template.
+type Pattern string
+
+// Generation templates. "Bug*" patterns contain a real refcount bug;
+// "FP*" patterns are correct code that RID's abstraction cannot prove
+// consistent; "Correct*" patterns are clean.
+const (
+	CorrectBalanced   Pattern = "correct-balanced"     // get/put balanced, put on error
+	CorrectErrHandled Pattern = "correct-err-handled"  // §6.3 clean call site
+	CorrectWrapperUse Pattern = "correct-wrapper-use"  // conditional wrapper used right
+	CorrectHeld       Pattern = "correct-held"         // +1 on all paths (open/close pair)
+	BugGetErrReturn   Pattern = "bug-get-err-return"   // Figure 8; detectable
+	BugWrapperErrPath Pattern = "bug-wrapper-err-path" // Figure 9; detectable
+	BugWrapperMisuse  Pattern = "bug-wrapper-misuse"   // transparent wrapper misused; detectable
+	BugDoublePut      Pattern = "bug-double-put"       // over-decrement; detectable
+	BugIRQStyle       Pattern = "bug-irq-style"        // Figure 10; real bug, NOT detectable
+	BugAsymmetricErr  Pattern = "bug-asymmetric-err"   // consistent +1 incl. error path; NOT detectable
+	BugLoopErrPath    Pattern = "bug-loop-err-path"    // leak on a loop's error exit; detectable
+	CorrectLoop       Pattern = "correct-loop"         // balanced get/put per iteration
+	CorrectSwitch     Pattern = "correct-switch"       // mode switch, balanced per case
+	BugDeepWrapper    Pattern = "bug-deep-wrapper"     // leak behind a depth-2 wrapper chain; detectable
+	FPBitmask         Pattern = "fp-bitmask"           // §6.4 bit-operation false positive
+)
+
+// Mix sets how many driver operations of each pattern to generate.
+type Mix struct {
+	CorrectBalanced   int
+	CorrectErrHandled int
+	CorrectWrapperUse int
+	CorrectHeld       int
+	BugGetErrReturn   int
+	BugWrapperErrPath int
+	BugWrapperMisuse  int
+	BugDoublePut      int
+	BugIRQStyle       int
+	BugAsymmetricErr  int
+	BugLoopErrPath    int
+	CorrectLoop       int
+	CorrectSwitch     int
+	BugDeepWrapper    int
+	FPBitmask         int
+}
+
+// PaperMix returns the §6.2/§6.3-shaped mix: 96 error-handled direct
+// pm_runtime_get* call sites, 67 of them missing the decrement, 40 of
+// those within RID's reach — the exact ratios of the paper.
+func PaperMix() Mix {
+	return Mix{
+		CorrectBalanced:   60,
+		CorrectErrHandled: 24,
+		CorrectWrapperUse: 20,
+		CorrectHeld:       15,
+		BugGetErrReturn:   40,
+		BugWrapperErrPath: 12,
+		BugWrapperMisuse:  8,
+		BugDoublePut:      5,
+		BugIRQStyle:       12,
+		BugAsymmetricErr:  15,
+		BugLoopErrPath:    6,
+		CorrectLoop:       10,
+		CorrectSwitch:     10,
+		BugDeepWrapper:    6,
+		FPBitmask:         60,
+	}
+}
+
+// Config controls corpus generation.
+type Config struct {
+	Seed           int64
+	Mix            Mix
+	NumSubsystems  int // wrapper sets; default 4
+	SimpleHelpers  int // category-2, ≤3 branches
+	ComplexHelpers int // category-2, >3 branches (not analyzed)
+	OtherFuncs     int // category-3 mass
+	FuncsPerFile   int // default 12
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumSubsystems == 0 {
+		c.NumSubsystems = 4
+	}
+	if c.FuncsPerFile == 0 {
+		c.FuncsPerFile = 12
+	}
+	return c
+}
+
+// BugInfo labels one generated function.
+type BugInfo struct {
+	Pattern    Pattern
+	Real       bool // a real refcount bug exists in the function
+	Detectable bool // within RID's reach (IPP exists in the function)
+	FPExpected bool // correct code on which RID is expected to report
+}
+
+// SiteTruth labels one direct pm_runtime_get* call site for §6.3.
+type SiteTruth struct {
+	Fn         string
+	Handled    bool // result feeds an error check
+	MissingPut bool // error path lacks the balancing decrement (the bug)
+	Detectable bool // RID can flag the enclosing function
+}
+
+// Corpus is the generated source tree plus ground truth.
+type Corpus struct {
+	Files    map[string]string
+	Truth    map[string]BugInfo // per generated driver-op function
+	Sites    []SiteTruth
+	Wrappers []string // wrapper function names (excluded in §6.3 counting)
+	NumFuncs int
+}
+
+// Generate builds the corpus.
+func Generate(cfg Config) *Corpus {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &generator{
+		cfg: cfg,
+		rng: rng,
+		c: &Corpus{
+			Files: make(map[string]string),
+			Truth: make(map[string]BugInfo),
+		},
+	}
+	g.consumed = make(map[string]bool)
+	g.emitSubsystems()
+	g.emitHelpers()
+	g.emitDrivers()
+	g.emitLeftoverConsumersAndUtils()
+	g.flush()
+	return g.c
+}
+
+type generator struct {
+	cfg Config
+	rng *rand.Rand
+	c   *Corpus
+
+	cur      strings.Builder
+	curName  string
+	curFuncs int
+	fileSeq  int
+	nameSeq  int
+
+	subsystems []subsystem
+	helperPool []string // all helper names, consumed round-robin by fillers
+	helperIdx  int      // next helper to hand out
+	consumed   map[string]bool
+}
+
+type subsystem struct {
+	id          int
+	ifaceType   string // struct tag with an embedded dev
+	condGet     string // conditional wrapper (usb_autopm-style)
+	condPut     string
+	directGet   string // transparent wrapper (passes the +1 through)
+	openDev     string // depth-2 wrapper over condGet (conditional again)
+	headerDecls string
+}
+
+// verbs and nouns give generated functions kernel-flavored names.
+var verbs = []string{"open", "probe", "start", "resume", "xmit", "read", "write", "config", "attach", "enable", "flush", "poll", "reset", "sync", "update"}
+var nouns = []string{"ctrl", "ring", "queue", "chan", "port", "regs", "buf", "link", "phy", "dma", "irq", "clk", "fifo", "mbox", "node"}
+
+func (g *generator) name(prefix string) string {
+	g.nameSeq++
+	v := verbs[g.rng.Intn(len(verbs))]
+	n := nouns[g.rng.Intn(len(nouns))]
+	return fmt.Sprintf("%s_%s_%s_%d", prefix, n, v, g.nameSeq)
+}
+
+// emit appends source text to the current file, opening a new one when the
+// per-file function budget is exhausted.
+func (g *generator) emit(src string) {
+	if g.curName == "" {
+		g.openFile()
+	}
+	g.cur.WriteString(src)
+	g.cur.WriteString("\n")
+	g.curFuncs++
+	g.c.NumFuncs++
+	if g.curFuncs >= g.cfg.FuncsPerFile {
+		g.flush()
+	}
+}
+
+func (g *generator) openFile() {
+	g.fileSeq++
+	g.curName = fmt.Sprintf("drivers/gen/file%04d.c", g.fileSeq)
+	g.cur.WriteString(commonHeader)
+	for _, ss := range g.subsystems {
+		g.cur.WriteString(ss.headerDecls)
+	}
+}
+
+func (g *generator) flush() {
+	if g.curName == "" {
+		return
+	}
+	g.c.Files[g.curName] = g.cur.String()
+	g.cur.Reset()
+	g.curName = ""
+	g.curFuncs = 0
+}
+
+// commonHeader declares the DPM APIs and shared externs every file uses.
+const commonHeader = `
+struct device;
+struct dpm_opts { int mode; int flags; };
+
+extern int pm_runtime_get(struct device *dev);
+extern int pm_runtime_get_sync(struct device *dev);
+extern int pm_runtime_get_noresume(struct device *dev);
+extern int pm_runtime_put(struct device *dev);
+extern int pm_runtime_put_sync(struct device *dev);
+extern int pm_runtime_put_autosuspend(struct device *dev);
+extern int pm_runtime_put_noidle(struct device *dev);
+extern int dev_err(struct device *dev);
+extern int do_transfer(struct device *dev);
+extern int hw_ready(struct device *dev);
+`
+
+// emitSubsystems generates per-subsystem wrapper pairs; the conditional
+// wrapper is a faithful clone of usb_autopm_get_interface (Figure 9).
+func (g *generator) emitSubsystems() {
+	for i := 0; i < g.cfg.NumSubsystems; i++ {
+		ss := subsystem{
+			id:        i,
+			ifaceType: fmt.Sprintf("ss%d_iface", i),
+			condGet:   fmt.Sprintf("ss%d_autopm_get", i),
+			condPut:   fmt.Sprintf("ss%d_autopm_put", i),
+			directGet: fmt.Sprintf("ss%d_pm_get_direct", i),
+			openDev:   fmt.Sprintf("ss%d_open_device", i),
+		}
+		ss.headerDecls = fmt.Sprintf(`
+struct %s { struct device dev; int flags; };
+extern int %s(struct %s *intf);
+extern void %s(struct %s *intf);
+extern int %s(struct %s *intf);
+`, ss.ifaceType, ss.condGet, ss.ifaceType, ss.condPut, ss.ifaceType, ss.directGet, ss.ifaceType)
+		g.subsystems = append(g.subsystems, ss)
+
+		body := fmt.Sprintf(`
+int %s(struct %s *intf) {
+    int status;
+    status = pm_runtime_get_sync(&intf->dev);
+    if (status < 0)
+        pm_runtime_put_sync(&intf->dev);
+    if (status > 0)
+        status = 0;
+    return status;
+}
+
+void %s(struct %s *intf) {
+    pm_runtime_put_sync(&intf->dev);
+}
+
+int %s(struct %s *intf) {
+    return pm_runtime_get_sync(&intf->dev);
+}
+
+int %s(struct %s *intf) {
+    int err;
+    err = %s(intf);
+    if (err)
+        return err;
+    if (hw_ready(&intf->dev) < 0) {
+        %s(intf);
+        return -1;
+    }
+    return 0;
+}
+`, ss.condGet, ss.ifaceType, ss.condPut, ss.ifaceType, ss.directGet, ss.ifaceType,
+			ss.openDev, ss.ifaceType, ss.condGet, ss.condPut)
+		g.emit(body)
+		g.c.Wrappers = append(g.c.Wrappers, ss.condGet, ss.condPut, ss.directGet, ss.openDev)
+	}
+	g.flush()
+}
+
+func (g *generator) subsystem() subsystem {
+	return g.subsystems[g.rng.Intn(len(g.subsystems))]
+}
+
+// filler returns a few harmless statements to vary function bodies. Up to
+// maxHelpers of them route a status check through a generated helper,
+// which is what places the helpers into category 2 (their results feed
+// branch conditions that control refcount-changing code).
+func (g *generator) filler(dev string) string {
+	var b strings.Builder
+	for i := g.rng.Intn(3); i > 0; i-- {
+		switch g.rng.Intn(3) {
+		case 0:
+			fmt.Fprintf(&b, "    do_transfer(%s);\n", dev)
+		case 1:
+			fmt.Fprintf(&b, "    if (hw_ready(%s) < 0)\n        dev_err(%s);\n", dev, dev)
+		case 2:
+			fmt.Fprintf(&b, "    dev_err(%s);\n", dev)
+		}
+	}
+	const maxHelpers = 3
+	for i := 0; i < maxHelpers && g.helperIdx < len(g.helperPool); i++ {
+		h := g.helperPool[g.helperIdx]
+		g.helperIdx++
+		g.consumed[h] = true
+		fmt.Fprintf(&b, "    if (%s(%s) < 0)\n        dev_err(%s);\n", h, dev, dev)
+	}
+	return b.String()
+}
+
+func (g *generator) emitDrivers() {
+	type job struct {
+		p Pattern
+		n int
+	}
+	m := g.cfg.Mix
+	jobs := []job{
+		{CorrectBalanced, m.CorrectBalanced},
+		{CorrectErrHandled, m.CorrectErrHandled},
+		{CorrectWrapperUse, m.CorrectWrapperUse},
+		{CorrectHeld, m.CorrectHeld},
+		{BugGetErrReturn, m.BugGetErrReturn},
+		{BugWrapperErrPath, m.BugWrapperErrPath},
+		{BugWrapperMisuse, m.BugWrapperMisuse},
+		{BugDoublePut, m.BugDoublePut},
+		{BugIRQStyle, m.BugIRQStyle},
+		{BugAsymmetricErr, m.BugAsymmetricErr},
+		{BugLoopErrPath, m.BugLoopErrPath},
+		{CorrectLoop, m.CorrectLoop},
+		{CorrectSwitch, m.CorrectSwitch},
+		{BugDeepWrapper, m.BugDeepWrapper},
+		{FPBitmask, m.FPBitmask},
+	}
+	// Interleave patterns across files for realism.
+	var seq []Pattern
+	for _, j := range jobs {
+		for i := 0; i < j.n; i++ {
+			seq = append(seq, j.p)
+		}
+	}
+	g.rng.Shuffle(len(seq), func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
+	for _, p := range seq {
+		g.emitDriverOp(p)
+	}
+	g.flush()
+}
+
+func (g *generator) emitDriverOp(p Pattern) {
+	name := g.name(fmt.Sprintf("drv%02d", g.rng.Intn(90)))
+	info := BugInfo{Pattern: p}
+	var src string
+	switch p {
+	case CorrectBalanced:
+		// The get's return value is ignored — a very common correct kernel
+		// style. Not a §6.3 census site (no error handling to inspect).
+		src = fmt.Sprintf(`
+int %s(struct device *dev) {
+    pm_runtime_get_sync(dev);
+%s    pm_runtime_put(dev);
+    return do_transfer(dev);
+}
+`, name, g.filler("dev"))
+	case CorrectErrHandled:
+		src = fmt.Sprintf(`
+int %s(struct device *dev) {
+    int err;
+    err = pm_runtime_get_sync(dev);
+    if (err < 0) {
+        pm_runtime_put_noidle(dev);
+        dev_err(dev);
+        return err;
+    }
+%s    pm_runtime_put_autosuspend(dev);
+    return 0;
+}
+`, name, g.filler("dev"))
+		g.site(name, true, false, false)
+	case CorrectWrapperUse:
+		ss := g.subsystem()
+		src = fmt.Sprintf(`
+int %s(struct %s *intf) {
+    int ret;
+    ret = %s(intf);
+    if (ret)
+        return ret;
+%s    %s(intf);
+    return 0;
+}
+`, name, ss.ifaceType, ss.condGet, g.filler("&intf->dev"), ss.condPut)
+	case CorrectHeld:
+		// Open/close style: the +1 is held intentionally on every exit.
+		// Consistent, so RID stays silent — as it should.
+		src = fmt.Sprintf(`
+int %s(struct device *dev) {
+    pm_runtime_get_noresume(dev);
+%s    return 0;
+}
+`, name, g.filler("dev"))
+	case BugGetErrReturn:
+		info.Real, info.Detectable = true, true
+		src = fmt.Sprintf(`
+int %s(struct device *dev) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    if (ret < 0)
+        return ret;
+%s    ret = do_transfer(dev);
+    pm_runtime_put_autosuspend(dev);
+    return ret;
+}
+`, name, g.filler("dev"))
+		g.site(name, true, true, true)
+	case BugWrapperErrPath:
+		info.Real, info.Detectable = true, true
+		ss := g.subsystem()
+		src = fmt.Sprintf(`
+int %s(struct %s *intf, struct device *aux) {
+    int result;
+    result = %s(intf);
+    if (result)
+        goto error;
+    result = do_transfer(aux);
+    if (result)
+        goto error;
+    %s(intf);
+error:
+    return result;
+}
+`, name, ss.ifaceType, ss.condGet, ss.condPut)
+	case BugWrapperMisuse:
+		// The transparent wrapper passes pm_runtime_get_sync's "+1 even on
+		// error" through; treating it like the conditional wrapper leaks.
+		info.Real, info.Detectable = true, true
+		ss := g.subsystem()
+		src = fmt.Sprintf(`
+int %s(struct %s *intf) {
+    int ret;
+    ret = %s(intf);
+    if (ret < 0)
+        return ret;
+%s    ret = do_transfer(&intf->dev);
+    %s(intf);
+    return ret;
+}
+`, name, ss.ifaceType, ss.directGet, g.filler("&intf->dev"), ss.condPut)
+	case BugDoublePut:
+		info.Real, info.Detectable = true, true
+		src = fmt.Sprintf(`
+int %s(struct device *dev) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    if (ret < 0) {
+        pm_runtime_put_noidle(dev);
+        return ret;
+    }
+%s    ret = do_transfer(dev);
+    pm_runtime_put(dev);
+    pm_runtime_put(dev);
+    return ret;
+}
+`, name, g.filler("dev"))
+		g.site(name, true, false, true)
+	case BugIRQStyle:
+		// Real bug, outside RID's reach (Figure 10): the paths are
+		// distinguished by their constant return values.
+		info.Real, info.Detectable = true, false
+		src = fmt.Sprintf(`
+int %s(int irq, struct device *dev) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    if (ret < 0) {
+        dev_err(dev);
+        return 0;
+    }
+%s    pm_runtime_put(dev);
+    return 1;
+}
+`, name, g.filler("dev"))
+		g.site(name, true, true, false)
+	case BugAsymmetricErr:
+		// get-side of an open/close pair that forgets to drop the count
+		// when open fails: every path carries +1 (consistent), so RID
+		// cannot see it — but the §6.3 census can.
+		info.Real, info.Detectable = true, false
+		src = fmt.Sprintf(`
+int %s(struct device *dev) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    if (ret < 0)
+        return -1;
+%s    return 0;
+}
+`, name, g.filler("dev"))
+		g.site(name, true, true, false)
+	case BugLoopErrPath:
+		// The per-iteration error exit leaks the iteration's +1; the clean
+		// exhausted-loop exit returns the same value. Only triggered by
+		// executing the loop body, so the ≤1 unrolling is what finds it.
+		info.Real, info.Detectable = true, true
+		src = fmt.Sprintf(`
+int %s(struct device *dev, int n) {
+    int i = 0;
+    while (i < n) {
+        pm_runtime_get(dev);
+        if (do_transfer(dev) < 0)
+            return -1;
+        pm_runtime_put(dev);
+        i = hw_ready(dev);
+    }
+    return -1;
+}
+`, name)
+	case CorrectLoop:
+		src = fmt.Sprintf(`
+int %s(struct device *dev, int n) {
+    int i = 0;
+    while (i < n) {
+        pm_runtime_get(dev);
+        if (do_transfer(dev) < 0) {
+            pm_runtime_put(dev);
+            return -1;
+        }
+        pm_runtime_put(dev);
+        i = hw_ready(dev);
+    }
+    return -1;
+}
+`, name)
+	case CorrectSwitch:
+		src = fmt.Sprintf(`
+int %s(struct device *dev, int mode) {
+    int ret = 0;
+    switch (mode) {
+    case 1:
+        pm_runtime_get(dev);
+        do_transfer(dev);
+        pm_runtime_put(dev);
+        break;
+    case 2:
+        ret = do_transfer(dev);
+        break;
+    default:
+        ret = -1;
+    }
+    return ret;
+}
+`, name)
+	case BugDeepWrapper:
+		// The leak hides behind a two-level wrapper chain: detecting it
+		// requires precise summaries propagated through both levels
+		// (pm_runtime_get_sync → autopm_get → open_device → here).
+		info.Real, info.Detectable = true, true
+		ss := g.subsystem()
+		src = fmt.Sprintf(`
+int %s(struct %s *intf) {
+    int ret;
+    ret = %s(intf);
+    if (ret)
+        return ret;
+    if (do_transfer(&intf->dev) < 0)
+        return -1;
+    %s(intf);
+    return 0;
+}
+`, name, ss.ifaceType, ss.openDev, ss.condPut)
+	case FPBitmask:
+		info.FPExpected = true
+		mask := 1 << g.rng.Intn(5)
+		src = fmt.Sprintf(`
+void %s(struct device *dev, struct dpm_opts *o) {
+    if (o->flags & %d) {
+        pm_runtime_get(dev);
+%s    }
+    do_transfer(dev);
+    if (o->flags & %d) {
+        pm_runtime_put(dev);
+    }
+}
+`, name, mask, g.filler("dev"), mask)
+	}
+	g.c.Truth[name] = info
+	g.emit(src)
+}
+
+// site records a §6.3 direct pm_runtime_get* call-site label.
+func (g *generator) site(fn string, handled, missingPut, detectable bool) {
+	g.c.Sites = append(g.c.Sites, SiteTruth{
+		Fn: fn, Handled: handled, MissingPut: missingPut, Detectable: detectable,
+	})
+}
+
+// emitHelpers generates the category-2 population: simple helpers pass
+// the §5.2 complexity gate (1 branch), complex helpers exceed it (5
+// branches). Their bodies come first; drivers consume them round-robin
+// via filler(), which is what places them into category 2 (their results
+// feed branch conditions controlling refcount-changing code).
+func (g *generator) emitHelpers() {
+	for i := 0; i < g.cfg.SimpleHelpers; i++ {
+		name := fmt.Sprintf("helper_status_%03d", i)
+		g.helperPool = append(g.helperPool, name)
+		g.emit(fmt.Sprintf(`
+int %s(struct device *dev) {
+    int v;
+    v = hw_ready(dev);
+    if (v > 0)
+        return 0;
+    return -1;
+}
+`, name))
+	}
+	for i := 0; i < g.cfg.ComplexHelpers; i++ {
+		name := fmt.Sprintf("helper_complex_%03d", i)
+		g.helperPool = append(g.helperPool, name)
+		g.emit(fmt.Sprintf(`
+int %s(struct device *dev) {
+    int v;
+    int a;
+    int b;
+    v = hw_ready(dev);
+    a = random();
+    b = random();
+    if (v < 0)
+        return -1;
+    if (a > 0) {
+        if (b > 0)
+            return 1;
+        if (b < 0)
+            return 2;
+    }
+    if (v > 8)
+        return 3;
+    return 0;
+}
+`, name))
+	}
+	// Interleave helper kinds so drivers consume a mix of both.
+	g.rng.Shuffle(len(g.helperPool), func(i, j int) {
+		g.helperPool[i], g.helperPool[j] = g.helperPool[j], g.helperPool[i]
+	})
+	g.flush()
+}
+
+// emitLeftoverConsumersAndUtils gives every helper the driver fillers did
+// not reach a dedicated consumer (so all helpers land in category 2), then
+// generates the category-3 utility mass.
+func (g *generator) emitLeftoverConsumersAndUtils() {
+	for g.helperIdx < len(g.helperPool) {
+		name := g.name("drvh")
+		g.c.Truth[name] = BugInfo{Pattern: CorrectBalanced}
+		var checks strings.Builder
+		for i := 0; i < 6 && g.helperIdx < len(g.helperPool); i++ {
+			h := g.helperPool[g.helperIdx]
+			g.helperIdx++
+			g.consumed[h] = true
+			fmt.Fprintf(&checks, "    if (%s(dev) < 0)\n        return -1;\n", h)
+		}
+		g.emit(fmt.Sprintf(`
+int %s(struct device *dev) {
+%s    pm_runtime_get(dev);
+    pm_runtime_put(dev);
+    return 0;
+}
+`, name, checks.String()))
+	}
+	// Category-3 mass: utility chains that never touch refcounts.
+	for i := 0; i < g.cfg.OtherFuncs; i++ {
+		name := fmt.Sprintf("util_calc_%05d", i)
+		callee := "hw_ready"
+		if i > 0 && g.rng.Intn(2) == 0 {
+			callee = fmt.Sprintf("util_calc_%05d", g.rng.Intn(i))
+		}
+		var body string
+		if strings.HasPrefix(callee, "util_") {
+			body = fmt.Sprintf(`
+int %s(int a, int b) {
+    int v;
+    v = random();
+    if (v > a)
+        return b;
+    return %s(v, b);
+}
+`, name, callee)
+		} else {
+			body = fmt.Sprintf(`
+int %s(int a, int b) {
+    int v;
+    v = random();
+    if (v > a)
+        return b;
+    return v;
+}
+`, name)
+		}
+		g.emit(body)
+	}
+	g.flush()
+}
+
+// helperComplexConds is documented for tests: complex helpers have 5
+// conditional branches, exceeding the §5.2 gate of 3.
+const helperComplexConds = 5

@@ -1,0 +1,45 @@
+package pycgen
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/spec"
+)
+
+// TestDifferentialPythonC validates the Table 2 class labels dynamically:
+// the classes RID is credited with (common and RID-only) must produce
+// runtime IPP witnesses — two executions with the same arguments and
+// return value but different refcount deltas — while the Cpychecker-only
+// class (consistent leaks) and correct code must not.
+func TestDifferentialPythonC(t *testing.T) {
+	m := Generate(Config{Name: "dyn", Seed: 77, Mix: Mix{Common: 4, RIDOnly: 4, CpyOnly: 4, Correct: 6}})
+	prog := buildProgram(t, m)
+	specs := spec.PythonC()
+
+	for fn, cls := range m.Truth {
+		f := prog.Funcs[fn]
+		if f == nil {
+			t.Fatalf("%s missing", fn)
+		}
+		// All generated Python/C functions take object pointers.
+		ptr := make([]bool, len(f.Params))
+		for i := range ptr {
+			ptr[i] = true
+		}
+		w, err := interp.FindWitness(prog, specs, fn, ptr, 800, 909)
+		if err != nil {
+			t.Fatalf("%s: %v", fn, err)
+		}
+		switch cls {
+		case ClassCommon, ClassRIDOnly:
+			if w == nil {
+				t.Errorf("%s (%s): no dynamic witness for an IPP-class bug", fn, cls)
+			}
+		case ClassCpyOnly, ClassCorrect:
+			if w != nil {
+				t.Errorf("%s (%s): unexpected witness\n  A: %s\n  B: %s", fn, cls, w.A.Key(), w.B.Key())
+			}
+		}
+	}
+}

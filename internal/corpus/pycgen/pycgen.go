@@ -1,0 +1,270 @@
+// Package pycgen generates Python/C-style native modules in the mini-C
+// language, standing in for the krbV, ldap and pyaudio extensions of the
+// paper's Table 2. Each module is seeded and labeled with ground truth.
+//
+// Bug classes mirror the causes behind Table 2's three columns:
+//
+//   - ClassCommon: an error-path leak both RID and the escape-rule
+//     baseline can see (single assignment, co-satisfiable return values).
+//   - ClassRIDOnly: a leak hidden behind variable reassignment — the
+//     non-SSA escape-rule checker gets confused, RID's path-pair check
+//     does not (the paper attributes RID's advantage to SSA handling).
+//   - ClassCpyOnly: a consistent leak — every path carries the same
+//     imbalance, so no inconsistent pair exists and RID is silent, while
+//     the escape rule flags it.
+//   - ClassCorrect: clean code, flagged by neither.
+package pycgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Class labels a generated function.
+type Class string
+
+// Bug classes.
+const (
+	ClassCommon  Class = "common"
+	ClassRIDOnly Class = "rid-only"
+	ClassCpyOnly Class = "cpy-only"
+	ClassCorrect Class = "correct"
+)
+
+// Mix sets how many functions of each class to generate.
+type Mix struct {
+	Common  int
+	RIDOnly int
+	CpyOnly int
+	Correct int
+}
+
+// Config describes one module.
+type Config struct {
+	Name string
+	Seed int64
+	Mix  Mix
+}
+
+// PaperConfigs returns the three modules with Table 2's exact class
+// counts: common / RID-specific / Cpychecker-specific.
+func PaperConfigs() []Config {
+	return []Config{
+		{Name: "krbV", Seed: 1, Mix: Mix{Common: 48, RIDOnly: 86, CpyOnly: 14, Correct: 40}},
+		{Name: "ldap", Seed: 2, Mix: Mix{Common: 7, RIDOnly: 13, CpyOnly: 1, Correct: 20}},
+		{Name: "pyaudio", Seed: 3, Mix: Mix{Common: 31, RIDOnly: 15, CpyOnly: 1, Correct: 25}},
+	}
+}
+
+// Module is a generated module with ground truth.
+type Module struct {
+	Name  string
+	Files map[string]string
+	Truth map[string]Class // per generated function
+}
+
+const header = `
+extern int do_build(PyObject *o, PyObject *a);
+extern int do_register(PyObject *o);
+extern int do_seed(PyObject *o);
+extern int do_emit(PyObject *o, int n);
+`
+
+var allocAPIs = []struct {
+	call string // %s receives the argument expression
+	arg  string
+}{
+	{"PyList_New(%s)", "2"},
+	{"PyTuple_New(%s)", "3"},
+	{"PyDict_New(%s)", ""},
+	{"PyInt_FromLong(%s)", "7"},
+	{"PyLong_FromLong(%s)", "42"},
+	{"Py_BuildValue(%s)", "fmt"},
+}
+
+// Generate builds one module.
+func Generate(cfg Config) *Module {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Module{
+		Name:  cfg.Name,
+		Files: make(map[string]string),
+		Truth: make(map[string]Class),
+	}
+	var seq []Class
+	add := func(c Class, n int) {
+		for i := 0; i < n; i++ {
+			seq = append(seq, c)
+		}
+	}
+	add(ClassCommon, cfg.Mix.Common)
+	add(ClassRIDOnly, cfg.Mix.RIDOnly)
+	add(ClassCpyOnly, cfg.Mix.CpyOnly)
+	add(ClassCorrect, cfg.Mix.Correct)
+	rng.Shuffle(len(seq), func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
+
+	var b strings.Builder
+	b.WriteString(header)
+	fileIdx := 1
+	funcsInFile := 0
+	nameSeq := 0
+	flushFile := func() {
+		if funcsInFile == 0 {
+			return
+		}
+		m.Files[fmt.Sprintf("%s/mod%02d.c", cfg.Name, fileIdx)] = b.String()
+		b.Reset()
+		b.WriteString(header)
+		fileIdx++
+		funcsInFile = 0
+	}
+	for _, cls := range seq {
+		nameSeq++
+		name := fmt.Sprintf("%s_%s_%d", cfg.Name, classSlug(cls), nameSeq)
+		m.Truth[name] = cls
+		b.WriteString(genFunc(rng, name, cls))
+		funcsInFile++
+		if funcsInFile >= 10 {
+			flushFile()
+		}
+	}
+	flushFile()
+	return m
+}
+
+func classSlug(c Class) string {
+	switch c {
+	case ClassCommon:
+		return "cb"
+	case ClassRIDOnly:
+		return "rb"
+	case ClassCpyOnly:
+		return "pb"
+	}
+	return "ok"
+}
+
+func alloc(rng *rand.Rand, dst string) string {
+	a := allocAPIs[rng.Intn(len(allocAPIs))]
+	return fmt.Sprintf("    %s = "+a.call+";\n", dst, a.arg)
+}
+
+func genFunc(rng *rand.Rand, name string, cls Class) string {
+	switch cls {
+	case ClassCommon:
+		// Error-path leak: both error exits return NULL, only the second
+		// holds the reference.
+		return fmt.Sprintf(`
+PyObject *%s(PyObject *fmt, PyObject *a) {
+    PyObject *obj;
+%s    if (obj == NULL)
+        return NULL;
+    if (do_build(obj, a) < 0)
+        return NULL;
+    return obj;
+}
+`, name, alloc(rng, "obj"))
+	case ClassRIDOnly:
+		// Reassignment leak: the first object is dropped on the floor when
+		// obj is re-bound; a non-SSA tracker loses both objects.
+		return fmt.Sprintf(`
+PyObject *%s(PyObject *fmt, PyObject *a) {
+    PyObject *obj;
+%s    if (obj == NULL)
+        return NULL;
+%s    if (obj == NULL)
+        return NULL;
+    return obj;
+}
+`, name, alloc(rng, "obj"), alloc(rng, "obj"))
+	case ClassCpyOnly:
+		if rng.Intn(2) == 0 {
+			// Consistent +1 on an argument, never balanced.
+			return fmt.Sprintf(`
+int %s(PyObject *a) {
+    Py_INCREF(a);
+    do_register(a);
+    return 0;
+}
+`, name)
+		}
+		// Leaked temporary with distinct return codes per path: no
+		// co-satisfiable pair for RID, a clear escape-rule violation.
+		return fmt.Sprintf(`
+int %s(PyObject *fmt) {
+    PyObject *tmp;
+%s    if (tmp == NULL)
+        return -1;
+    do_seed(tmp);
+    return 0;
+}
+`, name, alloc(rng, "tmp"))
+	default: // ClassCorrect
+		switch rng.Intn(5) {
+		case 0:
+			return fmt.Sprintf(`
+PyObject *%s(PyObject *fmt, PyObject *a) {
+    PyObject *obj;
+%s    if (obj == NULL)
+        return NULL;
+    if (do_build(obj, a) < 0) {
+        Py_DECREF(obj);
+        return NULL;
+    }
+    return obj;
+}
+`, name, alloc(rng, "obj"))
+		case 1:
+			return fmt.Sprintf(`
+int %s(PyObject *a) {
+    Py_INCREF(a);
+    do_register(a);
+    Py_DECREF(a);
+    return 0;
+}
+`, name)
+		case 2:
+			return fmt.Sprintf(`
+int %s(PyObject *fmt) {
+    PyObject *tmp;
+%s    if (tmp == NULL)
+        return -1;
+    do_seed(tmp);
+    Py_DECREF(tmp);
+    return 0;
+}
+`, name, alloc(rng, "tmp"))
+		case 3:
+			// Borrowed getter: no ownership, nothing to balance.
+			return fmt.Sprintf(`
+int %s(PyObject *lst) {
+    PyObject *item;
+    item = PyList_GetItem(lst, 0);
+    if (item == NULL)
+        return -1;
+    do_register(item);
+    return 0;
+}
+`, name)
+		default:
+			// Build-and-store: the element's reference is stolen by the
+			// list, balancing the allocation.
+			return fmt.Sprintf(`
+PyObject *%s(void) {
+    PyObject *lst;
+    PyObject *v;
+    lst = PyList_New(1);
+    if (lst == NULL)
+        return NULL;
+    v = PyInt_FromLong(7);
+    if (v == NULL) {
+        Py_DECREF(lst);
+        return NULL;
+    }
+    PyList_SetItem(lst, 0, v);
+    return lst;
+}
+`, name)
+		}
+	}
+}

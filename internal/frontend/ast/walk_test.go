@@ -1,0 +1,112 @@
+package ast_test
+
+import (
+	"testing"
+
+	"repro/internal/frontend/ast"
+	"repro/internal/frontend/parser"
+)
+
+const walkSrc = `
+int f(struct device *dev, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        if (check(dev) < 0)
+            continue;
+        switch (i) {
+        case 1:
+            work(dev, i);
+            break;
+        default:
+            idle(dev);
+        }
+    }
+    while (n > 0)
+        n = shrink(n);
+    do {
+        poll(dev);
+    } while (busy(dev));
+    assert(dev != NULL);
+    return finish(dev);
+}
+`
+
+func TestInspectVisitsEverything(t *testing.T) {
+	f, err := parser.ParseFile("w.c", walkSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls, idents, stmts int
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.CallExpr:
+			calls++
+		case *ast.Ident:
+			idents++
+		case ast.Stmt:
+			stmts++
+		}
+		return true
+	})
+	if calls != 7 {
+		t.Errorf("calls visited: %d, want 7", calls)
+	}
+	if idents == 0 || stmts == 0 {
+		t.Errorf("idents=%d stmts=%d", idents, stmts)
+	}
+}
+
+func TestInspectPruning(t *testing.T) {
+	f, err := parser.ParseFile("w.c", walkSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skip every for-statement subtree: the calls inside it disappear.
+	var calls int
+	ast.Inspect(f, func(n ast.Node) bool {
+		if _, isFor := n.(*ast.ForStmt); isFor {
+			return false
+		}
+		if _, isCall := n.(*ast.CallExpr); isCall {
+			calls++
+		}
+		return true
+	})
+	if calls != 4 { // shrink, poll, busy, finish — check/work/idle pruned
+		t.Errorf("calls outside for: %d, want 4", calls)
+	}
+}
+
+func TestCalledFunctions(t *testing.T) {
+	f, err := parser.ParseFile("w.c", walkSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ast.CalledFunctions(f)
+	want := []string{"check", "work", "idle", "shrink", "poll", "busy", "finish"}
+	if len(got) != len(want) {
+		t.Fatalf("called: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("order: %v", got)
+			break
+		}
+	}
+}
+
+func TestInspectNilSafe(t *testing.T) {
+	ast.Inspect(nil, func(ast.Node) bool { return true })
+	var empty *ast.ReturnStmt
+	_ = empty
+	// A return with no value and an if with no else.
+	f, err := parser.ParseFile("w.c", `void f(int a) { if (a > 0) return; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	ast.Inspect(f, func(ast.Node) bool { count++; return true })
+	if count == 0 {
+		t.Error("nothing visited")
+	}
+}

@@ -1,0 +1,170 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/frontend/token"
+)
+
+func kinds(ts []token.Token) []token.Kind {
+	out := make([]token.Kind, len(ts))
+	for i, t := range ts {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestScanOperators(t *testing.T) {
+	tests := []struct {
+		src  string
+		want []token.Kind
+	}{
+		{"= == != < <= > >=", []token.Kind{token.ASSIGN, token.EQ, token.NE, token.LT, token.LE, token.GT, token.GE, token.EOF}},
+		{"&& || & |", []token.Kind{token.LAND, token.LOR, token.AMP, token.PIPE, token.EOF}},
+		{"-> - -- -=", []token.Kind{token.ARROW, token.MINUS, token.MINUSMINUS, token.MINUSASSIGN, token.EOF}},
+		{"+ ++ +=", []token.Kind{token.PLUS, token.PLUSPLUS, token.PLUSASSIGN, token.EOF}},
+		{"<< >> ^ ~ %", []token.Kind{token.SHL, token.SHR, token.CARET, token.TILDE, token.PERCENT, token.EOF}},
+		{"( ) { } [ ] ; : , .", []token.Kind{token.LPAREN, token.RPAREN, token.LBRACE, token.RBRACE, token.LBRACK, token.RBRACK, token.SEMI, token.COLON, token.COMMA, token.DOT, token.EOF}},
+	}
+	for _, tt := range tests {
+		got := kinds(New("t.c", tt.src).All())
+		if len(got) != len(tt.want) {
+			t.Fatalf("%q: got %v, want %v", tt.src, got, tt.want)
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("%q token %d: got %s, want %s", tt.src, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestScanKeywordsAndIdents(t *testing.T) {
+	l := New("t.c", "int foo struct device NULL return goto assert random")
+	ts := l.All()
+	want := []token.Kind{token.KwInt, token.IDENT, token.KwStruct, token.IDENT,
+		token.KwNull, token.KwReturn, token.KwGoto, token.KwAssert, token.KwRandom, token.EOF}
+	got := kinds(ts)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+	if ts[1].Lit != "foo" || ts[3].Lit != "device" {
+		t.Errorf("ident literals wrong: %q %q", ts[1].Lit, ts[3].Lit)
+	}
+}
+
+func TestScanNumbers(t *testing.T) {
+	tests := []struct {
+		src, lit string
+	}{
+		{"12345", "12345"},
+		{"0x54", "0x54"},
+		{"0xDEADbeef", "0xDEADbeef"},
+		{"42UL", "42UL"},
+		{"0", "0"},
+	}
+	for _, tt := range tests {
+		ts := New("t.c", tt.src).All()
+		if ts[0].Kind != token.INT || ts[0].Lit != tt.lit {
+			t.Errorf("%q: got %v", tt.src, ts[0])
+		}
+	}
+}
+
+func TestScanCharLiteral(t *testing.T) {
+	ts := New("t.c", "'a' '\\n' '\\0'").All()
+	if ts[0].Kind != token.INT || ts[0].Lit != "97" {
+		t.Errorf("'a': got %v", ts[0])
+	}
+	if ts[1].Lit != "10" {
+		t.Errorf("'\\n': got %v", ts[1])
+	}
+	if ts[2].Lit != "0" {
+		t.Errorf("'\\0': got %v", ts[2])
+	}
+}
+
+func TestScanString(t *testing.T) {
+	ts := New("t.c", `asm("mov eax, ebx")`).All()
+	if ts[0].Kind != token.KwAsm {
+		t.Fatalf("asm keyword: got %v", ts[0])
+	}
+	if ts[2].Kind != token.STRING || ts[2].Lit != "mov eax, ebx" {
+		t.Errorf("string: got %v", ts[2])
+	}
+}
+
+func TestCommentsAndPreprocessor(t *testing.T) {
+	src := `// line comment
+#include <linux/pm_runtime.h>
+/* block
+   comment */ int x;
+`
+	ts := New("t.c", src).All()
+	want := []token.Kind{token.KwInt, token.IDENT, token.SEMI, token.EOF}
+	got := kinds(ts)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	src := "int\nfoo;"
+	ts := New("f.c", src).All()
+	if ts[0].Pos.Line != 1 || ts[0].Pos.Column != 1 {
+		t.Errorf("int pos: %v", ts[0].Pos)
+	}
+	if ts[1].Pos.Line != 2 || ts[1].Pos.Column != 1 {
+		t.Errorf("foo pos: %v", ts[1].Pos)
+	}
+	if ts[1].Pos.File != "f.c" {
+		t.Errorf("file: %q", ts[1].Pos.File)
+	}
+}
+
+func TestUnterminatedComment(t *testing.T) {
+	l := New("t.c", "/* never closed")
+	l.All()
+	if len(l.Errors()) == 0 {
+		t.Error("expected error for unterminated comment")
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	l := New("t.c", `"abc`)
+	l.All()
+	if len(l.Errors()) == 0 {
+		t.Error("expected error for unterminated string")
+	}
+}
+
+func TestIllegalRune(t *testing.T) {
+	l := New("t.c", "int @ x;")
+	ts := l.All()
+	found := false
+	for _, tk := range ts {
+		if tk.Kind == token.ILLEGAL {
+			found = true
+		}
+	}
+	if !found || len(l.Errors()) == 0 {
+		t.Error("expected ILLEGAL token and error for @")
+	}
+}
+
+func TestEOFForever(t *testing.T) {
+	l := New("t.c", "x")
+	l.Next()
+	for i := 0; i < 3; i++ {
+		if got := l.Next(); got.Kind != token.EOF {
+			t.Fatalf("call %d after end: got %v, want EOF", i, got)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package token defines the lexical tokens of the mini-C source language
+// accepted by the RID frontend, together with source positions.
+//
+// The language is a small C subset sufficient to express the programs the
+// RID paper analyzes: function definitions, extern declarations, struct
+// pointer types, integer locals, control flow (if/else, while, for,
+// goto/label), assertions, calls, field accesses and linear comparisons.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. The zero value is ILLEGAL so that an uninitialized token is
+// never mistaken for a valid one.
+const (
+	ILLEGAL Kind = iota
+	EOF
+	COMMENT
+
+	// Literals and identifiers.
+	IDENT  // foo, dev, pm_runtime_get_sync
+	INT    // 12345, 0x54
+	STRING // "..." (accepted and ignored in asm/attribute positions)
+
+	// Operators and delimiters.
+	ASSIGN  // =
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+	AMP     // &
+	PIPE    // |
+	CARET   // ^
+	SHL     // <<
+	SHR     // >>
+	NOT     // !
+	TILDE   // ~
+
+	EQ // ==
+	NE // !=
+	LT // <
+	LE // <=
+	GT // >
+	GE // >=
+
+	LAND // &&
+	LOR  // ||
+
+	ARROW  // ->
+	DOT    // .
+	COMMA  // ,
+	SEMI   // ;
+	COLON  // :
+	LPAREN // (
+	RPAREN // )
+	LBRACE // {
+	RBRACE // }
+	LBRACK // [
+	RBRACK // ]
+
+	PLUSPLUS    // ++
+	MINUSMINUS  // --
+	PLUSASSIGN  // +=
+	MINUSASSIGN // -=
+
+	// Keywords.
+	KwInt
+	KwLong
+	KwChar
+	KwVoid
+	KwBool
+	KwStruct
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwDo
+	KwGoto
+	KwReturn
+	KwBreak
+	KwContinue
+	KwExtern
+	KwStatic
+	KwConst
+	KwUnsigned
+	KwNull
+	KwTrue
+	KwFalse
+	KwAssert
+	KwRandom
+	KwAsm
+	KwSizeof
+	KwSwitch
+	KwCase
+	KwDefault
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF", COMMENT: "COMMENT",
+	IDENT: "IDENT", INT: "INT", STRING: "STRING",
+	ASSIGN: "=", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	AMP: "&", PIPE: "|", CARET: "^", SHL: "<<", SHR: ">>", NOT: "!", TILDE: "~",
+	EQ: "==", NE: "!=", LT: "<", LE: "<=", GT: ">", GE: ">=",
+	LAND: "&&", LOR: "||",
+	ARROW: "->", DOT: ".", COMMA: ",", SEMI: ";", COLON: ":",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}", LBRACK: "[", RBRACK: "]",
+	PLUSPLUS: "++", MINUSMINUS: "--", PLUSASSIGN: "+=", MINUSASSIGN: "-=",
+	KwInt: "int", KwLong: "long", KwChar: "char", KwVoid: "void", KwBool: "bool",
+	KwStruct: "struct", KwIf: "if", KwElse: "else", KwWhile: "while",
+	KwFor: "for", KwDo: "do", KwGoto: "goto", KwReturn: "return",
+	KwBreak: "break", KwContinue: "continue", KwExtern: "extern",
+	KwStatic: "static", KwConst: "const", KwUnsigned: "unsigned",
+	KwNull: "NULL", KwTrue: "true", KwFalse: "false",
+	KwAssert: "assert", KwRandom: "random", KwAsm: "asm", KwSizeof: "sizeof",
+	KwSwitch: "switch", KwCase: "case", KwDefault: "default",
+}
+
+// String returns a human-readable name for the kind: the literal spelling
+// for operators and keywords, the class name for variable-content tokens.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their kinds. NULL is uppercase as in C.
+var Keywords = map[string]Kind{
+	"int": KwInt, "long": KwLong, "char": KwChar, "void": KwVoid,
+	"bool": KwBool, "struct": KwStruct, "if": KwIf, "else": KwElse,
+	"while": KwWhile, "for": KwFor, "do": KwDo, "goto": KwGoto,
+	"return": KwReturn, "break": KwBreak, "continue": KwContinue,
+	"extern": KwExtern, "static": KwStatic, "const": KwConst,
+	"unsigned": KwUnsigned, "NULL": KwNull, "true": KwTrue, "false": KwFalse,
+	"assert": KwAssert, "random": KwRandom, "asm": KwAsm,
+	"__asm__": KwAsm, "sizeof": KwSizeof,
+	"switch": KwSwitch, "case": KwCase, "default": KwDefault,
+}
+
+// Pos is a position in a source file. Line and Column are 1-based; a zero
+// Pos means "no position".
+type Pos struct {
+	File   string
+	Line   int
+	Column int
+}
+
+// IsValid reports whether the position carries real location information.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders the position as file:line:column, omitting empty parts.
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Column)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Column)
+}
+
+// Token is a single lexical token with its source position and, for
+// variable-content kinds (IDENT, INT, STRING, COMMENT), its literal text.
+type Token struct {
+	Kind Kind
+	Lit  string
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, STRING, COMMENT, ILLEGAL:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// IsComparison reports whether the kind is one of the six relational
+// operators that the Figure-3 abstraction preserves as predicates.
+func (k Kind) IsComparison() bool {
+	switch k {
+	case EQ, NE, LT, LE, GT, GE:
+		return true
+	}
+	return false
+}
+
+// IsTypeKeyword reports whether the kind can begin a type specifier.
+func (k Kind) IsTypeKeyword() bool {
+	switch k {
+	case KwInt, KwLong, KwChar, KwVoid, KwBool, KwStruct, KwConst, KwUnsigned, KwStatic, KwExtern:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,288 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/lower"
+	"repro/internal/spec"
+)
+
+func load(t *testing.T, src string) *Interp {
+	t.Helper()
+	prog, err := lower.SourceString("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(prog, spec.LinuxDPM(), 1, Config{})
+}
+
+func TestConcreteArithmeticFlow(t *testing.T) {
+	ip := load(t, `
+int f(int a) {
+    if (a > 0)
+        return 1;
+    return 0;
+}`)
+	out, err := ip.Call("f", []int64{5})
+	if err != nil || !out.HasRet || out.Ret != 1 {
+		t.Fatalf("f(5) = %+v, %v", out, err)
+	}
+	out, _ = ip.Call("f", []int64{-2})
+	if out.Ret != 0 {
+		t.Fatalf("f(-2) = %+v", out)
+	}
+}
+
+func TestRefcountAPIAppliesDelta(t *testing.T) {
+	ip := load(t, `
+void f(struct device *dev) {
+    pm_runtime_get_sync(dev);
+}`)
+	dev := ip.NewObject()
+	out, err := ip.Call("f", []int64{dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Deltas) != 1 {
+		t.Fatalf("deltas: %v", out.Deltas)
+	}
+	for k, v := range out.Deltas {
+		if v != 1 {
+			t.Errorf("delta %s = %d", k, v)
+		}
+	}
+}
+
+func TestBalancedGetPutNetsZero(t *testing.T) {
+	ip := load(t, `
+void f(struct device *dev) {
+    pm_runtime_get_sync(dev);
+    pm_runtime_put(dev);
+}`)
+	dev := ip.NewObject()
+	out, err := ip.Call("f", []int64{dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Deltas) != 0 {
+		t.Errorf("balanced function leaked: %v", out.Deltas)
+	}
+}
+
+func TestLoopBounded(t *testing.T) {
+	ip := load(t, `
+int f(int n) {
+    while (1 > 0)
+        n = g(n);
+    return n;
+}`)
+	out, err := ip.Call("f", []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Trapped {
+		t.Error("infinite loop must trap on MaxSteps")
+	}
+}
+
+func TestAssumeTraps(t *testing.T) {
+	ip := load(t, `
+int f(struct device *dev) {
+    assert(dev != NULL);
+    return 1;
+}`)
+	out, err := ip.Call("f", []int64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Trapped {
+		t.Error("failed assertion must trap")
+	}
+}
+
+func TestFieldChainStable(t *testing.T) {
+	ip := load(t, `
+void f(struct usb_interface *intf) {
+    pm_runtime_get_sync(&intf->dev);
+    pm_runtime_put_sync(&intf->dev);
+}`)
+	intf := ip.NewObject()
+	out, err := ip.Call("f", []int64{intf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Deltas) != 0 {
+		t.Errorf("&intf->dev must resolve to one object: %v", out.Deltas)
+	}
+}
+
+// Figure 8's bug produces a dynamic IPP witness; the fixed version does
+// not. This is the differential oracle used against the corpus.
+func TestDifferentialFigure8(t *testing.T) {
+	src := `
+int buggy(struct device *dev) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    if (ret < 0)
+        return ret;
+    ret = do_transfer(dev);
+    pm_runtime_put_autosuspend(dev);
+    return ret;
+}
+
+int fixed(struct device *dev) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    if (ret < 0) {
+        pm_runtime_put_noidle(dev);
+        return ret;
+    }
+    ret = do_transfer(dev);
+    pm_runtime_put_autosuspend(dev);
+    return ret;
+}
+`
+	prog, err := lower.SourceString("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := FindWitness(prog, spec.LinuxDPM(), "buggy", []bool{true}, 400, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == nil {
+		t.Fatal("no dynamic witness for Figure 8's bug")
+	}
+	if w.A.RetKey() != w.B.RetKey() {
+		t.Errorf("witness returns differ: %s vs %s", w.A.RetKey(), w.B.RetKey())
+	}
+	w2, err := FindWitness(prog, spec.LinuxDPM(), "fixed", []bool{true}, 400, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2 != nil {
+		t.Errorf("fixed version produced a witness: %s vs %s", w2.A.Key(), w2.B.Key())
+	}
+}
+
+// The Figure 10 pattern never yields a witness: the leaking path's return
+// value (0) never coincides with the clean path's (1) — the dynamic
+// counterpart of RID's documented false negative.
+func TestDifferentialFigure10NoWitness(t *testing.T) {
+	src := `
+int irq_handler(struct device *dev) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    if (ret < 0) {
+        dev_err(dev);
+        return 0;
+    }
+    pm_runtime_put(dev);
+    return 1;
+}
+`
+	prog, err := lower.SourceString("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := FindWitness(prog, spec.LinuxDPM(), "irq_handler", []bool{true}, 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != nil {
+		t.Errorf("Figure 10 must have no dynamic witness, got %s vs %s", w.A.Key(), w.B.Key())
+	}
+}
+
+func TestPythonCAllocationEntries(t *testing.T) {
+	src := `
+PyObject *make(int n) {
+    PyObject *o;
+    o = PyList_New(n);
+    if (o == NULL)
+        return NULL;
+    return o;
+}
+`
+	prog, err := lower.SourceString("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawNull, sawObj := false, false
+	for seed := int64(0); seed < 40; seed++ {
+		ip := New(prog, spec.PythonC(), seed, Config{})
+		out, err := ip.Call("make", []int64{2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Ret == 0 {
+			sawNull = true
+			if len(out.Deltas) != 0 {
+				t.Errorf("failed allocation changed a refcount: %v", out.Deltas)
+			}
+		} else {
+			sawObj = true
+			if len(out.Deltas) != 1 {
+				t.Errorf("successful allocation deltas: %v", out.Deltas)
+			}
+		}
+	}
+	if !sawNull || !sawObj {
+		t.Errorf("both allocation outcomes must occur (null=%t obj=%t)", sawNull, sawObj)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	src := `int f(int a) { int v = random(); if (v > a) return 1; return 0; }`
+	prog, err := lower.SourceString("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(prog, spec.LinuxDPM(), 42, Config{})
+	b := New(prog, spec.LinuxDPM(), 42, Config{})
+	oa, _ := a.Call("f", []int64{0})
+	ob, _ := b.Call("f", []int64{0})
+	if oa.Key() != ob.Key() {
+		t.Errorf("same seed, different outcomes: %s vs %s", oa.Key(), ob.Key())
+	}
+}
+
+func TestRefcountsSnapshotAndReset(t *testing.T) {
+	ip := load(t, `void f(struct device *dev) { pm_runtime_get_sync(dev); }`)
+	dev := ip.NewObject()
+	if _, err := ip.Call("f", []int64{dev}); err != nil {
+		t.Fatal(err)
+	}
+	counts := ip.Refcounts()
+	if len(counts) != 1 {
+		t.Fatalf("counts: %v", counts)
+	}
+	ip.ResetCounts()
+	if len(ip.Refcounts()) != 0 {
+		t.Error("reset did not clear the store")
+	}
+}
+
+func TestOutcomeKeys(t *testing.T) {
+	o := Outcome{Ret: 3, HasRet: true, Deltas: map[string]int64{"1002.pm": 1}}
+	if o.RetKey() != "3" {
+		t.Errorf("RetKey: %q", o.RetKey())
+	}
+	if o.Key() == "" || o.Key() == (Outcome{}).Key() {
+		t.Errorf("Key: %q", o.Key())
+	}
+	void := Outcome{}
+	if void.RetKey() != "void" {
+		t.Errorf("void RetKey: %q", void.RetKey())
+	}
+}
+
+func TestFindWitnessUnknownFunction(t *testing.T) {
+	prog, err := lower.SourceString("t.c", `int f(int a) { return a; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FindWitness(prog, spec.LinuxDPM(), "missing", nil, 10, 1); err == nil {
+		t.Error("unknown function must error")
+	}
+}

@@ -1,0 +1,167 @@
+// Package ipp implements Step III of the RID analysis (§3.3.4, §4.5):
+// pairwise consistency checking of path summary entries, reporting of
+// inconsistent path pairs, and construction of the final function summary
+// from the consistent entries.
+package ipp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/frontend/token"
+	"repro/internal/solver"
+	"repro/internal/summary"
+	"repro/internal/sym"
+	"repro/internal/symexec"
+)
+
+// Report is one detected inconsistent path pair: two entries of the same
+// function whose constraints are co-satisfiable (same arguments and same
+// return value are possible) but whose changes to Refcount differ.
+type Report struct {
+	Fn       string
+	SrcFile  string
+	Pos      token.Pos
+	Refcount *sym.Expr
+	EntryA   *summary.Entry
+	EntryB   *summary.Entry
+	PathA    int
+	PathB    int
+	DeltaA   int
+	DeltaB   int
+	// Witness, when non-nil, is a concrete assignment to arguments and the
+	// return value under which both paths are feasible — direct evidence
+	// of the runtime indistinguishability the IPP definition requires.
+	Witness map[string]int64
+}
+
+// Key identifies the report for deduplication: one report per function and
+// refcount, as in the paper ("each refcount with different changes in the
+// IPP is reported as a bug").
+func (r *Report) Key() string { return r.Fn + "\x00" + r.Refcount.Key() }
+
+// String renders a human-readable one-line diagnostic.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s: function %s: inconsistent path pair on refcount %s (path %d: %+d, path %d: %+d)",
+		r.Pos, r.Fn, r.Refcount, r.PathA, r.DeltaA, r.PathB, r.DeltaB)
+}
+
+// Detail renders the full two-entry evidence, in the layout of Figure 2,
+// including a concrete witness assignment when one was found.
+func (r *Report) Detail() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "function %s (%s)\n", r.Fn, r.Pos)
+	fmt.Fprintf(&b, "  refcount: %s\n", r.Refcount)
+	fmt.Fprintf(&b, "  path %d entry: %s\n", r.PathA, r.EntryA)
+	fmt.Fprintf(&b, "  path %d entry: %s\n", r.PathB, r.EntryB)
+	if len(r.Witness) > 0 {
+		keys := make([]string, 0, len(r.Witness))
+		for k := range r.Witness {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("  witness: ")
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s = %d", k, r.Witness[k])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Check runs the consistency check over the per-path entries of one
+// function and builds its final summary.
+//
+// Entries are admitted in order; a candidate inconsistent with an already
+// admitted entry produces one report per differing refcount and is dropped
+// (the paper drops one side "randomly"; dropping the later one keeps runs
+// deterministic). The returned summary is the set of admitted entries,
+// plus a default entry when the executor hit a budget (§5.2).
+func Check(res symexec.Result, slv *solver.Solver) ([]*Report, *summary.Summary) {
+	fn := res.Fn
+	sum := summary.New(fn.Name)
+	sum.Params = fn.Params
+
+	var reports []*Report
+	seen := make(map[string]bool) // report dedup per (fn, refcount)
+	var kept []symexec.PathEntry
+
+	for _, cand := range res.Entries {
+		inconsistent := false
+		for _, k := range kept {
+			if k.SameChanges(cand.Entry) {
+				continue
+			}
+			// Different changes: IPP iff constraints are co-satisfiable.
+			if !slv.Sat(k.Cons.AndSet(cand.Cons)) {
+				continue
+			}
+			inconsistent = true
+			witness, _ := slv.Model(k.Cons.AndSet(cand.Cons))
+			for _, rc := range k.DifferingRefcounts(cand.Entry) {
+				rep := &Report{
+					Fn:       fn.Name,
+					SrcFile:  fn.SrcFile,
+					Pos:      fn.Pos,
+					Refcount: rc,
+					EntryA:   k.Entry,
+					EntryB:   cand.Entry,
+					PathA:    k.PathIndex,
+					PathB:    cand.PathIndex,
+					DeltaA:   k.Changes[rc.Key()].Delta,
+					DeltaB:   cand.Changes[rc.Key()].Delta,
+					Witness:  witness,
+				}
+				if !seen[rep.Key()] {
+					seen[rep.Key()] = true
+					reports = append(reports, rep)
+				}
+			}
+			break
+		}
+		if !inconsistent {
+			kept = append(kept, cand)
+		}
+	}
+
+	for _, k := range kept {
+		sum.Entries = append(sum.Entries, exportable(k.Entry))
+	}
+	if res.Truncated || len(sum.Entries) == 0 {
+		// Partially analyzed (or fully infeasible): add the default entry
+		// so callers can still be analyzed (§5.2).
+		sum.HasDefault = true
+		sum.Entries = append(sum.Entries, summary.NewEntry(sym.True(), sym.Ret()))
+	}
+	return reports, sum
+}
+
+// exportable strips refcount changes keyed by local or fresh symbols from
+// an entry before it enters the function summary. Such refcounts (objects
+// created inside the function that never escaped) are compared across the
+// function's own path pairs above, but a caller can neither observe nor
+// balance them, so exporting them would only manufacture spurious IPPs at
+// every call site.
+func exportable(e *summary.Entry) *summary.Entry {
+	hasLocal := false
+	for _, c := range e.Changes {
+		if c.RC.HasLocal() {
+			hasLocal = true
+			break
+		}
+	}
+	if !hasLocal {
+		return e
+	}
+	n := e.Clone()
+	for k, c := range n.Changes {
+		if c.RC.HasLocal() {
+			delete(n.Changes, k)
+		}
+	}
+	return n
+}

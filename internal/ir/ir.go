@@ -1,0 +1,419 @@
+// Package ir defines the abstract program representation of the RID paper
+// (Figure 3). Programs are lowered from the mini-C AST into this form and
+// all analysis operates on it.
+//
+// The instruction set is deliberately small:
+//
+//	x = v
+//	x = y.field
+//	x = random
+//	fn(v1, ..., vn)
+//	x = fn(v1, ..., vn)
+//	return v
+//	x = v1 p v2
+//	branch x, l1, l2
+//	branch l
+//
+// plus one extension, "assume x", used to model assert() by constraining
+// the analyzed path (the paper ignores the assertion-failure path the same
+// way). Values are variables, numeral constants, booleans, or null.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/frontend/token"
+)
+
+// Pred is one of the six relational predicates preserved by the
+// abstraction.
+type Pred int
+
+// Predicates.
+const (
+	EQ Pred = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+var predNames = [...]string{"==", "!=", "<", "<=", ">", ">="}
+
+// String renders the predicate in C syntax.
+func (p Pred) String() string {
+	if int(p) < len(predNames) {
+		return predNames[p]
+	}
+	return fmt.Sprintf("Pred(%d)", int(p))
+}
+
+// Negate returns the complementary predicate (¬(a<b) is a>=b, etc.).
+func (p Pred) Negate() Pred {
+	switch p {
+	case EQ:
+		return NE
+	case NE:
+		return EQ
+	case LT:
+		return GE
+	case LE:
+		return GT
+	case GT:
+		return LE
+	case GE:
+		return LT
+	}
+	return p
+}
+
+// Flip returns the predicate with operands swapped (a<b iff b>a).
+func (p Pred) Flip() Pred {
+	switch p {
+	case LT:
+		return GT
+	case LE:
+		return GE
+	case GT:
+		return LT
+	case GE:
+		return LE
+	}
+	return p // EQ, NE are symmetric
+}
+
+// Eval applies the predicate to concrete integers.
+func (p Pred) Eval(a, b int64) bool {
+	switch p {
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case LT:
+		return a < b
+	case LE:
+		return a <= b
+	case GT:
+		return a > b
+	case GE:
+		return a >= b
+	}
+	return false
+}
+
+// PredFromToken converts a comparison token kind to a Pred.
+func PredFromToken(k token.Kind) (Pred, bool) {
+	switch k {
+	case token.EQ:
+		return EQ, true
+	case token.NE:
+		return NE, true
+	case token.LT:
+		return LT, true
+	case token.LE:
+		return LE, true
+	case token.GT:
+		return GT, true
+	case token.GE:
+		return GE, true
+	}
+	return EQ, false
+}
+
+// ---------------------------------------------------------------------------
+// Values
+
+// ValueKind discriminates Value.
+type ValueKind int
+
+// Value kinds.
+const (
+	ValVar ValueKind = iota
+	ValInt
+	ValBool
+	ValNull
+)
+
+// Value is an operand of an instruction: a variable name, a numeral, a
+// boolean, or null.
+type Value struct {
+	Kind ValueKind
+	Var  string // ValVar
+	Int  int64  // ValInt
+	Bool bool   // ValBool
+}
+
+// Var returns a variable value.
+func Var(name string) Value { return Value{Kind: ValVar, Var: name} }
+
+// Int returns a numeral value.
+func Int(v int64) Value { return Value{Kind: ValInt, Int: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return Value{Kind: ValBool, Bool: v} }
+
+// Null returns the null value.
+func Null() Value { return Value{Kind: ValNull} }
+
+// String renders the value.
+func (v Value) String() string {
+	switch v.Kind {
+	case ValVar:
+		return v.Var
+	case ValInt:
+		return fmt.Sprintf("%d", v.Int)
+	case ValBool:
+		return fmt.Sprintf("%t", v.Bool)
+	case ValNull:
+		return "null"
+	}
+	return "?"
+}
+
+// ---------------------------------------------------------------------------
+// Instructions
+
+// Op is the opcode of an instruction.
+type Op int
+
+// Opcodes, mirroring Figure 3 of the paper plus Assume.
+const (
+	OpAssign     Op = iota // Dst = Val
+	OpLoadField            // Dst = Obj.Field
+	OpRandom               // Dst = random
+	OpCall                 // [Dst =] Fn(Args...)
+	OpReturn               // return Val (Val may be absent: HasVal=false)
+	OpCompare              // Dst = A Pred B
+	OpBranchCond           // branch Cond, True, False
+	OpBranch               // branch Target
+	OpAssume               // assume Cond (assert lowering)
+)
+
+// Instr is a single abstract instruction. Fields are used according to Op;
+// unused fields are zero.
+type Instr struct {
+	Op     Op
+	Dst    string  // OpAssign, OpLoadField, OpRandom, OpCompare, OpCall ("" if call result unused)
+	Val    Value   // OpAssign, OpReturn
+	HasVal bool    // OpReturn: whether a value is returned
+	Obj    Value   // OpLoadField: base object
+	Field  string  // OpLoadField
+	Fn     string  // OpCall
+	Args   []Value // OpCall
+	Pred   Pred    // OpCompare
+	A, B   Value   // OpCompare
+	Cond   Value   // OpBranchCond, OpAssume
+	True   int     // OpBranchCond: target block index
+	False  int     // OpBranchCond
+	Target int     // OpBranch
+	Pos    token.Pos
+}
+
+// String renders the instruction in the paper's syntax.
+func (in *Instr) String() string {
+	switch in.Op {
+	case OpAssign:
+		return fmt.Sprintf("%s = %s", in.Dst, in.Val)
+	case OpLoadField:
+		return fmt.Sprintf("%s = %s.%s", in.Dst, in.Obj, in.Field)
+	case OpRandom:
+		return fmt.Sprintf("%s = random", in.Dst)
+	case OpCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = a.String()
+		}
+		call := fmt.Sprintf("%s(%s)", in.Fn, strings.Join(args, ", "))
+		if in.Dst != "" {
+			return fmt.Sprintf("%s = %s", in.Dst, call)
+		}
+		return call
+	case OpReturn:
+		if in.HasVal {
+			return fmt.Sprintf("return %s", in.Val)
+		}
+		return "return"
+	case OpCompare:
+		return fmt.Sprintf("%s = %s %s %s", in.Dst, in.A, in.Pred, in.B)
+	case OpBranchCond:
+		return fmt.Sprintf("branch %s, b%d, b%d", in.Cond, in.True, in.False)
+	case OpBranch:
+		return fmt.Sprintf("branch b%d", in.Target)
+	case OpAssume:
+		return fmt.Sprintf("assume %s", in.Cond)
+	}
+	return fmt.Sprintf("op(%d)", int(in.Op))
+}
+
+// IsTerminator reports whether the instruction ends a basic block.
+func (in *Instr) IsTerminator() bool {
+	switch in.Op {
+	case OpReturn, OpBranch, OpBranchCond:
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Functions and programs
+
+// Block is a basic block: straight-line instructions ending in a
+// terminator. Branch targets are block indices within the function.
+type Block struct {
+	Index  int
+	Instrs []*Instr
+}
+
+// Terminator returns the block's final instruction, or nil if the block is
+// not yet terminated (only legal during construction).
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if last.IsTerminator() {
+		return last
+	}
+	return nil
+}
+
+// Succs returns the indices of the successor blocks.
+func (b *Block) Succs() []int {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	switch t.Op {
+	case OpBranch:
+		return []int{t.Target}
+	case OpBranchCond:
+		if t.True == t.False {
+			return []int{t.True}
+		}
+		return []int{t.True, t.False}
+	}
+	return nil
+}
+
+// Func is a function in the abstract program. Block 0 is the entry.
+type Func struct {
+	Name     string
+	Params   []string
+	Blocks   []*Block
+	HasRet   bool // declared with a non-void result
+	Pos      token.Pos
+	SrcFile  string
+	NumConds int // number of conditional branches (category-2 gating, §5.2)
+}
+
+// Entry returns the entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// NewBlock appends an empty block and returns it.
+func (f *Func) NewBlock() *Block {
+	b := &Block{Index: len(f.Blocks)}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// String renders the function as readable IR text.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(%s):\n", f.Name, strings.Join(f.Params, ", "))
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d:\n", b.Index)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in)
+		}
+	}
+	return sb.String()
+}
+
+// Callees returns the set of function names called by f, in first-call
+// order without duplicates.
+func (f *Func) Callees() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpCall && !seen[in.Fn] {
+				seen[in.Fn] = true
+				out = append(out, in.Fn)
+			}
+		}
+	}
+	return out
+}
+
+// Program is a set of functions indexed by name, plus the list of extern
+// declarations for which no body exists.
+type Program struct {
+	Funcs   map[string]*Func
+	Order   []string // deterministic iteration order (definition order)
+	Externs map[string]bool
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{Funcs: make(map[string]*Func), Externs: make(map[string]bool)}
+}
+
+// Add inserts a function definition. A redefinition replaces the previous
+// body (last definition wins, matching the linker's weak-symbol handling
+// described in §5.3 of the paper).
+func (p *Program) Add(f *Func) {
+	if _, exists := p.Funcs[f.Name]; !exists {
+		p.Order = append(p.Order, f.Name)
+	}
+	p.Funcs[f.Name] = f
+	delete(p.Externs, f.Name)
+}
+
+// AddExtern records a function declared but not defined.
+func (p *Program) AddExtern(name string) {
+	if _, exists := p.Funcs[name]; !exists {
+		p.Externs[name] = true
+	}
+}
+
+// Merge folds other into p (multi-file analysis). Definitions win over
+// externs; duplicate definitions follow last-wins.
+func (p *Program) Merge(other *Program) {
+	for _, name := range other.Order {
+		p.Add(other.Funcs[name])
+	}
+	for name := range other.Externs {
+		p.AddExtern(name)
+	}
+}
+
+// Validate checks structural invariants: entry block exists, every block
+// is terminated, and branch targets are in range. It returns the first
+// violation found.
+func (p *Program) Validate() error {
+	for _, name := range p.Order {
+		f := p.Funcs[name]
+		if len(f.Blocks) == 0 {
+			return fmt.Errorf("function %s has no blocks", name)
+		}
+		for _, b := range f.Blocks {
+			t := b.Terminator()
+			if t == nil {
+				return fmt.Errorf("function %s: block b%d not terminated", name, b.Index)
+			}
+			for i, in := range b.Instrs {
+				if in.IsTerminator() && i != len(b.Instrs)-1 {
+					return fmt.Errorf("function %s: block b%d has terminator mid-block", name, b.Index)
+				}
+			}
+			for _, s := range b.Succs() {
+				if s < 0 || s >= len(f.Blocks) {
+					return fmt.Errorf("function %s: block b%d branches to out-of-range b%d", name, b.Index, s)
+				}
+			}
+		}
+	}
+	return nil
+}

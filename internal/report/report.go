@@ -1,0 +1,208 @@
+// Package report renders IPP reports in the output formats a production
+// static analyzer is expected to ship: human-readable text, line-oriented
+// JSON, and a minimal SARIF 2.1.0 log that code-review UIs (GitHub, VS
+// Code, ...) ingest directly.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/ipp"
+)
+
+// Format selects an output renderer.
+type Format string
+
+// Supported formats.
+const (
+	Text  Format = "text"
+	JSON  Format = "json"
+	SARIF Format = "sarif"
+)
+
+// ParseFormat validates a user-supplied format name.
+func ParseFormat(s string) (Format, error) {
+	switch Format(strings.ToLower(s)) {
+	case Text:
+		return Text, nil
+	case JSON:
+		return JSON, nil
+	case SARIF:
+		return SARIF, nil
+	}
+	return "", fmt.Errorf("unknown report format %q (want text, json or sarif)", s)
+}
+
+// Write renders the reports to w in the given format. Reports are emitted
+// in deterministic (function, refcount) order regardless of input order.
+func Write(w io.Writer, f Format, reports []*ipp.Report, verbose bool) error {
+	sorted := make([]*ipp.Report, len(reports))
+	copy(sorted, reports)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Fn != sorted[j].Fn {
+			return sorted[i].Fn < sorted[j].Fn
+		}
+		return sorted[i].Refcount.Key() < sorted[j].Refcount.Key()
+	})
+	switch f {
+	case Text:
+		return writeText(w, sorted, verbose)
+	case JSON:
+		return writeJSON(w, sorted)
+	case SARIF:
+		return writeSARIF(w, sorted)
+	}
+	return fmt.Errorf("unhandled format %q", f)
+}
+
+func writeText(w io.Writer, reports []*ipp.Report, verbose bool) error {
+	for _, r := range reports {
+		if _, err := fmt.Fprintln(w, r); err != nil {
+			return err
+		}
+		if verbose {
+			for _, line := range strings.Split(strings.TrimRight(r.Detail(), "\n"), "\n") {
+				if _, err := fmt.Fprintf(w, "    %s\n", line); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// jsonReport is the line-JSON wire format.
+type jsonReport struct {
+	Function string           `json:"function"`
+	File     string           `json:"file,omitempty"`
+	Line     int              `json:"line,omitempty"`
+	Refcount string           `json:"refcount"`
+	DeltaA   int              `json:"delta_a"`
+	DeltaB   int              `json:"delta_b"`
+	PathA    int              `json:"path_a"`
+	PathB    int              `json:"path_b"`
+	Witness  map[string]int64 `json:"witness,omitempty"`
+	Evidence string           `json:"evidence"`
+}
+
+func writeJSON(w io.Writer, reports []*ipp.Report) error {
+	enc := json.NewEncoder(w)
+	for _, r := range reports {
+		jr := jsonReport{
+			Function: r.Fn,
+			File:     r.Pos.File,
+			Line:     r.Pos.Line,
+			Refcount: r.Refcount.Key(),
+			DeltaA:   r.DeltaA,
+			DeltaB:   r.DeltaB,
+			PathA:    r.PathA,
+			PathB:    r.PathB,
+			Witness:  r.Witness,
+			Evidence: r.Detail(),
+		}
+		if err := enc.Encode(jr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Minimal SARIF 2.1.0 structures (stdlib-only; only the fields consumers
+// require).
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+const ruleID = "RID001"
+
+func writeSARIF(w io.Writer, reports []*ipp.Report) error {
+	run := sarifRun{
+		Tool: sarifTool{Driver: sarifDriver{
+			Name:           "rid",
+			InformationURI: "https://doi.org/10.1145/2872362.2872389",
+			Rules: []sarifRule{{
+				ID:               ruleID,
+				ShortDescription: sarifMessage{Text: "Inconsistent path pair: two caller-indistinguishable paths change a reference count differently"},
+			}},
+		}},
+		Results: []sarifResult{},
+	}
+	for _, r := range reports {
+		res := sarifResult{
+			RuleID: ruleID,
+			Level:  "warning",
+			Message: sarifMessage{Text: fmt.Sprintf(
+				"function %s: inconsistent path pair on refcount %s (%+d vs %+d)",
+				r.Fn, r.Refcount.Key(), r.DeltaA, r.DeltaB)},
+		}
+		if r.Pos.IsValid() && r.Pos.File != "" {
+			res.Locations = []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: r.Pos.File},
+				Region:           sarifRegion{StartLine: r.Pos.Line},
+			}}}
+		}
+		run.Results = append(run.Results, res)
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,145 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ipp"
+	"repro/internal/lower"
+	"repro/internal/spec"
+)
+
+func sampleReports(t *testing.T) []*ipp.Report {
+	t.Helper()
+	src := `
+int zz_op(struct device *dev) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    if (ret < 0)
+        return ret;
+    ret = do_transfer(dev);
+    pm_runtime_put(dev);
+    return ret;
+}
+int aa_op(struct device *dev) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    if (ret < 0)
+        return ret;
+    ret = do_transfer(dev);
+    pm_runtime_put(dev);
+    return ret;
+}
+`
+	prog, err := lower.SourceString("drv.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Analyze(prog, spec.LinuxDPM(), core.Options{})
+	if len(res.Reports) != 2 {
+		t.Fatalf("reports: %d", len(res.Reports))
+	}
+	// Deliberately misordered input.
+	return []*ipp.Report{res.Reports[1], res.Reports[0]}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, ok := range []string{"text", "JSON", "Sarif"} {
+		if _, err := ParseFormat(ok); err != nil {
+			t.Errorf("%q: %v", ok, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("xml must be rejected")
+	}
+}
+
+func TestTextDeterministicOrder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Text, sampleReports(t), false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "aa_op") || !strings.Contains(out, "zz_op") {
+		t.Fatalf("output: %s", out)
+	}
+	if strings.Index(out, "aa_op") > strings.Index(out, "zz_op") {
+		t.Error("reports not sorted by function")
+	}
+}
+
+func TestTextVerboseIncludesEvidence(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Text, sampleReports(t), true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "path 0 entry:") {
+		t.Errorf("verbose output missing evidence:\n%s", buf.String())
+	}
+}
+
+func TestJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, JSON, sampleReports(t), false); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines: %d", len(lines))
+	}
+	var jr jsonReport
+	if err := json.Unmarshal([]byte(lines[0]), &jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.Function != "aa_op" || jr.Refcount != "[dev].pm" || jr.File != "drv.c" {
+		t.Errorf("first report: %+v", jr)
+	}
+	if jr.DeltaA == jr.DeltaB {
+		t.Errorf("deltas: %+v", jr)
+	}
+	if len(jr.Witness) == 0 || jr.Evidence == "" {
+		t.Errorf("witness/evidence missing: %+v", jr)
+	}
+}
+
+func TestSARIFWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, SARIF, sampleReports(t), false); err != nil {
+		t.Fatal(err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF is not valid JSON: %v", err)
+	}
+	if log["version"] != "2.1.0" {
+		t.Errorf("version: %v", log["version"])
+	}
+	runs := log["runs"].([]any)
+	run := runs[0].(map[string]any)
+	results := run["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("results: %d", len(results))
+	}
+	first := results[0].(map[string]any)
+	if first["ruleId"] != "RID001" || first["level"] != "warning" {
+		t.Errorf("result: %v", first)
+	}
+	loc := first["locations"].([]any)[0].(map[string]any)
+	phys := loc["physicalLocation"].(map[string]any)
+	if phys["artifactLocation"].(map[string]any)["uri"] != "drv.c" {
+		t.Errorf("location: %v", phys)
+	}
+}
+
+func TestSARIFEmptyRunsHaveResultsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, SARIF, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"results": []`) {
+		t.Errorf("empty results array required by SARIF consumers:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,130 @@
+package slice
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/lower"
+)
+
+func fn(t *testing.T, src, name string) *ir.Func {
+	t.Helper()
+	prog, err := lower.SourceString("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Funcs[name]
+	if f == nil {
+		t.Fatalf("function %s not found", name)
+	}
+	return f
+}
+
+func refcountCalls(names ...string) func(string) bool {
+	set := map[string]bool{}
+	for _, n := range names {
+		set[n] = true
+	}
+	return func(c string) bool { return set[c] }
+}
+
+func TestHelperFeedingErrorCheckIsInSlice(t *testing.T) {
+	f := fn(t, `
+int driver(struct device *dev) {
+    int st;
+    st = helper(dev);
+    if (st < 0)
+        return st;
+    pm_get(dev);
+    pm_put(dev);
+    return 0;
+}`, "driver")
+	res := Compute(f, Criteria{ReturnValue: true, ArgsOfCallsTo: refcountCalls("pm_get", "pm_put")})
+	if !res.CalleesInSlice["helper"] {
+		t.Errorf("helper must be in the slice: %+v", res.CalleesInSlice)
+	}
+}
+
+func TestUnrelatedCallNotInSlice(t *testing.T) {
+	f := fn(t, `
+void driver(struct device *dev) {
+    log_stuff(dev);
+    pm_get(dev);
+    pm_put(dev);
+}`, "driver")
+	res := Compute(f, Criteria{ArgsOfCallsTo: refcountCalls("pm_get", "pm_put")})
+	if res.CalleesInSlice["log_stuff"] {
+		t.Error("log_stuff result is unused; it must not be in the slice")
+	}
+}
+
+func TestReturnValueCriterion(t *testing.T) {
+	f := fn(t, `
+int probe(struct device *dev) {
+    int v;
+    v = read_status(dev);
+    return v;
+}`, "probe")
+	res := Compute(f, Criteria{ReturnValue: true})
+	if !res.CalleesInSlice["read_status"] {
+		t.Error("value returned comes from read_status; it must be in the slice")
+	}
+	// Without the return criterion nothing seeds the slice.
+	res2 := Compute(f, Criteria{})
+	if len(res2.CalleesInSlice) != 0 {
+		t.Errorf("no criteria, but slice has %v", res2.CalleesInSlice)
+	}
+}
+
+func TestArgumentDataDependency(t *testing.T) {
+	f := fn(t, `
+void driver(struct device *parent) {
+    struct device *dev;
+    dev = child_of(parent);
+    pm_get(dev);
+}`, "driver")
+	res := Compute(f, Criteria{ArgsOfCallsTo: refcountCalls("pm_get")})
+	if !res.CalleesInSlice["child_of"] {
+		t.Error("child_of produces the refcount call's argument")
+	}
+	if !res.Relevant["dev"] {
+		t.Error("dev must be relevant")
+	}
+}
+
+func TestTransitiveDataDependency(t *testing.T) {
+	f := fn(t, `
+int driver(struct device *dev) {
+    int a;
+    int b;
+    a = stage1(dev);
+    b = stage2(a);
+    if (b < 0)
+        return b;
+    pm_get(dev);
+    return 0;
+}`, "driver")
+	res := Compute(f, Criteria{ReturnValue: true, ArgsOfCallsTo: refcountCalls("pm_get")})
+	if !res.CalleesInSlice["stage2"] || !res.CalleesInSlice["stage1"] {
+		t.Errorf("transitive closure missing: %v", res.CalleesInSlice)
+	}
+}
+
+func TestControlDependenceIncludesGuards(t *testing.T) {
+	// check()'s result guards whether the refcount call is reached: the
+	// guard must be in the slice even though its value never flows into
+	// pm_get's arguments.
+	f := fn(t, `
+void driver(struct device *dev) {
+    int ok;
+    ok = check(dev);
+    if (ok > 0) {
+        pm_get(dev);
+        pm_put(dev);
+    }
+}`, "driver")
+	res := Compute(f, Criteria{ArgsOfCallsTo: refcountCalls("pm_get", "pm_put")})
+	if !res.CalleesInSlice["check"] {
+		t.Error("branch guard feeding control of refcount code must be in the slice")
+	}
+}

@@ -1,0 +1,156 @@
+package solver
+
+import (
+	"sort"
+
+	"repro/internal/sym"
+)
+
+// Model searches for a concrete satisfying assignment of the conjunction,
+// mapping every variable (argument, return value, field chain) to an
+// integer. It is used to attach a runtime witness to IPP reports: "with
+// [dev] = 2 and [0] = 0, both paths are feasible".
+//
+// The search is bounded: variables range over [-bound, bound] where bound
+// grows with the constants in the system. Because Sat() is exact on this
+// fragment and any satisfiable unit-coefficient system has a solution
+// within the span of its constants plus the number of constraints, a
+// satisfiable set virtually always yields a model; ok=false means the
+// bounded search failed (callers fall back to printing no witness).
+func (s *Solver) Model(cs sym.Set) (map[string]int64, bool) {
+	if cs.HasFalse() {
+		return nil, false
+	}
+	if !s.Sat(cs) {
+		return nil, false
+	}
+	p := translate(cs)
+	// Collect variables and the constant span.
+	varSet := make(map[string]bool)
+	var maxC int64 = 1
+	consider := func(l linear) {
+		for v := range l.coef {
+			varSet[v] = true
+		}
+		if l.k > maxC {
+			maxC = l.k
+		}
+		if -l.k > maxC {
+			maxC = -l.k
+		}
+	}
+	for _, l := range p.ineqs {
+		consider(l)
+	}
+	for _, l := range p.diseq {
+		consider(l)
+	}
+	vars := make([]string, 0, len(varSet))
+	for v := range varSet {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	if len(vars) > 8 {
+		// Exponential search would be too slow; witnesses are a
+		// best-effort nicety.
+		return nil, false
+	}
+
+	bound := maxC + int64(len(p.ineqs)) + 1
+	assign := make(map[string]int64, len(vars))
+	if s.search(p, vars, 0, bound, assign) {
+		out := make(map[string]int64, len(assign))
+		for k, v := range assign {
+			out[k] = v
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// search assigns vars[i:] by DFS, trying small-magnitude values first so
+// witnesses read naturally (0, 1, -1, 2, ...).
+func (s *Solver) search(p problem, vars []string, i int, bound int64, assign map[string]int64) bool {
+	if i == len(vars) {
+		return evalProblem(p, assign)
+	}
+	v := vars[i]
+	try := func(x int64) bool {
+		assign[v] = x
+		if !partialOK(p, assign) {
+			delete(assign, v)
+			return false
+		}
+		if s.search(p, vars, i+1, bound, assign) {
+			return true
+		}
+		delete(assign, v)
+		return false
+	}
+	if try(0) {
+		return true
+	}
+	for x := int64(1); x <= bound; x++ {
+		if try(x) || try(-x) {
+			return true
+		}
+	}
+	return false
+}
+
+// partialOK rejects assignments that already violate a fully assigned
+// constraint (cheap forward check).
+func partialOK(p problem, assign map[string]int64) bool {
+	check := func(l linear, diseq bool) bool {
+		var sum int64
+		for v, c := range l.coef {
+			x, ok := assign[v]
+			if !ok {
+				return true // not fully assigned yet
+			}
+			sum += c * x
+		}
+		if diseq {
+			// A ≠ B translated to Σcoef·x ≠ k (constants folded into k).
+			return sum != l.k
+		}
+		return sum <= l.k
+	}
+	for _, l := range p.ineqs {
+		if !check(l, false) {
+			return false
+		}
+	}
+	for _, l := range p.diseq {
+		if !check(l, true) {
+			return false
+		}
+	}
+	return true
+}
+
+// evalProblem verifies a complete assignment.
+func evalProblem(p problem, assign map[string]int64) bool {
+	for _, l := range p.ineqs {
+		var sum int64
+		for v, c := range l.coef {
+			sum += c * assign[v]
+		}
+		if sum > l.k {
+			return false
+		}
+	}
+	for _, l := range p.diseq {
+		var sum int64
+		for v, c := range l.coef {
+			sum += c * assign[v]
+		}
+		// The disequality linear form is A−B with constants folded into k
+		// as −const: A−B ≠ 0 ⇔ sum ≠ k... the translation stores the
+		// constant displacement in k, so the violated case is sum == k.
+		if sum == l.k {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,426 @@
+// Package solver decides satisfiability of conjunctions of linear integer
+// arithmetic conditions over uninterpreted terms — the constraint language
+// RID uses for path constraints and summary entries (the paper uses Z3 with
+// the LIA theory; this is a from-scratch replacement covering the fragment
+// RID emits).
+//
+// Every non-constant term (argument, return value, local, fresh symbol,
+// field chain) becomes an integer variable named by its canonical key; null
+// is the constant 0. Conditions translate to inequalities Σcᵢxᵢ ≤ k:
+// equalities become two inequalities, strict comparisons tighten by one
+// (integers), and disequalities case-split. The core decision procedure is
+// Fourier–Motzkin elimination, which is exact over the integers when one of
+// the paired coefficients is ±1 — true for every constraint the analysis
+// generates. Non-unit pairs fall back to the real shadow, which
+// over-approximates satisfiability (may report SAT for an integer-UNSAT
+// system); for RID this errs toward a false positive, never a missed
+// inconsistency pair.
+package solver
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/sym"
+)
+
+// Limits bound the work a single query may do. Zero values select the
+// defaults.
+type Limits struct {
+	MaxConstraints int // give up (answer SAT) beyond this many inequalities
+	MaxSplits      int // max disequality case-splits per query
+}
+
+const (
+	defaultMaxConstraints = 4096
+	defaultMaxSplits      = 12
+)
+
+// Stats counts solver activity; useful in benchmarks and ablations.
+type Stats struct {
+	Queries   int
+	CacheHits int
+	Sat       int
+	Unsat     int
+	GaveUp    int // budget exceeded, answered SAT conservatively
+}
+
+// Solver answers satisfiability queries with memoization. It is not safe
+// for concurrent use; create one per worker.
+type Solver struct {
+	limits Limits
+	cache  map[string]bool
+	stats  Stats
+}
+
+// New returns a solver with default limits and caching enabled.
+func New() *Solver { return NewWithLimits(Limits{}) }
+
+// NewWithLimits returns a solver with explicit limits.
+func NewWithLimits(l Limits) *Solver {
+	if l.MaxConstraints == 0 {
+		l.MaxConstraints = defaultMaxConstraints
+	}
+	if l.MaxSplits == 0 {
+		l.MaxSplits = defaultMaxSplits
+	}
+	return &Solver{limits: l, cache: make(map[string]bool)}
+}
+
+// Stats returns a copy of the accumulated counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// DisableCache turns memoization off (ablation support).
+func (s *Solver) DisableCache() { s.cache = nil }
+
+// Sat reports whether the conjunction is satisfiable over the integers.
+func (s *Solver) Sat(cs sym.Set) bool {
+	s.stats.Queries++
+	if cs.HasFalse() {
+		s.stats.Unsat++
+		return false
+	}
+	if cs.Len() == 0 {
+		s.stats.Sat++
+		return true
+	}
+	key := cs.Key()
+	if s.cache != nil {
+		if v, ok := s.cache[key]; ok {
+			s.stats.CacheHits++
+			return v
+		}
+	}
+	res := s.solve(cs)
+	if s.cache != nil {
+		s.cache[key] = res
+	}
+	if res {
+		s.stats.Sat++
+	} else {
+		s.stats.Unsat++
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Translation
+
+// linear is Σ coef[v]·v ≤ k. Zero-coefficient entries are never stored.
+type linear struct {
+	coef map[string]int64
+	k    int64
+}
+
+func (l linear) clone() linear {
+	c := make(map[string]int64, len(l.coef))
+	for k, v := range l.coef {
+		c[k] = v
+	}
+	return linear{coef: c, k: l.k}
+}
+
+// problem is a conjunction of inequalities plus pending disequalities
+// (diff ≠ 0 encoded as the linear form of A−B).
+type problem struct {
+	ineqs []linear
+	diseq []linear // each means: the linear form ≠ 0 (k holds −constant)
+}
+
+// addTerm folds expression e into l with the given sign, registering
+// opaque boolean terms (nested conditions) in boolVars.
+func addTerm(l *linear, e *sym.Expr, sign int64, boolVars map[string]bool) {
+	if v, ok := e.IsConst(); ok {
+		l.k -= sign * v // move constants to the right-hand side
+		return
+	}
+	key := e.Key()
+	if e.Kind == sym.KCond {
+		boolVars[key] = true
+	}
+	l.coef[key] += sign
+	if l.coef[key] == 0 {
+		delete(l.coef, key)
+	}
+}
+
+// translate converts the condition set to a problem. Conditions that the
+// condition language cannot express linearly never reach here: the lowering
+// already abstracted them to fresh values.
+func translate(cs sym.Set) problem {
+	var p problem
+	boolVars := make(map[string]bool)
+	for _, c := range cs.Conds() {
+		if c.Kind != sym.KCond {
+			// A bare term used as a truth value was coerced by AsCond, so
+			// this only happens for constants; false was caught earlier.
+			continue
+		}
+		diff := linear{coef: make(map[string]int64)}
+		addTerm(&diff, c.A, 1, boolVars)
+		addTerm(&diff, c.B, -1, boolVars)
+		switch c.Pred {
+		case ir.LE:
+			p.ineqs = append(p.ineqs, diff)
+		case ir.LT:
+			d := diff
+			d.k--
+			p.ineqs = append(p.ineqs, d)
+		case ir.GE:
+			p.ineqs = append(p.ineqs, neg(diff))
+		case ir.GT:
+			d := neg(diff)
+			d.k--
+			p.ineqs = append(p.ineqs, d)
+		case ir.EQ:
+			p.ineqs = append(p.ineqs, diff, neg(diff))
+		case ir.NE:
+			p.diseq = append(p.diseq, diff)
+		}
+	}
+	// Opaque boolean terms range over {0,1}.
+	for v := range boolVars {
+		lo := linear{coef: map[string]int64{v: -1}, k: 0} // −v ≤ 0
+		hi := linear{coef: map[string]int64{v: 1}, k: 1}  // v ≤ 1
+		p.ineqs = append(p.ineqs, lo, hi)
+	}
+	return p
+}
+
+// neg returns the inequality for −l ≤ −k−? : specifically from t ≤ k it
+// builds −t ≤ −k, used to encode t ≥ k as a ≤ form.
+func neg(l linear) linear {
+	c := make(map[string]int64, len(l.coef))
+	for k, v := range l.coef {
+		c[k] = -v
+	}
+	return linear{coef: c, k: -l.k}
+}
+
+// ---------------------------------------------------------------------------
+// Decision procedure
+
+func (s *Solver) solve(cs sym.Set) bool {
+	p := translate(cs)
+	return s.solveSplit(p.ineqs, p.diseq, 0)
+}
+
+// solveSplit resolves disequalities by case analysis, then runs FM.
+func (s *Solver) solveSplit(ineqs []linear, diseq []linear, depth int) bool {
+	// Fast path: a disequality whose linear part is all-constant decides
+	// itself.
+	for len(diseq) > 0 {
+		d := diseq[0]
+		if len(d.coef) == 0 {
+			// 0 ≠ k form: the original condition was A−B ≠ 0 with constant
+			// difference −k... concretely "0 ≤ k is the constant"; d holds
+			// A−B with constants folded into k as −(A−B)const. A−B ≠ 0 with
+			// A−B constant = −d.k... the disequality is violated iff d.k == 0.
+			if d.k == 0 {
+				return false // constant difference of zero: A ≠ B is false
+			}
+			diseq = diseq[1:]
+			continue
+		}
+		break
+	}
+	if len(diseq) == 0 {
+		return s.fm(ineqs)
+	}
+	if depth >= s.limits.MaxSplits {
+		// Too many splits: drop remaining disequalities (weakening the
+		// system over-approximates satisfiability).
+		s.stats.GaveUp++
+		return s.fm(ineqs)
+	}
+	d := diseq[0]
+	rest := diseq[1:]
+	// Case 1: d ≤ −1 (strictly negative).
+	lo := d.clone()
+	lo.k--
+	if s.solveSplit(append(append([]linear{}, ineqs...), lo), rest, depth+1) {
+		return true
+	}
+	// Case 2: d ≥ 1 (strictly positive): −d ≤ −1.
+	hi := neg(d)
+	hi.k--
+	return s.solveSplit(append(append([]linear{}, ineqs...), hi), rest, depth+1)
+}
+
+// fm runs Fourier–Motzkin elimination and reports satisfiability.
+func (s *Solver) fm(ineqs []linear) bool {
+	work := normalize(ineqs)
+	for {
+		// Constant contradictions?
+		for _, l := range work {
+			if len(l.coef) == 0 && l.k < 0 {
+				return false
+			}
+		}
+		vars := collectVars(work)
+		if len(vars) == 0 {
+			return true
+		}
+		if len(work) > s.limits.MaxConstraints {
+			s.stats.GaveUp++
+			return true
+		}
+		v := pickVar(work, vars)
+		work = eliminate(work, v)
+		work = normalize(work)
+	}
+}
+
+// normalize drops tautologies, deduplicates identical left-hand sides
+// keeping the tightest bound, and detects nothing else.
+func normalize(ineqs []linear) []linear {
+	type entry struct {
+		idx int
+		k   int64
+	}
+	seen := make(map[string]entry)
+	var out []linear
+	for _, l := range ineqs {
+		if len(l.coef) == 0 {
+			if l.k >= 0 {
+				continue // 0 ≤ k: tautology
+			}
+			return []linear{l} // contradiction dominates
+		}
+		key := lhsKey(l)
+		if e, ok := seen[key]; ok {
+			if l.k < e.k {
+				out[e.idx] = l
+				seen[key] = entry{e.idx, l.k}
+			}
+			continue
+		}
+		seen[key] = entry{len(out), l.k}
+		out = append(out, l)
+	}
+	return out
+}
+
+func lhsKey(l linear) string {
+	keys := make([]string, 0, len(l.coef))
+	for k := range l.coef {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b := make([]byte, 0, 32)
+	for _, k := range keys {
+		b = append(b, k...)
+		b = append(b, ':')
+		b = appendInt(b, l.coef[k])
+		b = append(b, ';')
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, v int64) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(b, tmp[i:]...)
+}
+
+func collectVars(ineqs []linear) []string {
+	set := make(map[string]bool)
+	for _, l := range ineqs {
+		for v := range l.coef {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pickVar chooses the variable whose elimination produces the fewest new
+// constraints (classic min-product heuristic), breaking ties by name for
+// determinism.
+func pickVar(ineqs []linear, vars []string) string {
+	best := vars[0]
+	bestCost := 1 << 62
+	for _, v := range vars {
+		var lo, hi int
+		for _, l := range ineqs {
+			c := l.coef[v]
+			switch {
+			case c > 0:
+				hi++
+			case c < 0:
+				lo++
+			}
+		}
+		cost := lo * hi
+		if cost < bestCost {
+			bestCost = cost
+			best = v
+		}
+	}
+	return best
+}
+
+// eliminate removes variable v by pairwise combination of its lower and
+// upper bounds. With a unit coefficient on either side the combination is
+// exact over ℤ; otherwise the real shadow is used (over-approximate).
+func eliminate(ineqs []linear, v string) []linear {
+	var lowers, uppers, rest []linear
+	for _, l := range ineqs {
+		c := l.coef[v]
+		switch {
+		case c > 0:
+			uppers = append(uppers, l) // c·v ≤ k − t
+		case c < 0:
+			lowers = append(lowers, l) // v ≥ (t − k)/(−c)
+		default:
+			rest = append(rest, l)
+		}
+	}
+	for _, up := range uppers {
+		for _, lo := range lowers {
+			cu := up.coef[v]  // > 0
+			cl := -lo.coef[v] // > 0
+			// cl·up + cu·lo eliminates v:
+			// cl·(cu·v + tu) ≤ cl·ku  and  cu·(−cl·v + tl) ≤ cu·kl
+			comb := linear{coef: make(map[string]int64), k: cl*up.k + cu*lo.k}
+			for key, c := range up.coef {
+				if key == v {
+					continue
+				}
+				comb.coef[key] += cl * c
+			}
+			for key, c := range lo.coef {
+				if key == v {
+					continue
+				}
+				comb.coef[key] += cu * c
+				if comb.coef[key] == 0 {
+					delete(comb.coef, key)
+				}
+			}
+			for key, c := range comb.coef {
+				if c == 0 {
+					delete(comb.coef, key)
+				}
+			}
+			rest = append(rest, comb)
+		}
+	}
+	return rest
+}

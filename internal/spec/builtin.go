@@ -1,0 +1,132 @@
+package spec
+
+// Built-in specifications transcribed from Figure 7 of the paper plus the
+// surrounding DPM and Python/C APIs its evaluation relies on. The DPM
+// get-side APIs increment the per-device PM count unconditionally — the
+// deliberately unusual contract §6.3 highlights — while the Python/C
+// allocation APIs have the two-entry success/failure shape of §5.1.
+
+// LinuxDPMText is the DSL source for the Linux Dynamic Power Management
+// runtime-PM reference count APIs.
+const LinuxDPMText = `
+# Linux DPM runtime power management counters (Figure 7, top).
+# get-side APIs ALWAYS increment, even when they return an error code.
+summary pm_runtime_get(dev) {
+  entry { cons: true; changes: [dev].pm += 1; return: [0]; }
+}
+summary pm_runtime_get_sync(dev) {
+  entry { cons: true; changes: [dev].pm += 1; return: [0]; }
+}
+summary pm_runtime_get_noresume(dev) {
+  entry { cons: true; changes: [dev].pm += 1; return: [0]; }
+}
+summary pm_runtime_put(dev) {
+  entry { cons: true; changes: [dev].pm -= 1; return: [0]; }
+}
+summary pm_runtime_put_sync(dev) {
+  entry { cons: true; changes: [dev].pm -= 1; return: [0]; }
+}
+summary pm_runtime_put_autosuspend(dev) {
+  entry { cons: true; changes: [dev].pm -= 1; return: [0]; }
+}
+summary pm_runtime_put_noidle(dev) {
+  entry { cons: true; changes: [dev].pm -= 1; return: [0]; }
+}
+`
+
+// PythonCText is the DSL source for the Python/C object refcount APIs.
+const PythonCText = `
+# Basic interfaces (Figure 7, bottom).
+summary Py_INCREF(o) {
+  entry { cons: true; changes: [o].rc += 1; return: ; }
+}
+summary Py_DECREF(o) {
+  entry { cons: true; changes: [o].rc -= 1; return: ; }
+}
+summary Py_XINCREF(o) {
+  entry { cons: [o] != null; changes: [o].rc += 1; return: ; }
+  entry { cons: [o] == null; changes: ; return: ; }
+}
+summary Py_XDECREF(o) {
+  entry { cons: [o] != null; changes: [o].rc -= 1; return: ; }
+  entry { cons: [o] == null; changes: ; return: ; }
+}
+
+# APIs returning a new reference: allocation can fail, hence two entries.
+summary Py_BuildValue(fmt) {
+  attr newref;
+  entry { cons: [0] != null; changes: [0].rc += 1; return: [0]; }
+  entry { cons: [0] == null; changes: ; return: null; }
+}
+summary PyList_New(len) {
+  attr newref;
+  entry { cons: [0] != null; changes: [0].rc += 1; return: [0]; }
+  entry { cons: [0] == null; changes: ; return: null; }
+}
+summary PyDict_New() {
+  attr newref;
+  entry { cons: [0] != null; changes: [0].rc += 1; return: [0]; }
+  entry { cons: [0] == null; changes: ; return: null; }
+}
+summary PyTuple_New(len) {
+  attr newref;
+  entry { cons: [0] != null; changes: [0].rc += 1; return: [0]; }
+  entry { cons: [0] == null; changes: ; return: null; }
+}
+summary PyInt_FromLong(v) {
+  attr newref;
+  entry { cons: [0] != null; changes: [0].rc += 1; return: [0]; }
+  entry { cons: [0] == null; changes: ; return: null; }
+}
+summary PyLong_FromLong(v) {
+  attr newref;
+  entry { cons: [0] != null; changes: [0].rc += 1; return: [0]; }
+  entry { cons: [0] == null; changes: ; return: null; }
+}
+summary PyString_FromString(s) {
+  attr newref;
+  entry { cons: [0] != null; changes: [0].rc += 1; return: [0]; }
+  entry { cons: [0] == null; changes: ; return: null; }
+}
+
+# APIs returning a borrowed reference: no refcount change.
+summary PyList_GetItem(list, i) {
+  entry { cons: true; changes: ; return: [0]; }
+}
+summary PyDict_GetItem(d, key) {
+  entry { cons: true; changes: ; return: [0]; }
+}
+summary PyTuple_GetItem(t, i) {
+  entry { cons: true; changes: ; return: [0]; }
+}
+
+# APIs stealing a reference to an argument: no refcount change either, but
+# the reference escapes through them (attr used by the escape-rule baseline).
+summary PyList_SetItem(list, i, item) {
+  attr steals(item);
+  entry { cons: true; changes: ; return: [0]; }
+}
+summary PyTuple_SetItem(t, i, item) {
+  attr steals(item);
+  entry { cons: true; changes: ; return: [0]; }
+}
+
+# APIs creating new references to their arguments (Figure 7: PyErr_SetObject).
+summary PyErr_SetObject(type, value) {
+  entry { cons: true; changes: [type].rc += 1, [value].rc += 1; return: ; }
+}
+summary PyList_Append(list, item) {
+  entry { cons: [0] == 0; changes: [item].rc += 1; return: 0; }
+  entry { cons: [0] == -1; changes: ; return: -1; }
+}
+summary PyDict_SetItemString(d, key, val) {
+  entry { cons: [0] == 0; changes: [val].rc += 1; return: 0; }
+  entry { cons: [0] == -1; changes: ; return: -1; }
+}
+`
+
+// LinuxDPM returns the parsed Linux DPM specifications.
+func LinuxDPM() *Specs { return MustParse("linux-dpm", LinuxDPMText) }
+
+// PythonC returns the parsed Python/C specifications.
+func PythonC() *Specs { return MustParse("python-c", PythonCText) }

@@ -1,0 +1,425 @@
+// Package spec provides predefined function summaries — the refcount API
+// specifications RID requires as its only input (§5.1). Specifications are
+// written in a small text DSL mirroring the paper's (cons, changes, return)
+// entry layout:
+//
+//	summary pm_runtime_get_sync(dev) {
+//	  entry { cons: true; changes: [dev].pm += 1; return: [0]; }
+//	}
+//	summary PyList_New(len) {
+//	  attr newref;
+//	  entry { cons: [0] != null; changes: [0].rc += 1; return: [0]; }
+//	  entry { cons: [0] == null; changes:; return: null; }
+//	}
+//	summary PyList_SetItem(list, i, item) {
+//	  attr steals(item);
+//	  entry { cons: true; changes:; return: [0]; }
+//	}
+//
+// Attributes do not affect RID itself; they carry the reference-escape
+// metadata used by the Cpychecker-style baseline (internal/baseline/cpyrule).
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/ir"
+	"repro/internal/summary"
+	"repro/internal/sym"
+)
+
+// API couples a predefined summary with baseline metadata.
+type API struct {
+	Summary *summary.Summary
+	Params  []string
+	Steals  []int // parameter indices whose references are stolen
+	NewRef  bool  // returns a new reference (allocation-style API)
+}
+
+// Specs is a set of predefined APIs.
+type Specs struct {
+	APIs map[string]*API
+}
+
+// NewSpecs returns an empty specification set.
+func NewSpecs() *Specs { return &Specs{APIs: make(map[string]*API)} }
+
+// Merge folds other into s (other wins on conflicts).
+func (s *Specs) Merge(other *Specs) {
+	for k, v := range other.APIs {
+		s.APIs[k] = v
+	}
+}
+
+// ApplyTo installs every predefined summary into db.
+func (s *Specs) ApplyTo(db *summary.DB) {
+	for _, a := range s.APIs {
+		db.Put(a.Summary)
+	}
+}
+
+// Names returns the API names in sorted order.
+func (s *Specs) Names() []string {
+	out := make([]string, 0, len(s.APIs))
+	for k := range s.APIs {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(v []string) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// MustParse parses src and panics on error; for built-in specifications.
+func MustParse(name, src string) *Specs {
+	s, err := Parse(name, src)
+	if err != nil {
+		panic(fmt.Sprintf("builtin spec %s: %v", name, err))
+	}
+	return s
+}
+
+// Parse parses the DSL text; name is used in error messages.
+func Parse(name, src string) (*Specs, error) {
+	p := &specParser{name: name, src: src}
+	p.next()
+	specs := NewSpecs()
+	for p.tok != "" {
+		if p.tok != "summary" {
+			return nil, p.errorf("expected 'summary', found %q", p.tok)
+		}
+		api, fnName, err := p.parseSummary()
+		if err != nil {
+			return nil, err
+		}
+		specs.APIs[fnName] = api
+	}
+	return specs, nil
+}
+
+// ---------------------------------------------------------------------------
+
+type specParser struct {
+	name string
+	src  string
+	off  int
+	line int
+	tok  string
+}
+
+func (p *specParser) errorf(format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", p.name, p.line+1, fmt.Sprintf(format, args...))
+}
+
+// next advances to the next token: identifiers, numbers (with optional
+// leading '-'), and the punctuation/operators of the DSL.
+func (p *specParser) next() {
+	src := p.src
+	for p.off < len(src) {
+		c := src[p.off]
+		if c == '\n' {
+			p.line++
+		}
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			p.off++
+			continue
+		}
+		if c == '#' {
+			for p.off < len(src) && src[p.off] != '\n' {
+				p.off++
+			}
+			continue
+		}
+		break
+	}
+	if p.off >= len(src) {
+		p.tok = ""
+		return
+	}
+	start := p.off
+	c := src[p.off]
+	switch {
+	case c == '_' || unicode.IsLetter(rune(c)):
+		for p.off < len(src) && (src[p.off] == '_' || unicode.IsLetter(rune(src[p.off])) || unicode.IsDigit(rune(src[p.off]))) {
+			p.off++
+		}
+	case unicode.IsDigit(rune(c)):
+		for p.off < len(src) && unicode.IsDigit(rune(src[p.off])) {
+			p.off++
+		}
+	case c == '-' && p.off+1 < len(src) && unicode.IsDigit(rune(src[p.off+1])):
+		p.off++
+		for p.off < len(src) && unicode.IsDigit(rune(src[p.off])) {
+			p.off++
+		}
+	default:
+		// Multi-char operators first.
+		for _, op := range []string{"+=", "-=", "==", "!=", "<=", ">=", "&&"} {
+			if strings.HasPrefix(src[p.off:], op) {
+				p.off += len(op)
+				p.tok = op
+				return
+			}
+		}
+		p.off++
+	}
+	p.tok = src[start:p.off]
+}
+
+func (p *specParser) expect(tok string) error {
+	if p.tok != tok {
+		return p.errorf("expected %q, found %q", tok, p.tok)
+	}
+	p.next()
+	return nil
+}
+
+func (p *specParser) parseSummary() (*API, string, error) {
+	p.next() // 'summary'
+	fnName := p.tok
+	if fnName == "" {
+		return nil, "", p.errorf("expected function name")
+	}
+	p.next()
+	if err := p.expect("("); err != nil {
+		return nil, "", err
+	}
+	var params []string
+	for p.tok != ")" && p.tok != "" {
+		params = append(params, p.tok)
+		p.next()
+		if p.tok == "," {
+			p.next()
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, "", err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, "", err
+	}
+	api := &API{Summary: summary.New(fnName), Params: params}
+	api.Summary.Predefined = true
+	api.Summary.Params = params
+	for p.tok != "}" && p.tok != "" {
+		switch p.tok {
+		case "entry":
+			e, err := p.parseEntry(params)
+			if err != nil {
+				return nil, "", err
+			}
+			api.Summary.Entries = append(api.Summary.Entries, e)
+		case "attr":
+			if err := p.parseAttr(api, params); err != nil {
+				return nil, "", err
+			}
+		default:
+			return nil, "", p.errorf("expected 'entry' or 'attr', found %q", p.tok)
+		}
+	}
+	if err := p.expect("}"); err != nil {
+		return nil, "", err
+	}
+	if len(api.Summary.Entries) == 0 {
+		return nil, "", p.errorf("summary %s has no entries", fnName)
+	}
+	return api, fnName, nil
+}
+
+func (p *specParser) parseAttr(api *API, params []string) error {
+	p.next() // 'attr'
+	switch p.tok {
+	case "newref":
+		api.NewRef = true
+		p.next()
+	case "steals":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		for p.tok != ")" && p.tok != "" {
+			idx := -1
+			for i, prm := range params {
+				if prm == p.tok {
+					idx = i
+				}
+			}
+			if idx < 0 {
+				return p.errorf("steals: unknown parameter %q", p.tok)
+			}
+			api.Steals = append(api.Steals, idx)
+			p.next()
+			if p.tok == "," {
+				p.next()
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+	default:
+		return p.errorf("unknown attribute %q", p.tok)
+	}
+	return p.expect(";")
+}
+
+func (p *specParser) parseEntry(params []string) (*summary.Entry, error) {
+	p.next() // 'entry'
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	e := summary.NewEntry(sym.True(), nil)
+	for p.tok != "}" && p.tok != "" {
+		field := p.tok
+		p.next()
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		switch field {
+		case "cons":
+			if err := p.parseCons(e, params); err != nil {
+				return nil, err
+			}
+		case "changes":
+			if err := p.parseChanges(e, params); err != nil {
+				return nil, err
+			}
+		case "return":
+			if p.tok != ";" {
+				ret, err := p.parseTerm(params)
+				if err != nil {
+					return nil, err
+				}
+				e.Ret = ret
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errorf("unknown entry field %q", field)
+		}
+	}
+	if err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *specParser) parseCons(e *summary.Entry, params []string) error {
+	if p.tok == "true" {
+		p.next()
+		return p.expect(";")
+	}
+	for {
+		a, err := p.parseTerm(params)
+		if err != nil {
+			return err
+		}
+		pred, ok := map[string]ir.Pred{
+			"==": ir.EQ, "!=": ir.NE, "<": ir.LT, "<=": ir.LE, ">": ir.GT, ">=": ir.GE,
+		}[p.tok]
+		if !ok {
+			return p.errorf("expected predicate, found %q", p.tok)
+		}
+		p.next()
+		b, err := p.parseTerm(params)
+		if err != nil {
+			return err
+		}
+		e.Cons = e.Cons.And(sym.Cond(a, pred, b))
+		if p.tok == "&&" {
+			p.next()
+			continue
+		}
+		break
+	}
+	return p.expect(";")
+}
+
+func (p *specParser) parseChanges(e *summary.Entry, params []string) error {
+	for p.tok != ";" && p.tok != "" {
+		rc, err := p.parseTerm(params)
+		if err != nil {
+			return err
+		}
+		op := p.tok
+		if op != "+=" && op != "-=" {
+			return p.errorf("expected += or -=, found %q", op)
+		}
+		p.next()
+		n, err := strconv.Atoi(p.tok)
+		if err != nil {
+			return p.errorf("expected integer delta, found %q", p.tok)
+		}
+		p.next()
+		if op == "-=" {
+			n = -n
+		}
+		e.AddChange(rc, n)
+		if p.tok == "," {
+			p.next()
+		}
+	}
+	return p.expect(";")
+}
+
+// parseTerm parses [name], [0], null, integers, and field chains on
+// bracketed terms ([dev].pm, [0].rc).
+func (p *specParser) parseTerm(params []string) (*sym.Expr, error) {
+	var base *sym.Expr
+	switch {
+	case p.tok == "[":
+		p.next()
+		if p.tok == "0" {
+			base = sym.Ret()
+		} else {
+			found := false
+			for _, prm := range params {
+				if prm == p.tok {
+					found = true
+				}
+			}
+			if !found {
+				return nil, p.errorf("unknown parameter %q in term", p.tok)
+			}
+			base = sym.Arg(p.tok)
+		}
+		p.next()
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	case p.tok == "null":
+		p.next()
+		return sym.Null(), nil
+	case p.tok == "true":
+		p.next()
+		return sym.BoolConst(true), nil
+	case p.tok == "false":
+		p.next()
+		return sym.BoolConst(false), nil
+	default:
+		if n, err := strconv.ParseInt(p.tok, 10, 64); err == nil {
+			p.next()
+			return sym.Const(n), nil
+		}
+		return nil, p.errorf("expected term, found %q", p.tok)
+	}
+	for p.tok == "." {
+		p.next()
+		field := p.tok
+		if field == "" || field == ";" {
+			return nil, p.errorf("expected field name after '.'")
+		}
+		base = sym.Field(base, field)
+		p.next()
+	}
+	return base, nil
+}

@@ -1,0 +1,212 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/summary"
+	"repro/internal/sym"
+)
+
+func TestParseSimpleSummary(t *testing.T) {
+	s, err := Parse("t", `
+summary pm_get(dev) {
+  entry { cons: true; changes: [dev].pm += 1; return: [0]; }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := s.APIs["pm_get"]
+	if api == nil {
+		t.Fatal("pm_get missing")
+	}
+	if len(api.Params) != 1 || api.Params[0] != "dev" {
+		t.Errorf("params: %v", api.Params)
+	}
+	e := api.Summary.Entries[0]
+	if e.Cons.Len() != 0 {
+		t.Errorf("cons: %s", e.Cons)
+	}
+	if c, ok := e.Changes["[dev].pm"]; !ok || c.Delta != 1 {
+		t.Errorf("changes: %v", e.Changes)
+	}
+	if e.Ret.Kind != sym.KRet {
+		t.Errorf("ret: %s", e.Ret)
+	}
+	if !api.Summary.Predefined {
+		t.Error("predefined flag unset")
+	}
+}
+
+func TestParseMultiEntryWithConstraints(t *testing.T) {
+	s, err := Parse("t", `
+summary alloc(n) {
+  attr newref;
+  entry { cons: [0] != null; changes: [0].rc += 1; return: [0]; }
+  entry { cons: [0] == null; changes: ; return: null; }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := s.APIs["alloc"]
+	if !api.NewRef {
+		t.Error("newref attribute lost")
+	}
+	if len(api.Summary.Entries) != 2 {
+		t.Fatalf("entries: %d", len(api.Summary.Entries))
+	}
+	e0 := api.Summary.Entries[0]
+	if e0.Cons.Len() != 1 {
+		t.Errorf("entry 0 cons: %s", e0.Cons)
+	}
+	e1 := api.Summary.Entries[1]
+	if e1.Ret.Kind != sym.KNull {
+		t.Errorf("entry 1 ret: %s", e1.Ret)
+	}
+}
+
+func TestParseStealsAttr(t *testing.T) {
+	s, err := Parse("t", `
+summary set_item(list, i, item) {
+  attr steals(item);
+  entry { cons: true; changes: ; return: [0]; }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := s.APIs["set_item"]
+	if len(api.Steals) != 1 || api.Steals[0] != 2 {
+		t.Errorf("steals: %v", api.Steals)
+	}
+}
+
+func TestParseConjunction(t *testing.T) {
+	s, err := Parse("t", `
+summary f(a, b) {
+  entry { cons: [a] > 0 && [b] <= -1 && [0] == 0; changes: ; return: 0; }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := s.APIs["f"].Summary.Entries[0]
+	if e.Cons.Len() != 3 {
+		t.Errorf("cons: %s", e.Cons)
+	}
+}
+
+func TestParseMultipleChanges(t *testing.T) {
+	s, err := Parse("t", `
+summary set_err(type, value) {
+  entry { cons: true; changes: [type].rc += 1, [value].rc += 1; return: ; }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := s.APIs["set_err"].Summary.Entries[0]
+	if len(e.Changes) != 2 {
+		t.Errorf("changes: %v", e.Changes)
+	}
+	if e.Ret != nil {
+		t.Errorf("void return: %v", e.Ret)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	_, err := Parse("t", `
+# a comment
+summary f(a) {
+  # another
+  entry { cons: true; changes: ; return: ; }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`summary f() { }`, // no entries
+		`summary f(a) { entry { cons: [b] > 0; changes:; return:; } }`, // unknown param
+		`summary f(a) { entry { cons: maybe; changes:; return:; } }`,   // bad cons
+		`summary f(a) { attr bogus; entry { cons: true; changes:; return:; } }`,
+		`summary f(a) { attr steals(x); entry { cons: true; changes:; return:; } }`,
+		`summary f(a) { entry { cons: true; changes: [a].rc *= 1; return:; } }`,
+		`nonsense`,
+	}
+	for _, src := range bad {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestBuiltinsParse(t *testing.T) {
+	dpm := LinuxDPM()
+	if len(dpm.APIs) < 7 {
+		t.Errorf("DPM APIs: %d", len(dpm.APIs))
+	}
+	// Figure 7: get-side always increments.
+	g := dpm.APIs["pm_runtime_get_sync"]
+	e := g.Summary.Entries[0]
+	if e.Cons.Len() != 0 || e.Changes["[dev].pm"].Delta != 1 {
+		t.Errorf("pm_runtime_get_sync: %s", e)
+	}
+	pyc := PythonC()
+	if len(pyc.APIs) < 15 {
+		t.Errorf("Python/C APIs: %d", len(pyc.APIs))
+	}
+	// Steal attributes recorded for the escape-rule baseline.
+	if len(pyc.APIs["PyList_SetItem"].Steals) != 1 {
+		t.Error("PyList_SetItem steals lost")
+	}
+	if !pyc.APIs["PyList_New"].NewRef {
+		t.Error("PyList_New newref lost")
+	}
+	// Py_XDECREF is conditional on its argument.
+	xd := pyc.APIs["Py_XDECREF"]
+	if len(xd.Summary.Entries) != 2 {
+		t.Errorf("Py_XDECREF entries: %d", len(xd.Summary.Entries))
+	}
+}
+
+func TestApplyToAndMerge(t *testing.T) {
+	db := summary.NewDB()
+	LinuxDPM().ApplyTo(db)
+	if !db.Has("pm_runtime_put_sync") {
+		t.Error("ApplyTo missed an API")
+	}
+	s := NewSpecs()
+	s.Merge(LinuxDPM())
+	s.Merge(PythonC())
+	if len(s.Names()) != len(LinuxDPM().APIs)+len(PythonC().APIs) {
+		t.Error("merge lost APIs")
+	}
+	names := s.Names()
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Error("names not sorted")
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse must panic on bad input")
+		}
+	}()
+	MustParse("bad", "summary ???")
+}
+
+func TestSummaryRendering(t *testing.T) {
+	got := LinuxDPM().APIs["pm_runtime_put"].Summary.String()
+	if !strings.Contains(got, "[dev].pm:-1") {
+		t.Errorf("rendering: %s", got)
+	}
+}

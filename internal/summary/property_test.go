@@ -1,0 +1,111 @@
+package summary
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/sym"
+)
+
+// genEntry builds a random entry over a fixed parameter alphabet.
+func genEntry(rng *rand.Rand) *Entry {
+	params := []string{"a", "b", "dev"}
+	cons := sym.True()
+	for i := rng.Intn(3); i > 0; i-- {
+		a := sym.Arg(params[rng.Intn(len(params))])
+		preds := []ir.Pred{ir.EQ, ir.NE, ir.LT, ir.LE, ir.GT, ir.GE}
+		cons = cons.And(sym.Cond(a, preds[rng.Intn(len(preds))], sym.Const(int64(rng.Intn(5)-2))))
+	}
+	var ret *sym.Expr
+	switch rng.Intn(3) {
+	case 0:
+		ret = sym.Ret()
+	case 1:
+		ret = sym.Const(int64(rng.Intn(3) - 1))
+	}
+	e := NewEntry(cons, ret)
+	for i := rng.Intn(3); i > 0; i-- {
+		rc := sym.Field(sym.Arg(params[rng.Intn(len(params))]), "pm")
+		e.AddChange(rc, rng.Intn(3)-1)
+	}
+	return e
+}
+
+// identityMap maps every alphabet symbol to itself.
+func identityMap() map[string]*sym.Expr {
+	return map[string]*sym.Expr{
+		sym.Arg("a").Key():   sym.Arg("a"),
+		sym.Arg("b").Key():   sym.Arg("b"),
+		sym.Arg("dev").Key(): sym.Arg("dev"),
+		sym.Ret().Key():      sym.Ret(),
+	}
+}
+
+// Property: instantiating with the identity substitution preserves the
+// entry (up to rendering).
+func TestPropertyInstantiateIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 300; i++ {
+		e := genEntry(rng)
+		got := e.Instantiate(identityMap())
+		if got.String() != e.String() {
+			t.Fatalf("identity instantiation changed entry:\n  %s\n  %s", e, got)
+		}
+	}
+}
+
+// Property: SameChanges is an equivalence relation on generated entries.
+func TestPropertySameChangesEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	var entries []*Entry
+	for i := 0; i < 30; i++ {
+		entries = append(entries, genEntry(rng))
+	}
+	for _, a := range entries {
+		if !a.SameChanges(a) {
+			t.Fatalf("not reflexive: %s", a)
+		}
+		for _, b := range entries {
+			if a.SameChanges(b) != b.SameChanges(a) {
+				t.Fatalf("not symmetric: %s vs %s", a, b)
+			}
+			for _, c := range entries {
+				if a.SameChanges(b) && b.SameChanges(c) && !a.SameChanges(c) {
+					t.Fatalf("not transitive")
+				}
+			}
+		}
+	}
+}
+
+// Property: DifferingRefcounts is empty iff SameChanges.
+func TestPropertyDifferingMatchesSame(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 300; i++ {
+		a, b := genEntry(rng), genEntry(rng)
+		same := a.SameChanges(b)
+		diff := a.DifferingRefcounts(b)
+		if same != (len(diff) == 0) {
+			t.Fatalf("SameChanges=%t but %d differing refcounts:\n  %s\n  %s", same, len(diff), a, b)
+		}
+	}
+}
+
+// Property: instantiation distributes over SameChanges — entries with the
+// same changes still have the same changes after any substitution.
+func TestPropertyInstantiatePreservesSameChanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	m := map[string]*sym.Expr{
+		sym.Arg("a").Key():   sym.Field(sym.Arg("intf"), "dev"),
+		sym.Arg("b").Key():   sym.Arg("x"),
+		sym.Arg("dev").Key(): sym.Arg("x"), // collide b and dev on purpose
+		sym.Ret().Key():      sym.Fresh("r"),
+	}
+	for i := 0; i < 300; i++ {
+		a, b := genEntry(rng), genEntry(rng)
+		if a.SameChanges(b) && !a.Instantiate(m).SameChanges(b.Instantiate(m)) {
+			t.Fatalf("substitution broke change equality:\n  %s\n  %s", a, b)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package summary defines function summaries (§4.3 of the RID paper): sets
+// of entries (cons, changes, return) describing how a function changes
+// refcounts and what it returns under constraints on its arguments and
+// return value. It also provides the summary database shared across the
+// inter-procedural analysis and JSON persistence for the multi-file mode
+// of §5.3.
+package summary
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/sym"
+)
+
+// Entry is one summary entry: under constraint Cons, the function applies
+// Changes to refcounts and returns Ret (nil when no value is returned or
+// the function is void).
+type Entry struct {
+	Cons    sym.Set
+	Changes map[string]Change // keyed by Change.RC.Key()
+	Ret     *sym.Expr
+}
+
+// Change is a net delta to one refcount, identified by a symbolic
+// expression over the function's arguments and return value (e.g.
+// [dev].pm or [0].rc).
+type Change struct {
+	RC    *sym.Expr
+	Delta int
+}
+
+// NewEntry returns an entry with no changes.
+func NewEntry(cons sym.Set, ret *sym.Expr) *Entry {
+	return &Entry{Cons: cons, Changes: make(map[string]Change), Ret: ret}
+}
+
+// AddChange accumulates delta onto the refcount rc; a zero net change is
+// removed from the map.
+func (e *Entry) AddChange(rc *sym.Expr, delta int) {
+	key := rc.Key()
+	c := e.Changes[key]
+	c.RC = rc
+	c.Delta += delta
+	if c.Delta == 0 {
+		delete(e.Changes, key)
+	} else {
+		e.Changes[key] = c
+	}
+}
+
+// Clone returns a deep-enough copy (constraint sets are immutable).
+func (e *Entry) Clone() *Entry {
+	n := &Entry{Cons: e.Cons, Ret: e.Ret, Changes: make(map[string]Change, len(e.Changes))}
+	for k, v := range e.Changes {
+		n.Changes[k] = v
+	}
+	return n
+}
+
+// SameChanges reports whether two entries have identical refcount changes
+// (the consistency test of §4.5: inconsistent iff some refcount differs,
+// with absent keys counting as zero).
+func (e *Entry) SameChanges(o *Entry) bool {
+	if len(e.Changes) != len(o.Changes) {
+		return false
+	}
+	for k, c := range e.Changes {
+		if oc, ok := o.Changes[k]; !ok || oc.Delta != c.Delta {
+			return false
+		}
+	}
+	return true
+}
+
+// DifferingRefcounts returns the refcount expressions whose deltas differ
+// between the entries, sorted by key for determinism.
+func (e *Entry) DifferingRefcounts(o *Entry) []*sym.Expr {
+	seen := make(map[string]*sym.Expr)
+	for k, c := range e.Changes {
+		if oc := o.Changes[k]; oc.Delta != c.Delta {
+			seen[k] = c.RC
+		}
+	}
+	for k, c := range o.Changes {
+		if ec := e.Changes[k]; ec.Delta != c.Delta {
+			seen[k] = c.RC
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*sym.Expr, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out
+}
+
+// Instantiate returns the entry with formal arguments and [0] replaced
+// according to m (Algorithm 1: "formal arguments are replaced by the
+// expressions of actual arguments and [0] is replaced by the variable
+// holding the return value").
+func (e *Entry) Instantiate(m map[string]*sym.Expr) *Entry {
+	n := &Entry{Cons: e.Cons.Subst(m), Changes: make(map[string]Change, len(e.Changes))}
+	if e.Ret != nil {
+		n.Ret = e.Ret.Subst(m)
+	}
+	for _, c := range e.Changes {
+		rc := c.RC.Subst(m)
+		nc := n.Changes[rc.Key()]
+		nc.RC = rc
+		nc.Delta += c.Delta
+		n.Changes[rc.Key()] = nc
+	}
+	return n
+}
+
+// SortedChanges returns the changes sorted by refcount key.
+func (e *Entry) SortedChanges() []Change {
+	keys := make([]string, 0, len(e.Changes))
+	for k := range e.Changes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Change, len(keys))
+	for i, k := range keys {
+		out[i] = e.Changes[k]
+	}
+	return out
+}
+
+// String renders the entry in the paper's (cons, changes, return) layout.
+func (e *Entry) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cons: %s; changes:", e.Cons)
+	if len(e.Changes) == 0 {
+		b.WriteString(" -")
+	}
+	for _, c := range e.SortedChanges() {
+		fmt.Fprintf(&b, " %s:%+d", c.RC, c.Delta)
+	}
+	b.WriteString("; return: ")
+	if e.Ret == nil {
+		b.WriteString("-")
+	} else {
+		b.WriteString(e.Ret.String())
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+
+// Summary is the summary of one function.
+type Summary struct {
+	Fn         string
+	Params     []string // formal parameter names the entries' [arg] terms use
+	Entries    []*Entry
+	HasDefault bool // carries a default entry (§5.2: partial analysis)
+	Predefined bool // given as an API specification, not computed
+}
+
+// New returns an empty summary for fn.
+func New(fn string) *Summary { return &Summary{Fn: fn} }
+
+// Default returns the default summary used for functions that are unknown
+// or not (fully) analyzed: no refcount changes and no conditions on the
+// return value.
+func Default(fn string) *Summary {
+	s := New(fn)
+	s.HasDefault = true
+	s.Entries = append(s.Entries, NewEntry(sym.True(), sym.Ret()))
+	return s
+}
+
+// ChangesRefcounts reports whether any entry changes any refcount — the
+// category-1 test of §5.2.
+func (s *Summary) ChangesRefcounts() bool {
+	for _, e := range s.Entries {
+		if len(e.Changes) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders all entries, one per line.
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "summary %s:\n", s.Fn)
+	for i, e := range s.Entries {
+		fmt.Fprintf(&b, "  entry %d: %s\n", i+1, e)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+
+// DB is the function summary database. All methods are safe for concurrent
+// use; stored summaries themselves are treated as immutable after Put.
+type DB struct {
+	mu sync.RWMutex
+	m  map[string]*Summary
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{m: make(map[string]*Summary)} }
+
+// Get returns the summary for fn, or nil.
+func (db *DB) Get(fn string) *Summary {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.m[fn]
+}
+
+// Put stores a summary, replacing any previous one.
+func (db *DB) Put(s *Summary) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.m[s.Fn] = s
+}
+
+// Has reports whether fn has a summary.
+func (db *DB) Has(fn string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.m[fn]
+	return ok
+}
+
+// Len returns the number of summaries stored.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.m)
+}
+
+// Names returns the summarized function names, sorted.
+func (db *DB) Names() []string {
+	db.mu.RLock()
+	out := make([]string, 0, len(db.m))
+	for k := range db.m {
+		out = append(out, k)
+	}
+	db.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Merge copies every summary from other into db (other wins on conflict).
+func (db *DB) Merge(other *DB) {
+	other.mu.RLock()
+	defer other.mu.RUnlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for k, v := range other.m {
+		db.m[k] = v
+	}
+}

@@ -1,0 +1,215 @@
+package summary
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/sym"
+)
+
+func cond(a *sym.Expr, p ir.Pred, b *sym.Expr) sym.Set {
+	return sym.True().And(sym.Cond(a, p, b))
+}
+
+func TestAddChangeAccumulatesAndCancels(t *testing.T) {
+	e := NewEntry(sym.True(), nil)
+	rc := sym.Field(sym.Arg("dev"), "pm")
+	e.AddChange(rc, 1)
+	e.AddChange(rc, 1)
+	if e.Changes[rc.Key()].Delta != 2 {
+		t.Errorf("delta: %d", e.Changes[rc.Key()].Delta)
+	}
+	e.AddChange(rc, -2)
+	if _, ok := e.Changes[rc.Key()]; ok {
+		t.Error("zero net change must be removed")
+	}
+}
+
+func TestSameChangesAndDiffering(t *testing.T) {
+	rc1 := sym.Field(sym.Arg("a"), "pm")
+	rc2 := sym.Field(sym.Arg("b"), "pm")
+	e1 := NewEntry(sym.True(), nil)
+	e1.AddChange(rc1, 1)
+	e2 := NewEntry(sym.True(), nil)
+	e2.AddChange(rc1, 1)
+	if !e1.SameChanges(e2) {
+		t.Error("identical changes reported different")
+	}
+	e2.AddChange(rc2, -1)
+	if e1.SameChanges(e2) {
+		t.Error("different changes reported same")
+	}
+	diff := e1.DifferingRefcounts(e2)
+	if len(diff) != 1 || diff[0].Key() != rc2.Key() {
+		t.Errorf("differing: %v", diff)
+	}
+	// Absent keys count as zero in both directions.
+	diff2 := e2.DifferingRefcounts(e1)
+	if len(diff2) != 1 || diff2[0].Key() != rc2.Key() {
+		t.Errorf("differing (reverse): %v", diff2)
+	}
+}
+
+func TestInstantiate(t *testing.T) {
+	// Summary of wrapper(d): changes [d].pm under cons [d] != null,
+	// returns [0]. Instantiate d := [intf].dev, [0] := $r.
+	e := NewEntry(cond(sym.Arg("d"), ir.NE, sym.Null()), sym.Ret())
+	e.AddChange(sym.Field(sym.Arg("d"), "pm"), 1)
+	m := map[string]*sym.Expr{
+		sym.Arg("d").Key(): sym.Field(sym.Arg("intf"), "dev"),
+		sym.Ret().Key():    sym.Fresh("r"),
+	}
+	inst := e.Instantiate(m)
+	if _, ok := inst.Changes["[intf].dev.pm"]; !ok {
+		t.Errorf("changes not instantiated: %v", inst.Changes)
+	}
+	if inst.Ret.Key() != "$r" {
+		t.Errorf("ret: %s", inst.Ret)
+	}
+	if strings.Contains(inst.Cons.String(), "[d]") {
+		t.Errorf("cons not instantiated: %s", inst.Cons)
+	}
+	// The original entry is untouched.
+	if _, ok := e.Changes["[d].pm"]; !ok {
+		t.Error("instantiate mutated the receiver")
+	}
+}
+
+func TestInstantiateMergesCollidingKeys(t *testing.T) {
+	// changes on [a].rc and [b].rc where both instantiate to the same
+	// object must merge their deltas.
+	e := NewEntry(sym.True(), nil)
+	e.AddChange(sym.Field(sym.Arg("a"), "rc"), 1)
+	e.AddChange(sym.Field(sym.Arg("b"), "rc"), 1)
+	obj := sym.Arg("o")
+	m := map[string]*sym.Expr{
+		sym.Arg("a").Key(): obj,
+		sym.Arg("b").Key(): obj,
+	}
+	inst := e.Instantiate(m)
+	if c := inst.Changes["[o].rc"]; c.Delta != 2 {
+		t.Errorf("merged delta: %d, want 2", c.Delta)
+	}
+}
+
+func TestDefaultSummary(t *testing.T) {
+	s := Default("mystery")
+	if !s.HasDefault || len(s.Entries) != 1 {
+		t.Fatalf("default: %+v", s)
+	}
+	e := s.Entries[0]
+	if e.Cons.Len() != 0 || len(e.Changes) != 0 || e.Ret.Kind != sym.KRet {
+		t.Errorf("default entry: %s", e)
+	}
+	if s.ChangesRefcounts() {
+		t.Error("default summary must not change refcounts")
+	}
+}
+
+func TestEntryString(t *testing.T) {
+	e := NewEntry(cond(sym.Ret(), ir.EQ, sym.Const(0)), sym.Const(0))
+	e.AddChange(sym.Field(sym.Arg("dev"), "pm"), 1)
+	got := e.String()
+	for _, want := range []string{"[dev].pm:+1", "return: 0"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in %q", want, got)
+		}
+	}
+}
+
+func TestDBBasics(t *testing.T) {
+	db := NewDB()
+	s := New("f")
+	s.Entries = append(s.Entries, NewEntry(sym.True(), nil))
+	db.Put(s)
+	if !db.Has("f") || db.Get("f") != s || db.Len() != 1 {
+		t.Error("put/get/has/len broken")
+	}
+	if db.Get("missing") != nil {
+		t.Error("missing should be nil")
+	}
+	other := NewDB()
+	o := New("g")
+	other.Put(o)
+	db.Merge(other)
+	if db.Len() != 2 || db.Names()[0] != "f" || db.Names()[1] != "g" {
+		t.Errorf("merge/names: %v", db.Names())
+	}
+}
+
+func TestDBConcurrentAccess(t *testing.T) {
+	db := NewDB()
+	done := make(chan bool)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			for i := 0; i < 200; i++ {
+				s := New("f")
+				s.Entries = append(s.Entries, NewEntry(sym.True(), nil))
+				db.Put(s)
+				db.Get("f")
+				db.Has("g")
+				db.Len()
+			}
+			done <- true
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	db := NewDB()
+	s := New("wrapper")
+	s.Params = []string{"intf"}
+	s.Predefined = false
+	s.HasDefault = true
+	e1 := NewEntry(cond(sym.Ret(), ir.LT, sym.Const(0)), sym.Ret())
+	e2 := NewEntry(cond(sym.Field(sym.Arg("intf"), "dev"), ir.NE, sym.Const(0)), sym.Const(0))
+	e2.AddChange(sym.Field(sym.Field(sym.Arg("intf"), "dev"), "pm"), 1)
+	e2.AddChange(sym.Field(sym.Fresh("o"), "rc"), -1)
+	s.Entries = append(s.Entries, e1, e2)
+	db.Put(s)
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := NewDB()
+	if err := db2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := db2.Get("wrapper")
+	if got == nil {
+		t.Fatal("summary lost")
+	}
+	if got.String() != s.String() {
+		t.Errorf("round trip changed summary:\nbefore: %s\nafter:  %s", s, got)
+	}
+	if len(got.Params) != 1 || got.Params[0] != "intf" || !got.HasDefault {
+		t.Errorf("metadata lost: %+v", got)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	db := NewDB()
+	if err := db.Load(strings.NewReader("not json")); err == nil {
+		t.Error("expected decode error")
+	}
+	if err := db.Load(strings.NewReader(`{"summaries":[{"fn":"f","entries":[{"cons":[{"kind":"alien"}]}]}]}`)); err == nil {
+		t.Error("expected unknown-kind error")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	e := NewEntry(sym.True(), nil)
+	rc := sym.Field(sym.Arg("a"), "pm")
+	e.AddChange(rc, 1)
+	c := e.Clone()
+	c.AddChange(rc, 5)
+	if e.Changes[rc.Key()].Delta != 1 {
+		t.Error("clone shares the changes map")
+	}
+}

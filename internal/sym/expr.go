@@ -1,0 +1,475 @@
+// Package sym implements the symbolic expression language of the RID paper
+// (Figure 5) used by path summaries and function summaries:
+//
+//	e := const | e1 p e2 | [arg] | [0] | local | e.field
+//
+// plus fresh symbols, which model the random generator of the Figure-3
+// abstraction and call results. Fresh symbols and locals share the key
+// property that they are unobservable outside the function and are
+// existentially projected away when a path summary is finalized.
+//
+// Expressions are immutable once built; Key() provides a canonical string
+// used for structural equality, hashing and as the solver's variable name.
+package sym
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Kind discriminates Expr.
+type Kind int
+
+// Expression kinds.
+const (
+	KConst Kind = iota // integer constant (booleans are 0/1, null is KNull)
+	KNull              // the null pointer
+	KArg               // [name]: a formal argument of the summarized function
+	KRet               // [0]: the value returned by the summarized function
+	KLocal             // a local variable never assigned before use
+	KFresh             // a random value or call result, unique per creation
+	KField             // Base.Name: an uninterpreted field of an object
+	KCond              // A Pred B: a boolean condition
+)
+
+// Expr is an immutable symbolic expression.
+type Expr struct {
+	Kind Kind
+	Int  int64   // KConst
+	Name string  // KArg, KLocal, KFresh, KField (field name)
+	Base *Expr   // KField
+	Pred ir.Pred // KCond
+	A, B *Expr   // KCond
+
+	key string // memoized canonical form
+}
+
+// Constructors.
+
+// Const returns an integer constant expression.
+func Const(v int64) *Expr { return &Expr{Kind: KConst, Int: v} }
+
+// BoolConst returns 1 for true and 0 for false, the integer encoding used
+// throughout the analysis.
+func BoolConst(b bool) *Expr {
+	if b {
+		return Const(1)
+	}
+	return Const(0)
+}
+
+// Null returns the null-pointer expression.
+func Null() *Expr { return &Expr{Kind: KNull} }
+
+// Arg returns the expression for formal argument name, written [name].
+func Arg(name string) *Expr { return &Expr{Kind: KArg, Name: name} }
+
+// Ret returns [0], the summarized function's return value.
+func Ret() *Expr { return &Expr{Kind: KRet} }
+
+// Local returns the expression for a local variable read before assignment.
+func Local(name string) *Expr { return &Expr{Kind: KLocal, Name: name} }
+
+// Fresh returns a fresh symbol; callers must ensure name uniqueness (the
+// symbolic executor uses a per-path counter).
+func Fresh(name string) *Expr { return &Expr{Kind: KFresh, Name: name} }
+
+// Field returns base.name.
+func Field(base *Expr, name string) *Expr {
+	return &Expr{Kind: KField, Base: base, Name: name}
+}
+
+// Cond returns the condition a pred b, folding constants and boolean
+// comparisons where possible. The result is either a KCond expression or a
+// KConst 0/1 when the condition is decided structurally.
+func Cond(a *Expr, pred ir.Pred, b *Expr) *Expr {
+	// Null is the integer 0 throughout the analysis; canonicalize it here
+	// so "x != null" and "0 != x" build the same condition (one solver
+	// variable, one dedup key).
+	if a.Kind == KNull {
+		a = Const(0)
+	}
+	if b.Kind == KNull {
+		b = Const(0)
+	}
+	// Constant folding.
+	av, aok := a.constValue()
+	bv, bok := b.constValue()
+	if aok && bok {
+		return BoolConst(pred.Eval(av, bv))
+	}
+	// Boolean-context folding: (C == 0) is ¬C, (C != 0) is C, and the
+	// 1-valued duals, where C is itself a condition.
+	if a.Kind == KCond && bok {
+		switch {
+		case bv == 0 && pred == ir.EQ, bv == 1 && pred == ir.NE:
+			return a.NegateCond()
+		case bv == 0 && pred == ir.NE, bv == 1 && pred == ir.EQ:
+			return a
+		}
+	}
+	if b.Kind == KCond && aok {
+		switch {
+		case av == 0 && pred == ir.EQ, av == 1 && pred == ir.NE:
+			return b.NegateCond()
+		case av == 0 && pred == ir.NE, av == 1 && pred == ir.EQ:
+			return b
+		}
+	}
+	// Identical terms decide reflexive predicates.
+	if a.Key() == b.Key() {
+		switch pred {
+		case ir.EQ, ir.LE, ir.GE:
+			return BoolConst(true)
+		case ir.NE, ir.LT, ir.GT:
+			return BoolConst(false)
+		}
+	}
+	// Canonical operand order for symmetric predicates keeps keys stable.
+	if (pred == ir.EQ || pred == ir.NE) && a.Key() > b.Key() {
+		a, b = b, a
+	}
+	return &Expr{Kind: KCond, Pred: pred, A: a, B: b}
+}
+
+// constValue returns the integer value of constants and null.
+func (e *Expr) constValue() (int64, bool) {
+	switch e.Kind {
+	case KConst:
+		return e.Int, true
+	case KNull:
+		return 0, true
+	}
+	return 0, false
+}
+
+// IsConst reports whether e is an integer constant (or null) and returns
+// its value.
+func (e *Expr) IsConst() (int64, bool) { return e.constValue() }
+
+// IsTrue reports whether e is the constant 1 (a decided-true condition).
+func (e *Expr) IsTrue() bool { return e.Kind == KConst && e.Int == 1 }
+
+// IsFalse reports whether e is the constant 0 or null.
+func (e *Expr) IsFalse() bool {
+	v, ok := e.constValue()
+	return ok && v == 0
+}
+
+// NegateCond negates a boolean expression: conditions flip their
+// predicate, constants invert, and any other expression e becomes e == 0
+// (the C truth-value convention).
+func (e *Expr) NegateCond() *Expr {
+	switch e.Kind {
+	case KCond:
+		return Cond(e.A, e.Pred.Negate(), e.B)
+	case KConst, KNull:
+		v, _ := e.constValue()
+		return BoolConst(v == 0)
+	}
+	return Cond(e, ir.EQ, Const(0))
+}
+
+// AsCond coerces e to a boolean condition: conditions pass through and any
+// other expression e becomes e != 0.
+func (e *Expr) AsCond() *Expr {
+	switch e.Kind {
+	case KCond, KConst, KNull:
+		if e.Kind != KCond {
+			v, _ := e.constValue()
+			return BoolConst(v != 0)
+		}
+		return e
+	}
+	return Cond(e, ir.NE, Const(0))
+}
+
+// Key returns the canonical string form of e. Two expressions are
+// structurally equal iff their keys are equal.
+func (e *Expr) Key() string {
+	if e.key == "" {
+		e.key = e.buildKey()
+	}
+	return e.key
+}
+
+func (e *Expr) buildKey() string {
+	switch e.Kind {
+	case KConst:
+		return fmt.Sprintf("%d", e.Int)
+	case KNull:
+		return "null"
+	case KArg:
+		return "[" + e.Name + "]"
+	case KRet:
+		return "[0]"
+	case KLocal:
+		return e.Name
+	case KFresh:
+		return "$" + e.Name
+	case KField:
+		return e.Base.Key() + "." + e.Name
+	case KCond:
+		return "(" + e.A.Key() + " " + e.Pred.String() + " " + e.B.Key() + ")"
+	}
+	return "?"
+}
+
+// String renders the expression in the paper's notation.
+func (e *Expr) String() string { return e.Key() }
+
+// Equal reports structural equality.
+func (e *Expr) Equal(o *Expr) bool {
+	if e == nil || o == nil {
+		return e == o
+	}
+	return e.Key() == o.Key()
+}
+
+// HasLocal reports whether e mentions a local variable or fresh symbol —
+// i.e. anything unobservable outside the function.
+func (e *Expr) HasLocal() bool {
+	switch e.Kind {
+	case KLocal, KFresh:
+		return true
+	case KField:
+		return e.Base.HasLocal()
+	case KCond:
+		return e.A.HasLocal() || e.B.HasLocal()
+	}
+	return false
+}
+
+// HasRet reports whether e mentions [0].
+func (e *Expr) HasRet() bool {
+	switch e.Kind {
+	case KRet:
+		return true
+	case KField:
+		return e.Base.HasRet()
+	case KCond:
+		return e.A.HasRet() || e.B.HasRet()
+	}
+	return false
+}
+
+// Subst returns e with every maximal subexpression whose Key appears in m
+// replaced by the mapped expression. The substitution is simultaneous.
+func (e *Expr) Subst(m map[string]*Expr) *Expr {
+	if len(m) == 0 {
+		return e
+	}
+	if r, ok := m[e.Key()]; ok {
+		return r
+	}
+	switch e.Kind {
+	case KField:
+		nb := e.Base.Subst(m)
+		if nb == e.Base {
+			return e
+		}
+		return Field(nb, e.Name)
+	case KCond:
+		na, nbb := e.A.Subst(m), e.B.Subst(m)
+		if na == e.A && nbb == e.B {
+			return e
+		}
+		return Cond(na, e.Pred, nbb)
+	}
+	return e
+}
+
+// Atoms appends to out the non-constant leaf terms of e (args, ret, locals,
+// fresh symbols, and whole field chains) and returns the result. Field
+// chains are treated as single uninterpreted terms.
+func (e *Expr) Atoms(out []*Expr) []*Expr {
+	switch e.Kind {
+	case KConst, KNull:
+		return out
+	case KCond:
+		out = e.A.Atoms(out)
+		return e.B.Atoms(out)
+	default:
+		return append(out, e)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Constraint sets
+
+// Set is a conjunction of boolean conditions. The zero value is the empty
+// (true) constraint. Sets are treated as immutable: And returns a new Set.
+type Set struct {
+	conds []*Expr
+	keys  map[string]bool
+}
+
+// True returns the empty constraint.
+func True() Set { return Set{} }
+
+// And returns s extended with cond (coerced via AsCond). Decided-true
+// conditions are dropped; duplicates are dropped; a decided-false condition
+// is recorded as the single constant-false condition.
+func (s Set) And(cond *Expr) Set {
+	c := cond.AsCond()
+	if c.IsTrue() {
+		return s
+	}
+	if s.keys[c.Key()] {
+		return s
+	}
+	n := Set{conds: make([]*Expr, len(s.conds), len(s.conds)+1), keys: make(map[string]bool, len(s.conds)+1)}
+	copy(n.conds, s.conds)
+	for k := range s.keys {
+		n.keys[k] = true
+	}
+	n.conds = append(n.conds, c)
+	n.keys[c.Key()] = true
+	return n
+}
+
+// AndSet returns the conjunction of s and o.
+func (s Set) AndSet(o Set) Set {
+	out := s
+	for _, c := range o.conds {
+		out = out.And(c)
+	}
+	return out
+}
+
+// Conds returns the conditions in insertion order. The slice must not be
+// modified.
+func (s Set) Conds() []*Expr { return s.conds }
+
+// Len returns the number of conditions.
+func (s Set) Len() int { return len(s.conds) }
+
+// HasFalse reports whether the set contains a syntactically false
+// condition.
+func (s Set) HasFalse() bool {
+	for _, c := range s.conds {
+		if c.IsFalse() {
+			return true
+		}
+	}
+	return false
+}
+
+// Subst applies an expression substitution to every condition.
+func (s Set) Subst(m map[string]*Expr) Set {
+	out := True()
+	for _, c := range s.conds {
+		out = out.And(c.Subst(m))
+	}
+	return out
+}
+
+// WithoutLocals returns the set with every condition that mentions a local
+// or fresh symbol removed — the existential projection of §3.3.3 ("remove
+// conditions on local variables"). Before projecting, equalities that pin a
+// local to an observable expression are used to rewrite that local away, so
+// information such as "[0] = v ∧ v ≥ 0" survives as "[0] ≥ 0".
+func (s Set) WithoutLocals() Set {
+	out, _ := s.ProjectLocals()
+	return out
+}
+
+// ProjectLocals performs the local projection of WithoutLocals and also
+// returns the accumulated substitution that pinned locals to observable
+// expressions. Callers (the symbolic executor) apply the same substitution
+// to refcount keys and return expressions so that, e.g., the refcount of an
+// object held in a returned local becomes the refcount of [0].
+func (s Set) ProjectLocals() (Set, map[string]*Expr) {
+	conds := s.conds
+	pins := make(map[string]*Expr)
+	// Fixpoint: substitute locals that are pinned by an equality to a
+	// local-free expression.
+	for iter := 0; iter < 8; iter++ {
+		m := make(map[string]*Expr)
+		for _, c := range conds {
+			if c.Kind != KCond || c.Pred != ir.EQ {
+				continue
+			}
+			a, b := c.A, c.B
+			if isProjectable(a) && !b.HasLocal() {
+				if _, dup := m[a.Key()]; !dup {
+					m[a.Key()] = b
+				}
+			} else if isProjectable(b) && !a.HasLocal() {
+				if _, dup := m[b.Key()]; !dup {
+					m[b.Key()] = a
+				}
+			}
+		}
+		if len(m) == 0 {
+			break
+		}
+		// Compose: earlier pins must see this round's substitutions so a
+		// single application of pins is equivalent to the whole chain.
+		for k, v := range pins {
+			pins[k] = v.Subst(m)
+		}
+		for k, v := range m {
+			if _, dup := pins[k]; !dup {
+				pins[k] = v
+			}
+		}
+		next := True()
+		for _, c := range conds {
+			next = next.And(c.Subst(m))
+		}
+		conds = next.conds
+	}
+	out := True()
+	for _, c := range conds {
+		if !c.HasLocal() {
+			out = out.And(c)
+		}
+	}
+	return out, pins
+}
+
+// isProjectable reports whether e is a term whose only unobservable part is
+// itself: a bare local/fresh symbol, or a field chain rooted at one.
+func isProjectable(e *Expr) bool {
+	switch e.Kind {
+	case KLocal, KFresh:
+		return true
+	}
+	return false
+}
+
+// Key returns a canonical string for the whole conjunction (sorted), used
+// for solver caching.
+func (s Set) Key() string {
+	ks := make([]string, len(s.conds))
+	for i, c := range s.conds {
+		ks[i] = c.Key()
+	}
+	sortStrings(ks)
+	return strings.Join(ks, " & ")
+}
+
+// String renders the conjunction in the paper's ∧ notation.
+func (s Set) String() string {
+	if len(s.conds) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(s.conds))
+	for i, c := range s.conds {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " && ")
+}
+
+func sortStrings(s []string) {
+	// Insertion sort: sets are small and this avoids importing sort just
+	// for a hot path that profiles as negligible.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

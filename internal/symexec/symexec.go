@@ -1,0 +1,493 @@
+// Package symexec implements Step II of the RID analysis (§3.3.3, §4.4):
+// per-path symbolic execution that turns each enumerated path into a set of
+// summary entries. Instruction semantics follow Figure 6; call instructions
+// follow Algorithm 1 (one forked state per satisfiable callee summary
+// entry); at each return an entry is produced and conditions on local
+// variables are removed by existential projection.
+package symexec
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cfg"
+	"repro/internal/ir"
+	"repro/internal/solver"
+	"repro/internal/summary"
+	"repro/internal/sym"
+)
+
+// Config controls the executor. Zero values select the paper's evaluation
+// settings (§6.1): 100 paths per function, 10 sub-cases per path.
+type Config struct {
+	MaxPaths    int
+	MaxSubcases int
+
+	// PathWorkers > 1 summarizes a function's paths concurrently (each
+	// worker with its own solver) — the "symbolically executing multiple
+	// paths in parallel" item of the paper's §7 future work. Results are
+	// deterministic: entries are collected in path order regardless of
+	// completion order.
+	PathWorkers int
+
+	// PruneInfeasible enables the satisfiability check of Algorithm 1
+	// line 6 when forking on callee summary entries. Disabling it is the
+	// BenchmarkAblationNoPruning configuration.
+	PruneInfeasible bool
+
+	// KeepLocalConds disables the local-condition projection of §3.3.3
+	// (ablation only; entries stop being caller-comparable).
+	KeepLocalConds bool
+}
+
+// DefaultConfig returns the paper's evaluation configuration.
+func DefaultConfig() Config {
+	return Config{MaxPaths: 100, MaxSubcases: 10, PruneInfeasible: true}
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxPaths == 0 {
+		c.MaxPaths = 100
+	}
+	if c.MaxSubcases == 0 {
+		c.MaxSubcases = 10
+	}
+	return c
+}
+
+// PathEntry is a finalized summary entry tagged with the path it came from.
+type PathEntry struct {
+	*summary.Entry
+	PathIndex int
+}
+
+// Result is the outcome of summarizing one function.
+type Result struct {
+	Fn        *ir.Func
+	Entries   []PathEntry
+	NumPaths  int
+	Truncated bool // path or sub-case budget was hit (default entry needed)
+}
+
+// taggedCond is one conjunct of the path constraint, remembering which
+// branch instruction produced it so that re-executing the branch (loop
+// unrolling) replaces rather than accumulates it (Figure 6).
+type taggedCond struct {
+	cond *sym.Expr
+	src  *ir.Instr // nil for non-branch conditions (assume, call entries)
+}
+
+type state struct {
+	conds   []taggedCond
+	changes map[string]summary.Change
+	vmap    map[string]*sym.Expr
+	ret     *sym.Expr
+	hasRet  bool
+	dead    bool
+}
+
+func (st *state) clone() *state {
+	n := &state{
+		conds:   make([]taggedCond, len(st.conds)),
+		changes: make(map[string]summary.Change, len(st.changes)),
+		vmap:    make(map[string]*sym.Expr, len(st.vmap)),
+		ret:     st.ret,
+		hasRet:  st.hasRet,
+	}
+	copy(n.conds, st.conds)
+	for k, v := range st.changes {
+		n.changes[k] = v
+	}
+	for k, v := range st.vmap {
+		n.vmap[k] = v
+	}
+	return n
+}
+
+func (st *state) consSet() sym.Set {
+	s := sym.True()
+	for _, tc := range st.conds {
+		s = s.And(tc.cond)
+	}
+	return s
+}
+
+// addCond appends a condition; returns false when the state became
+// trivially infeasible.
+func (st *state) addCond(c *sym.Expr, src *ir.Instr) bool {
+	if c.IsTrue() {
+		if src != nil {
+			st.removeCondFrom(src)
+		}
+		return true
+	}
+	if c.IsFalse() {
+		st.dead = true
+		return false
+	}
+	if src != nil {
+		st.removeCondFrom(src)
+	}
+	st.conds = append(st.conds, taggedCond{cond: c, src: src})
+	return true
+}
+
+// removeCondFrom drops any condition previously added by the given branch
+// instruction (Figure 6's replacement rule for re-executed branches).
+func (st *state) removeCondFrom(src *ir.Instr) {
+	out := st.conds[:0]
+	for _, tc := range st.conds {
+		if tc.src != src {
+			out = append(out, tc)
+		}
+	}
+	st.conds = out
+}
+
+// ---------------------------------------------------------------------------
+
+// Executor summarizes functions against a summary database.
+type Executor struct {
+	cfg Config
+	db  *summary.DB
+	slv *solver.Solver
+
+	siteIDs map[*ir.Instr]int
+}
+
+// pathRun is the per-path execution context: its own occurrence counters
+// (fresh symbols are named by creation site and occurrence index so the
+// "same" value — e.g. the object allocated by a given call — has one
+// identity across all paths) and, in parallel mode, its own solver.
+type pathRun struct {
+	*Executor
+	slv  *solver.Solver
+	occ  map[*ir.Instr]int
+	anon int
+}
+
+// New returns an executor. db supplies callee summaries (predefined and
+// previously computed); slv decides constraint satisfiability.
+func New(db *summary.DB, slv *solver.Solver, cfg Config) *Executor {
+	return &Executor{cfg: cfg.withDefaults(), db: db, slv: slv}
+}
+
+// siteSym returns the fresh symbol for the current execution of in: stable
+// across paths (same site, same occurrence index → same symbol).
+func (pr *pathRun) siteSym(fn *ir.Func, in *ir.Instr, prefix string) *sym.Expr {
+	return sym.Fresh(fmt.Sprintf("%s@%s#%d.%d", prefix, fn.Name, pr.siteIDs[in], pr.occ[in]))
+}
+
+func (pr *pathRun) anonSym(prefix string) *sym.Expr {
+	pr.anon++
+	return sym.Fresh(fmt.Sprintf("%s%d", prefix, pr.anon))
+}
+
+// Summarize runs Steps I and II on fn: enumerate paths, symbolically
+// execute each, and return the per-path entries (Step III — consistency
+// checking and merging — lives in internal/ipp).
+func (ex *Executor) Summarize(fn *ir.Func) Result {
+	ex.siteIDs = make(map[*ir.Instr]int)
+	id := 0
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			ex.siteIDs[in] = id
+			id++
+		}
+	}
+	g := cfg.New(fn)
+	enum := g.Enumerate(ex.cfg.MaxPaths)
+	res := Result{Fn: fn, NumPaths: len(enum.Paths), Truncated: enum.Truncated}
+
+	type pathOut struct {
+		entries   []*summary.Entry
+		truncated bool
+	}
+	outs := make([]pathOut, len(enum.Paths))
+
+	workers := ex.cfg.PathWorkers
+	if workers <= 1 || len(enum.Paths) < 2 {
+		pr := &pathRun{Executor: ex, slv: ex.slv}
+		for i, p := range enum.Paths {
+			outs[i].entries, outs[i].truncated = pr.execPath(fn, p)
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				pr := &pathRun{Executor: ex, slv: solver.New()}
+				for i := range work {
+					outs[i].entries, outs[i].truncated = pr.execPath(fn, enum.Paths[i])
+				}
+			}()
+		}
+		for i := range enum.Paths {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+
+	for i, o := range outs {
+		if o.truncated {
+			res.Truncated = true
+		}
+		for _, e := range o.entries {
+			res.Entries = append(res.Entries, PathEntry{Entry: e, PathIndex: i})
+		}
+	}
+	return res
+}
+
+// execPath symbolically executes one path and returns its summary entries.
+func (pr *pathRun) execPath(fn *ir.Func, path cfg.Path) ([]*summary.Entry, bool) {
+	init := &state{
+		changes: make(map[string]summary.Change),
+		vmap:    make(map[string]*sym.Expr, len(fn.Params)),
+	}
+	for _, p := range fn.Params {
+		init.vmap[p] = sym.Arg(p)
+	}
+	states := []*state{init}
+	truncated := false
+	var finished []*state
+	pr.occ = make(map[*ir.Instr]int)
+
+	for bi, b := range path.Blocks {
+		blk := fn.Blocks[b]
+		next := -1
+		if bi+1 < len(path.Blocks) {
+			next = path.Blocks[bi+1]
+		}
+		for _, in := range blk.Instrs {
+			pr.occ[in]++
+			var out []*state
+			for _, st := range states {
+				if st.dead {
+					continue
+				}
+				res := pr.step(fn, st, in, next)
+				for _, ns := range res {
+					if ns.dead {
+						continue
+					}
+					if ns.hasRet || in.Op == ir.OpReturn {
+						finished = append(finished, ns)
+					} else {
+						out = append(out, ns)
+					}
+				}
+			}
+			states = out
+			if len(states) > pr.cfg.MaxSubcases {
+				states = states[:pr.cfg.MaxSubcases]
+				truncated = true
+			}
+			if len(states) == 0 {
+				break
+			}
+		}
+		if len(states) == 0 {
+			break
+		}
+	}
+
+	var entries []*summary.Entry
+	for _, st := range finished {
+		if e := pr.finalize(fn, st); e != nil {
+			entries = append(entries, e)
+		}
+	}
+	if len(entries) > pr.cfg.MaxSubcases {
+		entries = entries[:pr.cfg.MaxSubcases]
+		truncated = true
+	}
+	return entries, truncated
+}
+
+// step executes one instruction on st, returning the successor states
+// (usually the same state mutated; calls may fork).
+func (pr *pathRun) step(fn *ir.Func, st *state, in *ir.Instr, nextBlock int) []*state {
+	one := []*state{st}
+	switch in.Op {
+	case ir.OpAssign:
+		st.vmap[in.Dst] = pr.eval(st, in.Val)
+	case ir.OpLoadField:
+		st.vmap[in.Dst] = sym.Field(pr.eval(st, in.Obj), in.Field)
+	case ir.OpRandom:
+		st.vmap[in.Dst] = pr.siteSym(fn, in, "r")
+	case ir.OpCompare:
+		a := pr.eval(st, in.A)
+		b := pr.eval(st, in.B)
+		st.vmap[in.Dst] = sym.Cond(a, in.Pred, b)
+	case ir.OpAssume:
+		c := pr.eval(st, in.Cond).AsCond()
+		st.addCond(c, nil)
+	case ir.OpBranch:
+		// Control transfer only; the path dictates the successor.
+	case ir.OpBranchCond:
+		if in.True == in.False || nextBlock < 0 {
+			return one
+		}
+		c := pr.eval(st, in.Cond).AsCond()
+		if nextBlock == in.False {
+			c = c.NegateCond()
+		} else if nextBlock != in.True {
+			// Path and terminator disagree: malformed path; kill the state.
+			st.dead = true
+			return one
+		}
+		st.addCond(c, in)
+	case ir.OpCall:
+		return pr.call(fn, st, in)
+	case ir.OpReturn:
+		st.hasRet = true
+		if in.HasVal {
+			st.ret = pr.eval(st, in.Val)
+		}
+	}
+	return one
+}
+
+// call implements Algorithm 1: fork one state per callee summary entry
+// whose instantiated constraint is co-satisfiable with the path so far.
+func (pr *pathRun) call(fn *ir.Func, st *state, in *ir.Instr) []*state {
+	sum := pr.db.Get(in.Fn)
+	if sum == nil {
+		// Unknown function: default summary (no changes, unconstrained
+		// return) without registering it, matching §5.2's "assume these
+		// functions can return any possible value".
+		if in.Dst != "" {
+			st.vmap[in.Dst] = pr.siteSym(fn, in, in.Fn)
+		}
+		return []*state{st}
+	}
+
+	// Build the instantiation map: formal args → actual expressions,
+	// [0] → a fresh symbol for this call's result.
+	m := make(map[string]*sym.Expr, len(sum.Params)+1)
+	for i, p := range sum.Params {
+		if i < len(in.Args) {
+			m[sym.Arg(p).Key()] = pr.eval(st, in.Args[i])
+		}
+	}
+	result := pr.siteSym(fn, in, in.Fn)
+	m[sym.Ret().Key()] = result
+
+	var out []*state
+	for idx, entry := range sum.Entries {
+		inst := entry.Instantiate(m)
+		ns := st
+		if idx < len(sum.Entries)-1 {
+			ns = st.clone()
+		}
+		ok := true
+		for _, c := range inst.Cons.Conds() {
+			if !ns.addCond(c, nil) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if pr.cfg.PruneInfeasible && inst.Cons.Len() > 0 {
+			if !pr.slv.Sat(ns.consSet()) {
+				continue
+			}
+		}
+		for _, ch := range inst.Changes {
+			c := ns.changes[ch.RC.Key()]
+			c.RC = ch.RC
+			c.Delta += ch.Delta
+			if c.Delta == 0 {
+				delete(ns.changes, ch.RC.Key())
+			} else {
+				ns.changes[ch.RC.Key()] = c
+			}
+		}
+		if in.Dst != "" {
+			if inst.Ret != nil {
+				ns.vmap[in.Dst] = inst.Ret
+			} else {
+				ns.vmap[in.Dst] = result
+			}
+		}
+		out = append(out, ns)
+	}
+	return out
+}
+
+// eval maps an IR value to its symbolic expression in st.
+func (pr *pathRun) eval(st *state, v ir.Value) *sym.Expr {
+	switch v.Kind {
+	case ir.ValVar:
+		if e, ok := st.vmap[v.Var]; ok {
+			return e
+		}
+		// Read before assignment: an (unobservable) local symbol.
+		e := sym.Local(v.Var)
+		st.vmap[v.Var] = e
+		return e
+	case ir.ValInt:
+		return sym.Const(v.Int)
+	case ir.ValBool:
+		return sym.BoolConst(v.Bool)
+	case ir.ValNull:
+		return sym.Null()
+	}
+	return pr.anonSym("v")
+}
+
+// finalize turns a finished state into a summary entry: bind [0] to the
+// returned expression, project local conditions, rewrite refcount keys and
+// the return expression through the projection pins, and drop entries that
+// are unsatisfiable or whose refcounts remain unobservable.
+func (pr *pathRun) finalize(fn *ir.Func, st *state) *summary.Entry {
+	cons := st.consSet()
+	retExpr := st.ret
+	if retExpr != nil {
+		cons = cons.And(sym.Cond(sym.Ret(), ir.EQ, retExpr))
+	}
+
+	// Feasibility must be decided on the full constraint, locals included:
+	// a path can be infeasible purely through conditions on locals (e.g.
+	// $c < 0 ∧ $c > 0 after the local was overwritten), and projecting
+	// first would silently weaken an unsatisfiable system into a live one.
+	if cons.HasFalse() || !pr.slv.Sat(cons) {
+		return nil
+	}
+
+	var pins map[string]*sym.Expr
+	if !pr.cfg.KeepLocalConds {
+		cons, pins = cons.ProjectLocals()
+	}
+
+	e := summary.NewEntry(cons, nil)
+	if retExpr != nil {
+		r := retExpr
+		if pins != nil {
+			r = r.Subst(pins)
+		}
+		if r.HasLocal() {
+			r = sym.Ret() // unconstrained: "can return anything"
+		}
+		e.Ret = r
+	}
+	for _, ch := range st.changes {
+		rc := ch.RC
+		if pins != nil {
+			rc = rc.Subst(pins)
+		}
+		// Refcounts on unobservable (local) objects are kept here: their
+		// site-stable names make them comparable across the function's own
+		// path pairs, which is how allocation-failure/leak splits are
+		// caught. They are stripped from the exported function summary by
+		// ipp.Check, since callers can neither observe nor balance them.
+		e.AddChange(rc, ch.Delta)
+	}
+	return e
+}

@@ -1,0 +1,349 @@
+// Package rid is the public API of the RID reproduction: a static analyzer
+// that finds reference-count bugs by inconsistent path pair (IPP) checking,
+// after Mao et al., "RID: Finding Reference Count Bugs with Inconsistent
+// Path Pair Checking" (ASPLOS 2016).
+//
+// An inconsistent path pair is two entry-to-exit paths of one function that
+// change some reference count differently yet are indistinguishable to the
+// caller at runtime — the same arguments and the same return value are
+// feasible on both. Either path then implies a refcount bug. RID needs only
+// the specifications of the basic refcount APIs (predefined summaries); it
+// derives everything else bottom-up over the call graph.
+//
+// Typical use:
+//
+//	a := rid.New(rid.LinuxDPMSpecs())
+//	if err := a.AddSource("driver.c", src); err != nil { ... }
+//	result, err := a.Run()
+//	for _, bug := range result.Bugs { fmt.Println(bug) }
+package rid
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/baseline/cpyrule"
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/frontend/parser"
+	"repro/internal/ipp"
+	"repro/internal/ir"
+	"repro/internal/lower"
+	"repro/internal/report"
+	"repro/internal/spec"
+	"repro/internal/summary"
+)
+
+// Specs is an opaque set of predefined refcount API specifications.
+type Specs struct{ s *spec.Specs }
+
+// LinuxDPMSpecs returns the built-in Linux Dynamic Power Management
+// runtime-PM specifications (pm_runtime_get*/pm_runtime_put*).
+func LinuxDPMSpecs() Specs { return Specs{spec.LinuxDPM()} }
+
+// PythonCSpecs returns the built-in Python/C object refcount
+// specifications (Py_INCREF/Py_DECREF, new/borrowed/stolen references).
+func PythonCSpecs() Specs { return Specs{spec.PythonC()} }
+
+// ParseSpecs parses additional specifications in the summary DSL (see
+// package documentation for the format) and merges them into s.
+func (s Specs) Parse(name, src string) (Specs, error) {
+	extra, err := spec.Parse(name, src)
+	if err != nil {
+		return s, err
+	}
+	merged := spec.NewSpecs()
+	if s.s != nil {
+		merged.Merge(s.s)
+	}
+	merged.Merge(extra)
+	return Specs{merged}, nil
+}
+
+// Options tunes the analysis. The zero value reproduces the paper's
+// evaluation configuration (§6.1): at most 100 paths per function, 10
+// sub-cases per path, category-2 functions analyzed only when they have at
+// most 3 conditional branches, sequential scheduling.
+type Options struct {
+	// MaxPaths bounds path enumeration per function (default 100).
+	MaxPaths int
+	// MaxSubcases bounds summary entries per path (default 10).
+	MaxSubcases int
+	// MaxCat2Conds is the §5.2 complexity gate (default 3).
+	MaxCat2Conds int
+	// Workers >1 analyzes independent call-graph SCCs in parallel;
+	// <0 uses GOMAXPROCS.
+	Workers int
+	// PreserveBitTests keeps "x & CONST" expressions as stable symbolic
+	// terms instead of abstracting them to unknowns, eliminating the §6.4
+	// bit-operation false positives (the paper's future-work extension).
+	// Must be set before sources are added.
+	PreserveBitTests bool
+	// Suppress lists functions whose reports are discarded — the triage
+	// mechanism for the abstraction-induced false positives of §6.4
+	// (patterns guarded by data-structure contents the abstraction drops).
+	Suppress []string
+}
+
+// Bug is one reported inconsistent path pair.
+type Bug struct {
+	Function string
+	File     string
+	Line     int
+	Refcount string // e.g. "[dev].pm"
+	DeltaA   int
+	DeltaB   int
+	Evidence string // two-entry detail in the layout of the paper's Fig. 2
+}
+
+// String formats the bug as a one-line diagnostic.
+func (b Bug) String() string {
+	return fmt.Sprintf("%s:%d: %s: inconsistent path pair on %s (%+d vs %+d)",
+		b.File, b.Line, b.Function, b.Refcount, b.DeltaA, b.DeltaB)
+}
+
+// Categories mirrors Table 1 of the paper.
+type Categories struct {
+	RefcountChanging    int
+	AffectingAnalyzed   int
+	AffectingUnanalyzed int
+	Other               int
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Bugs       Bugs
+	Categories Categories
+	// FuncsAnalyzed is how many functions were summarized.
+	FuncsAnalyzed int
+	// FuncsTotal is how many functions were defined in the sources.
+	FuncsTotal int
+	// PathsEnumerated counts paths across all summarized functions.
+	PathsEnumerated int
+
+	db      *summary.DB
+	reports []*ipp.Report
+}
+
+// WriteReports renders the run's reports to w in the named format: "text"
+// (one line per bug, plus Figure-2-style evidence when verbose), "json"
+// (one JSON object per line) or "sarif" (a SARIF 2.1.0 log for code-review
+// tooling).
+func (r *Result) WriteReports(w io.Writer, format string, verbose bool) error {
+	f, err := report.ParseFormat(format)
+	if err != nil {
+		return err
+	}
+	return report.Write(w, f, r.reports, verbose)
+}
+
+// FunctionSummary renders the derived summary of the named function in the
+// paper's (cons, changes, return) entry layout — the automatically
+// computed contract RID checks callers against. Empty if the function was
+// not summarized.
+func (r *Result) FunctionSummary(fn string) string {
+	if r.db == nil {
+		return ""
+	}
+	s := r.db.Get(fn)
+	if s == nil {
+		return ""
+	}
+	return s.String()
+}
+
+// Bugs is a sortable bug list.
+type Bugs []Bug
+
+// ByFunction returns the bugs affecting the named function.
+func (bs Bugs) ByFunction(fn string) Bugs {
+	var out Bugs
+	for _, b := range bs {
+		if b.Function == fn {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Functions returns the distinct reported function names, sorted.
+func (bs Bugs) Functions() []string {
+	set := map[string]bool{}
+	for _, b := range bs {
+		set[b.Function] = true
+	}
+	out := make([]string, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Analyzer accumulates sources and runs the analysis.
+type Analyzer struct {
+	specs Specs
+	prog  *ir.Program
+	opts  Options
+}
+
+// New returns an analyzer with the given API specifications.
+func New(specs Specs) *Analyzer {
+	return &Analyzer{specs: specs, prog: ir.NewProgram()}
+}
+
+// SetOptions replaces the analysis options.
+func (a *Analyzer) SetOptions(o Options) { a.opts = o }
+
+// AddSource parses and lowers one mini-C source buffer into the program
+// under analysis. Multiple sources merge as with linking (§5.3); duplicate
+// definitions follow last-wins, mirroring weak-symbol merging.
+func (a *Analyzer) AddSource(filename, src string) error {
+	f, err := parser.ParseFile(filename, src)
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", filename, err)
+	}
+	lopts := lower.Options{PreserveBitTests: a.opts.PreserveBitTests}
+	if err := lower.IntoOpts(a.prog, f, lopts); err != nil {
+		return fmt.Errorf("lower %s: %w", filename, err)
+	}
+	return nil
+}
+
+// AddFile reads, parses and lowers one file from disk.
+func (a *Analyzer) AddFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return a.AddSource(path, string(data))
+}
+
+// AddDir loads every *.c file under dir, recursively.
+func (a *Analyzer) AddDir(dir string) error {
+	return filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".c") {
+			return nil
+		}
+		return a.AddFile(path)
+	})
+}
+
+// NumFunctions returns how many functions are currently loaded.
+func (a *Analyzer) NumFunctions() int { return len(a.prog.Funcs) }
+
+// FunctionCFG renders the named function's control-flow graph in Graphviz
+// dot syntax (empty string if the function is not defined). Handy when
+// triaging a report.
+func (a *Analyzer) FunctionCFG(fn string) string {
+	f := a.prog.Funcs[fn]
+	if f == nil {
+		return ""
+	}
+	return cfg.New(f).Dot()
+}
+
+// Run executes the full pipeline: classification, bottom-up summarization,
+// and IPP checking.
+func (a *Analyzer) Run() (*Result, error) {
+	if err := a.prog.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid program: %w", err)
+	}
+	opts := core.Options{
+		MaxCat2Conds: a.opts.MaxCat2Conds,
+		Workers:      a.opts.Workers,
+	}
+	if a.opts.MaxPaths != 0 || a.opts.MaxSubcases != 0 {
+		opts.Exec.MaxPaths = a.opts.MaxPaths
+		opts.Exec.MaxSubcases = a.opts.MaxSubcases
+		opts.Exec.PruneInfeasible = true
+	}
+	res := core.Analyze(a.prog, a.specs.s, opts)
+	if len(a.opts.Suppress) > 0 {
+		drop := make(map[string]bool, len(a.opts.Suppress))
+		for _, fn := range a.opts.Suppress {
+			drop[fn] = true
+		}
+		kept := res.Reports[:0]
+		for _, r := range res.Reports {
+			if !drop[r.Fn] {
+				kept = append(kept, r)
+			}
+		}
+		res.Reports = kept
+	}
+	out := &Result{
+		Categories: Categories{
+			RefcountChanging:    res.Classification.NumRefcount,
+			AffectingAnalyzed:   res.Classification.NumAffectingAnalyzed,
+			AffectingUnanalyzed: res.Classification.NumAffectingUnanalyzed,
+			Other:               res.Classification.NumOther,
+		},
+		FuncsAnalyzed:   res.Stats.FuncsAnalyzed,
+		FuncsTotal:      res.Stats.FuncsTotal,
+		PathsEnumerated: res.Stats.PathsEnumerated,
+		db:              res.DB,
+		reports:         res.Reports,
+	}
+	for _, r := range res.ReportsByFunction() {
+		out.Bugs = append(out.Bugs, toBug(r))
+	}
+	return out, nil
+}
+
+func toBug(r *ipp.Report) Bug {
+	return Bug{
+		Function: r.Fn,
+		File:     r.Pos.File,
+		Line:     r.Pos.Line,
+		Refcount: r.Refcount.Key(),
+		DeltaA:   r.DeltaA,
+		DeltaB:   r.DeltaB,
+		Evidence: r.Detail(),
+	}
+}
+
+// EscapeBug is one finding of the Cpychecker-style escape-rule baseline
+// (the comparison tool of the paper's Table 2): an object whose net
+// refcount change does not match the references escaping the function.
+type EscapeBug struct {
+	Function string
+	Object   string
+	Kind     string // "leak" or "over-decrement"
+	Net      int
+	Want     int
+}
+
+// String formats the finding.
+func (b EscapeBug) String() string {
+	return fmt.Sprintf("%s: %s of %s (net %+d, escapes %d)", b.Function, b.Kind, b.Object, b.Net, b.Want)
+}
+
+// RunEscapeRule checks the loaded program against the escape rule of
+// Cpychecker/Pungi (§2.1): in any function, the change of an object's
+// refcount must equal the number of references escaping via the return
+// value or reference-stealing APIs. Useful for Table-2-style side-by-side
+// comparisons; RID itself does not rely on this rule.
+func (a *Analyzer) RunEscapeRule() ([]EscapeBug, error) {
+	if err := a.prog.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid program: %w", err)
+	}
+	var out []EscapeBug
+	for _, r := range cpyrule.New(a.specs.s, cpyrule.Config{}).Check(a.prog) {
+		out = append(out, EscapeBug{
+			Function: r.Fn,
+			Object:   r.Object,
+			Kind:     r.Kind.String(),
+			Net:      r.Net,
+			Want:     r.Want,
+		})
+	}
+	return out, nil
+}

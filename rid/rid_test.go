@@ -1,0 +1,277 @@
+package rid
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const buggy = `
+extern int pm_runtime_get_sync(struct device *dev);
+extern int pm_runtime_put(struct device *dev);
+extern int do_transfer(struct device *dev);
+
+int drv_op(struct device *dev) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    if (ret < 0)
+        return ret;
+    ret = do_transfer(dev);
+    pm_runtime_put(dev);
+    return ret;
+}
+`
+
+func TestAnalyzeBuggySource(t *testing.T) {
+	a := New(LinuxDPMSpecs())
+	if err := a.AddSource("drv.c", buggy); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bugs) != 1 {
+		t.Fatalf("bugs: %v", res.Bugs)
+	}
+	b := res.Bugs[0]
+	if b.Function != "drv_op" || b.Refcount != "[dev].pm" {
+		t.Errorf("bug: %+v", b)
+	}
+	if b.Evidence == "" || b.File != "drv.c" || b.Line == 0 {
+		t.Errorf("evidence/position missing: %+v", b)
+	}
+	if res.Categories.RefcountChanging != 1 {
+		t.Errorf("categories: %+v", res.Categories)
+	}
+}
+
+func TestAddDirAndFiles(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "drivers")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "a.c"), []byte(buggy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "skip.h"), []byte("garbage !!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a := New(LinuxDPMSpecs())
+	if err := a.AddDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumFunctions() != 1 {
+		t.Fatalf("functions loaded: %d", a.NumFunctions())
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bugs) != 1 {
+		t.Fatalf("bugs: %v", res.Bugs)
+	}
+}
+
+func TestParseSpecsExtension(t *testing.T) {
+	specs, err := LinuxDPMSpecs().Parse("extra", `
+summary my_get(dev) {
+  entry { cons: true; changes: [dev].pm += 1; return: [0]; }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(specs)
+	err = a.AddSource("x.c", `
+int op(struct device *dev) {
+    int ret;
+    ret = my_get(dev);
+    if (ret < 0)
+        return ret;
+    ret = work(dev);
+    pm_runtime_put(dev);
+    return ret;
+}
+extern int pm_runtime_put(struct device *dev);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bugs) != 1 {
+		t.Fatalf("bugs: %v", res.Bugs)
+	}
+}
+
+func TestParseSpecsBadInput(t *testing.T) {
+	if _, err := LinuxDPMSpecs().Parse("bad", "summary ???"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestParseErrorSurfaced(t *testing.T) {
+	a := New(LinuxDPMSpecs())
+	if err := a.AddSource("bad.c", "int f( {"); err == nil {
+		t.Fatal("expected syntax error")
+	}
+}
+
+func TestBugsHelpers(t *testing.T) {
+	bs := Bugs{
+		{Function: "b"}, {Function: "a"}, {Function: "b"},
+	}
+	if got := bs.Functions(); len(got) != 2 || got[0] != "a" {
+		t.Errorf("Functions: %v", got)
+	}
+	if got := bs.ByFunction("b"); len(got) != 2 {
+		t.Errorf("ByFunction: %v", got)
+	}
+}
+
+func TestRunEscapeRule(t *testing.T) {
+	a := New(PythonCSpecs())
+	err := a.AddSource("m.c", `
+int always_leak(PyObject *o) {
+    Py_INCREF(o);
+    return 0;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bugs, err := a.RunEscapeRule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bugs) != 1 || bugs[0].Kind != "leak" || bugs[0].Function != "always_leak" {
+		t.Fatalf("bugs: %v", bugs)
+	}
+	// RID misses this consistent leak — the complementarity of Table 2.
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bugs) != 0 {
+		t.Errorf("RID should miss the consistent leak: %v", res.Bugs)
+	}
+}
+
+func TestWriteReportsFormats(t *testing.T) {
+	a := New(LinuxDPMSpecs())
+	if err := a.AddSource("drv.c", buggy); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{"text", "json", "sarif"} {
+		var buf strings.Builder
+		if err := res.WriteReports(&buf, format, true); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if !strings.Contains(buf.String(), "drv_op") {
+			t.Errorf("%s output missing function name", format)
+		}
+	}
+	if err := res.WriteReports(io.Discard, "bogus", false); err == nil {
+		t.Error("bogus format accepted")
+	}
+}
+
+func TestSuppressOption(t *testing.T) {
+	a := New(LinuxDPMSpecs())
+	a.SetOptions(Options{Suppress: []string{"drv_op"}})
+	if err := a.AddSource("drv.c", buggy); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bugs) != 0 {
+		t.Errorf("suppressed function still reported: %v", res.Bugs)
+	}
+}
+
+func TestFunctionCFG(t *testing.T) {
+	a := New(LinuxDPMSpecs())
+	if err := a.AddSource("drv.c", buggy); err != nil {
+		t.Fatal(err)
+	}
+	dot := a.FunctionCFG("drv_op")
+	if !strings.Contains(dot, `digraph "drv_op"`) {
+		t.Errorf("dot: %s", dot)
+	}
+	if a.FunctionCFG("nope") != "" {
+		t.Error("unknown function must yield empty dot")
+	}
+}
+
+func TestFunctionSummaryAccessor(t *testing.T) {
+	a := New(LinuxDPMSpecs())
+	if err := a.AddSource("drv.c", buggy); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.FunctionSummary("drv_op"), "[dev].pm") {
+		t.Errorf("summary: %q", res.FunctionSummary("drv_op"))
+	}
+	if res.FunctionSummary("nope") != "" {
+		t.Error("unknown function must yield empty summary")
+	}
+}
+
+func TestAddFileErrors(t *testing.T) {
+	a := New(LinuxDPMSpecs())
+	if err := a.AddFile("/nonexistent/path.c"); err == nil {
+		t.Error("missing file must error")
+	}
+	if err := a.AddDir("/nonexistent/dir"); err == nil {
+		t.Error("missing dir must error")
+	}
+}
+
+func TestPreserveBitTestsFacade(t *testing.T) {
+	src := `
+extern int pm_runtime_get(struct device *dev);
+extern int pm_runtime_put(struct device *dev);
+extern int do_transfer(struct device *dev);
+
+void fp(struct device *dev, struct opts *o) {
+    if (o->flags & 2)
+        pm_runtime_get(dev);
+    do_transfer(dev);
+    if (o->flags & 2)
+        pm_runtime_put(dev);
+}
+`
+	plain := New(LinuxDPMSpecs())
+	if err := plain.AddSource("m.c", src); err != nil {
+		t.Fatal(err)
+	}
+	res1, _ := plain.Run()
+	if len(res1.Bugs) == 0 {
+		t.Fatal("paper abstraction must FP on the bitmask pattern")
+	}
+
+	ext := New(LinuxDPMSpecs())
+	ext.SetOptions(Options{PreserveBitTests: true})
+	if err := ext.AddSource("m.c", src); err != nil {
+		t.Fatal(err)
+	}
+	res2, _ := ext.Run()
+	if len(res2.Bugs) != 0 {
+		t.Errorf("PreserveBitTests must kill the FP: %v", res2.Bugs)
+	}
+}

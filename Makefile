@@ -2,20 +2,25 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt cover examples experiments clean
+.PHONY: all build test race bench bench-all vet fmt cover examples experiments clean
 
 all: build vet test
 
 build:
 	$(GO) build ./...
 
-test:
+test: vet
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/summary/ ./internal/symexec/
+	$(GO) test -race ./internal/...
 
+# §6.5 scaling benches with allocation stats; raw JSON lands in
+# BENCH_section65.json for before/after comparisons.
 bench:
+	$(GO) test -run '^$$' -bench 'Section65' -benchmem -json . | tee BENCH_section65.json
+
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 vet:

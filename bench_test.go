@@ -17,6 +17,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/lower"
 	"repro/internal/spec"
+	"repro/internal/sym"
 	"repro/internal/symexec"
 )
 
@@ -416,6 +417,52 @@ func BenchmarkAblationSolverCache(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				core.Analyze(prog, spec.LinuxDPM(), core.Options{NoCache: noCache})
 			}
+		})
+	}
+}
+
+// BenchmarkAblationInterning toggles expression hash-consing: with it off,
+// every constructor allocates a fresh node, equality falls back to
+// canonical-key strings, and solver cache keys are full-text joins.
+func BenchmarkAblationInterning(b *testing.B) {
+	prog, _ := ablationProgram(b)
+	for _, interning := range []bool{true, false} {
+		name := "interning-on"
+		if !interning {
+			name = "interning-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			prev := sym.SetInterning(interning)
+			defer sym.SetInterning(prev)
+			b.ReportAllocs()
+			var reports int
+			for i := 0; i < b.N; i++ {
+				res := core.Analyze(prog, spec.LinuxDPM(), core.Options{})
+				reports = len(res.Reports)
+			}
+			b.ReportMetric(float64(reports), "reports")
+		})
+	}
+}
+
+// BenchmarkAblationBucketing toggles Step III's changes-signature
+// bucketing and the syntactic contradiction pre-filter: with it off, every
+// kept pair goes through the SameChanges map comparison and the solver.
+func BenchmarkAblationBucketing(b *testing.B) {
+	prog, _ := ablationProgram(b)
+	for _, noBucketing := range []bool{false, true} {
+		name := "bucketing-on"
+		if noBucketing {
+			name = "bucketing-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var reports int
+			for i := 0; i < b.N; i++ {
+				res := core.Analyze(prog, spec.LinuxDPM(), core.Options{NoBucketing: noBucketing})
+				reports = len(res.Reports)
+			}
+			b.ReportMetric(float64(reports), "reports")
 		})
 	}
 }

@@ -26,6 +26,9 @@ type Options struct {
 	MaxCat2Conds int  // §5.2 complexity gate; default 3
 	Workers      int  // parallel SCC workers; default 1, <0 means GOMAXPROCS
 	NoCache      bool // disable solver memoization (ablation)
+	// NoBucketing disables Step III's changes-signature bucketing and the
+	// syntactic contradiction pre-filter (ablation).
+	NoBucketing bool
 	// AnalyzeAll disables the §5.2 selective analysis and summarizes every
 	// function (ablation; expensive on large corpora).
 	AnalyzeAll bool
@@ -157,7 +160,7 @@ func sortReports(res *Result) {
 func analyzeOne(fn *ir.Func, db *summary.DB, slv *solver.Solver, opts Options) ([]*ipp.Report, *summary.Summary, int) {
 	ex := symexec.New(db, slv, opts.Exec)
 	sres := ex.Summarize(fn)
-	reports, sum := ipp.Check(sres, slv)
+	reports, sum := ipp.CheckWith(sres, slv, ipp.Options{NoBucketing: opts.NoBucketing})
 	return reports, sum, sres.NumPaths
 }
 
@@ -222,15 +225,20 @@ func analyzeParallel(prog *ir.Program, g *callgraph.Graph, db *summary.DB, toAna
 		}
 	}
 
+	// One cache for the whole run: every SCC worker (and the path workers
+	// forked from it) shares solved sub-results, so a constraint set solved
+	// anywhere in the sweep is a hit everywhere else.
+	var cache *solver.Cache
+	if !opts.NoCache {
+		cache = solver.NewCache()
+	}
+
 	workers := opts.Workers
 	done.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer done.Done()
-			slv := solver.New()
-			if opts.NoCache {
-				slv.DisableCache()
-			}
+			slv := solver.NewWithCache(solver.Limits{}, cache)
 			for i := range ready {
 				for _, fn := range sccs[i] {
 					if !toAnalyze(fn) {
@@ -246,6 +254,9 @@ func analyzeParallel(prog *ir.Program, g *callgraph.Graph, db *summary.DB, toAna
 				}
 				complete(i)
 			}
+			mu.Lock()
+			res.Stats.Solver.Add(slv.Stats())
+			mu.Unlock()
 		}()
 	}
 	done.Wait()

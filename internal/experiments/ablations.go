@@ -9,6 +9,7 @@ import (
 	"repro/internal/corpus/kernelgen"
 	"repro/internal/lower"
 	"repro/internal/spec"
+	"repro/internal/sym"
 	"repro/internal/symexec"
 )
 
@@ -63,6 +64,10 @@ func Ablations() ([]AblationRow, error) {
 		MaxPaths: 1000, MaxSubcases: 50, PruneInfeasible: true,
 	}})
 	run("solver cache off", core.Options{NoCache: true})
+	run("step-III bucketing off", core.Options{NoBucketing: true})
+	prev := sym.SetInterning(false)
+	run("expression interning off", core.Options{})
+	sym.SetInterning(prev)
 	run("path workers = 4 (§7 future work)", core.Options{Exec: symexec.Config{
 		MaxPaths: 100, MaxSubcases: 10, PruneInfeasible: true, PathWorkers: 4,
 	}})

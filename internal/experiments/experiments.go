@@ -18,6 +18,7 @@ import (
 	"repro/internal/frontend/parser"
 	"repro/internal/ir"
 	"repro/internal/lower"
+	"repro/internal/solver"
 	"repro/internal/spec"
 )
 
@@ -383,6 +384,7 @@ type PerfPoint struct {
 	Funcs        int
 	ClassifyTime time.Duration
 	AnalyzeTime  time.Duration
+	Solver       solver.Stats // aggregated across all workers
 }
 
 // Perf measures classification and analysis time across corpus scales and
@@ -403,6 +405,7 @@ func Perf(scales []int, workers int) ([]PerfPoint, error) {
 			Funcs:        res.Stats.FuncsTotal,
 			ClassifyTime: res.Stats.ClassifyTime,
 			AnalyzeTime:  res.Stats.AnalyzeTime,
+			Solver:       res.Stats.Solver,
 		})
 	}
 	return out, nil
@@ -432,9 +435,12 @@ func scaleMix(m kernelgen.Mix, s int) kernelgen.Mix {
 func FormatPerf(points []PerfPoint, workers int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "§6.5: performance scaling (workers=%d; paper: 64 min classify + 67 min analyze for 270k functions)\n", workers)
-	fmt.Fprintf(&b, "%10s %14s %14s\n", "functions", "classify", "analyze")
+	fmt.Fprintf(&b, "%10s %14s %14s %10s %10s %8s %8s %8s\n",
+		"functions", "classify", "analyze", "queries", "cachehits", "sat", "unsat", "gaveup")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%10d %14s %14s\n", p.Funcs, p.ClassifyTime.Round(time.Microsecond), p.AnalyzeTime.Round(time.Microsecond))
+		fmt.Fprintf(&b, "%10d %14s %14s %10d %10d %8d %8d %8d\n",
+			p.Funcs, p.ClassifyTime.Round(time.Microsecond), p.AnalyzeTime.Round(time.Microsecond),
+			p.Solver.Queries, p.Solver.CacheHits, p.Solver.Sat, p.Solver.Unsat, p.Solver.GaveUp)
 	}
 	return b.String()
 }

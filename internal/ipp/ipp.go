@@ -73,7 +73,22 @@ func (r *Report) Detail() string {
 	return b.String()
 }
 
+// Options tune Step III. The zero value is the production configuration.
+type Options struct {
+	// NoBucketing disables the changes-signature bucketing and the
+	// syntactic contradiction pre-filter (ablation support): every kept
+	// pair goes through SameChanges and the solver, as the original
+	// implementation did.
+	NoBucketing bool
+}
+
 // Check runs the consistency check over the per-path entries of one
+// function and builds its final summary, with default options.
+func Check(res symexec.Result, slv *solver.Solver) ([]*Report, *summary.Summary) {
+	return CheckWith(res, slv, Options{})
+}
+
+// CheckWith runs the consistency check over the per-path entries of one
 // function and builds its final summary.
 //
 // Entries are admitted in order; a candidate inconsistent with an already
@@ -81,7 +96,17 @@ func (r *Report) Detail() string {
 // (the paper drops one side "randomly"; dropping the later one keeps runs
 // deterministic). The returned summary is the set of admitted entries,
 // plus a default entry when the executor hit a budget (§5.2).
-func Check(res symexec.Result, slv *solver.Solver) ([]*Report, *summary.Summary) {
+//
+// Two pruning layers cut pairwise solver traffic without changing any
+// report. Entries are bucketed by changes-signature: signature equality is
+// exactly SameChanges, so a same-bucket pair can never be an IPP and the
+// O(changes) map comparison becomes a string compare. And before the
+// solver runs, a syntactic pre-filter intersects the interval bounds each
+// entry's constraints place on shared terms (conjuncts of the form
+// term ⋈ const); disjoint bounds on any shared term — e.g. x ≤ k in one
+// entry, x ≥ k+1 in the other — prove the conjunction UNSAT, which is the
+// same verdict Fourier–Motzkin would reach, so the pair is skipped.
+func CheckWith(res symexec.Result, slv *solver.Solver, opts Options) ([]*Report, *summary.Summary) {
 	fn := res.Fn
 	sum := summary.New(fn.Name)
 	sum.Params = fn.Params
@@ -90,11 +115,33 @@ func Check(res symexec.Result, slv *solver.Solver) ([]*Report, *summary.Summary)
 	seen := make(map[string]bool) // report dedup per (fn, refcount)
 	var kept []symexec.PathEntry
 
-	for _, cand := range res.Entries {
+	// Per-entry precomputation, indexed in parallel with res.Entries /
+	// kept: changes-signature and interval bounds.
+	var sigs, keptSigs []string
+	var bounds, keptBounds []map[string]interval
+	if !opts.NoBucketing {
+		sigs = make([]string, len(res.Entries))
+		bounds = make([]map[string]interval, len(res.Entries))
+		for i, e := range res.Entries {
+			sigs[i] = e.ChangesSignature()
+			bounds[i] = consBounds(e.Cons)
+		}
+	}
+
+	for ci, cand := range res.Entries {
 		inconsistent := false
-		for _, k := range kept {
-			if k.SameChanges(cand.Entry) {
-				continue
+		for ki, k := range kept {
+			if opts.NoBucketing {
+				if k.SameChanges(cand.Entry) {
+					continue
+				}
+			} else {
+				if keptSigs[ki] == sigs[ci] {
+					continue // same bucket: identical changes, never an IPP
+				}
+				if disjointBounds(keptBounds[ki], bounds[ci]) {
+					continue // syntactically contradictory: Sat would say no
+				}
 			}
 			// Different changes: IPP iff constraints are co-satisfiable.
 			if !slv.Sat(k.Cons.AndSet(cand.Cons)) {
@@ -125,6 +172,10 @@ func Check(res symexec.Result, slv *solver.Solver) ([]*Report, *summary.Summary)
 		}
 		if !inconsistent {
 			kept = append(kept, cand)
+			if !opts.NoBucketing {
+				keptSigs = append(keptSigs, sigs[ci])
+				keptBounds = append(keptBounds, bounds[ci])
+			}
 		}
 	}
 

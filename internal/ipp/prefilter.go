@@ -1,0 +1,117 @@
+package ipp
+
+import (
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/sym"
+)
+
+// interval is a saturating integer range [lo, hi].
+type interval struct {
+	lo, hi int64
+}
+
+func fullInterval() interval {
+	return interval{lo: math.MinInt64, hi: math.MaxInt64}
+}
+
+// intersect narrows i by o and reports whether the result is non-empty.
+func (i interval) intersect(o interval) (interval, bool) {
+	if o.lo > i.lo {
+		i.lo = o.lo
+	}
+	if o.hi < i.hi {
+		i.hi = o.hi
+	}
+	return i, i.lo <= i.hi
+}
+
+// consBounds extracts, from the conjuncts of cs that have the shape
+// term ⋈ const (either orientation), the interval each term is confined
+// to. The expression language has no arithmetic, so any non-constant
+// comparison operand is a single uninterpreted term — exactly one solver
+// variable — which makes these bounds sound: if two entries confine a
+// shared term to disjoint intervals, their conjunction is UNSAT and
+// Fourier–Motzkin would return the same verdict. Disequalities and
+// term-vs-term comparisons contribute nothing (interval stays full).
+// Returns nil when no conjunct yields a bound.
+func consBounds(cs sym.Set) map[string]interval {
+	var out map[string]interval
+	for _, c := range cs.Conds() {
+		if c.Kind != sym.KCond {
+			continue
+		}
+		term, pred := c.A, c.Pred
+		k, ok := c.B.IsConst()
+		if !ok {
+			// Try the const ⋈ term orientation, flipping the predicate so
+			// the term lands on the left.
+			k, ok = c.A.IsConst()
+			if !ok {
+				continue
+			}
+			if _, bothConst := c.B.IsConst(); bothConst {
+				continue // constant-folded elsewhere; nothing to learn
+			}
+			term, pred = c.B, pred.Flip()
+		}
+		var iv interval
+		switch pred {
+		case ir.EQ:
+			iv = interval{lo: k, hi: k}
+		case ir.LE:
+			iv = interval{lo: math.MinInt64, hi: k}
+		case ir.LT:
+			if k == math.MinInt64 {
+				continue
+			}
+			iv = interval{lo: math.MinInt64, hi: k - 1}
+		case ir.GE:
+			iv = interval{lo: k, hi: math.MaxInt64}
+		case ir.GT:
+			if k == math.MaxInt64 {
+				continue
+			}
+			iv = interval{lo: k + 1, hi: math.MaxInt64}
+		default: // NE carries no interval information
+			continue
+		}
+		if out == nil {
+			out = make(map[string]interval, 4)
+		}
+		key := term.Key()
+		cur, have := out[key]
+		if !have {
+			cur = fullInterval()
+		}
+		// An empty within-entry intersection means the entry itself is
+		// UNSAT; keep the empty interval — it makes every pairing with a
+		// bounded shared term disjoint, matching the solver's verdict.
+		cur, _ = cur.intersect(iv)
+		out[key] = cur
+	}
+	return out
+}
+
+// disjointBounds reports whether some term bounded in both maps has
+// disjoint intervals — a syntactic proof that the conjunction of the two
+// constraint sets is unsatisfiable.
+func disjointBounds(a, b map[string]interval) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for key, ia := range a {
+		ib, ok := b[key]
+		if !ok {
+			continue
+		}
+		if _, nonEmpty := ia.intersect(ib); !nonEmpty {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,67 @@
+package solver
+
+import "sync"
+
+// Cache is a sharded, mutex-striped SAT/UNSAT memo table keyed by the
+// canonical identity of a constraint set (sym.Set.CacheKey). A single
+// Cache is safely shared by every SCC worker and path worker of an
+// analysis run: results are deterministic for fixed Limits, so sharing
+// only removes duplicate solves, never changes an answer.
+type Cache struct {
+	shards [cacheShardCount]cacheShard
+}
+
+const cacheShardCount = 64
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[string]bool
+}
+
+// NewCache returns an empty shared solver cache.
+func NewCache() *Cache {
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]bool)
+	}
+	return c
+}
+
+// shardFor hashes the key (FNV-1a) onto a stripe.
+func (c *Cache) shardFor(key string) *cacheShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &c.shards[h%cacheShardCount]
+}
+
+// Get returns the memoized verdict for key, if present.
+func (c *Cache) Get(key string) (verdict, ok bool) {
+	s := c.shardFor(key)
+	s.mu.RLock()
+	verdict, ok = s.m[key]
+	s.mu.RUnlock()
+	return verdict, ok
+}
+
+// Put records the verdict for key. Last writer wins; concurrent writers
+// always agree because the solver is deterministic for fixed limits.
+func (c *Cache) Put(key string, verdict bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	s.m[key] = verdict
+	s.mu.Unlock()
+}
+
+// Len returns the number of memoized entries (diagnostics and tests).
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.RUnlock()
+	}
+	return n
+}

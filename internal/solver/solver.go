@@ -18,6 +18,7 @@
 package solver
 
 import (
+	"math"
 	"sort"
 
 	"repro/internal/ir"
@@ -45,30 +46,58 @@ type Stats struct {
 	GaveUp    int // budget exceeded, answered SAT conservatively
 }
 
-// Solver answers satisfiability queries with memoization. It is not safe
-// for concurrent use; create one per worker.
+// Add accumulates o into s (merging per-worker counters).
+func (s *Stats) Add(o Stats) {
+	s.Queries += o.Queries
+	s.CacheHits += o.CacheHits
+	s.Sat += o.Sat
+	s.Unsat += o.Unsat
+	s.GaveUp += o.GaveUp
+}
+
+// Solver answers satisfiability queries with memoization. A Solver's
+// counters are not safe for concurrent use — create one per worker — but
+// the underlying Cache may be shared across workers (see Fork and
+// NewWithCache).
 type Solver struct {
 	limits Limits
-	cache  map[string]bool
+	cache  *Cache
 	stats  Stats
 }
 
-// New returns a solver with default limits and caching enabled.
+// New returns a solver with default limits and a private cache.
 func New() *Solver { return NewWithLimits(Limits{}) }
 
-// NewWithLimits returns a solver with explicit limits.
+// NewWithLimits returns a solver with explicit limits and a private cache.
 func NewWithLimits(l Limits) *Solver {
+	return NewWithCache(l, NewCache())
+}
+
+// NewWithCache returns a solver with explicit limits backed by the given
+// shared cache. A nil cache disables memoization. Solvers sharing a cache
+// must use identical limits, so cached verdicts are interchangeable.
+func NewWithCache(l Limits, c *Cache) *Solver {
 	if l.MaxConstraints == 0 {
 		l.MaxConstraints = defaultMaxConstraints
 	}
 	if l.MaxSplits == 0 {
 		l.MaxSplits = defaultMaxSplits
 	}
-	return &Solver{limits: l, cache: make(map[string]bool)}
+	return &Solver{limits: l, cache: c}
+}
+
+// Fork returns a new solver sharing s's limits and cache, with fresh
+// counters. Use one fork per worker goroutine; merge the counters back
+// with AddStats.
+func (s *Solver) Fork() *Solver {
+	return &Solver{limits: s.limits, cache: s.cache}
 }
 
 // Stats returns a copy of the accumulated counters.
 func (s *Solver) Stats() Stats { return s.stats }
+
+// AddStats merges counters from a forked worker back into s.
+func (s *Solver) AddStats(o Stats) { s.stats.Add(o) }
 
 // DisableCache turns memoization off (ablation support).
 func (s *Solver) DisableCache() { s.cache = nil }
@@ -84,16 +113,17 @@ func (s *Solver) Sat(cs sym.Set) bool {
 		s.stats.Sat++
 		return true
 	}
-	key := cs.Key()
+	var key string
 	if s.cache != nil {
-		if v, ok := s.cache[key]; ok {
+		key = cs.CacheKey()
+		if v, ok := s.cache.Get(key); ok {
 			s.stats.CacheHits++
 			return v
 		}
 	}
 	res := s.solve(cs)
 	if s.cache != nil {
-		s.cache[key] = res
+		s.cache.Put(key, res)
 	}
 	if res {
 		s.stats.Sat++
@@ -201,8 +231,169 @@ func neg(l linear) linear {
 // Decision procedure
 
 func (s *Solver) solve(cs sym.Set) bool {
+	if v, ok := s.quickSolve(cs); ok {
+		return v
+	}
 	p := translate(cs)
 	return s.solveSplit(p.ineqs, p.diseq, 0)
+}
+
+// quickSolve decides conjunctions whose conjuncts all have the shape
+// term ⋈ const (either orientation) without building the linear system:
+// each distinct term is then an independent integer variable, so the
+// conjunction is satisfiable iff every term's interval — after applying
+// its ≠ exclusions — is non-empty. This is exact (it agrees with
+// Fourier–Motzkin plus disequality splitting on this fragment) and covers
+// the bulk of path-feasibility queries, which compare arguments, fields,
+// and call results against constants.
+//
+// The second return is false when the query is out of scope: a conjunct
+// compares two non-constant terms, or deciding it exactly would exceed a
+// budget under which the full procedure gives up conservatively (the
+// verdicts must stay identical to the slow path, give-ups included).
+// quickSolve bounds: small fixed capacities keep the whole fast path on
+// the stack; queries that exceed them fall through to the full procedure.
+const (
+	quickMaxTerms = 16
+	quickMaxNE    = 16
+)
+
+func (s *Solver) quickSolve(cs sym.Set) (verdict, handled bool) {
+	conds := cs.Conds()
+	if len(conds)*2 > s.limits.MaxConstraints {
+		return false, false // slow path may give up; let it
+	}
+	var (
+		terms  [quickMaxTerms]*sym.Expr
+		lo, hi [quickMaxTerms]int64
+		neTerm [quickMaxNE]int
+		neVal  [quickMaxNE]int64
+	)
+	nTerms, nNE := 0, 0
+	for _, c := range conds {
+		if c.Kind != sym.KCond {
+			continue // constants; translate skips these too
+		}
+		term, pred := c.A, c.Pred
+		k, ok := c.B.IsConst()
+		if !ok {
+			k, ok = c.A.IsConst()
+			if !ok {
+				return false, false // term-vs-term: needs elimination
+			}
+			term, pred = c.B, pred.Flip()
+		}
+		if term.ID() == 0 {
+			// Uninterned terms have no cheap identity; use the full
+			// procedure (only reachable with interning ablated off).
+			return false, false
+		}
+		ti := -1
+		for i := 0; i < nTerms; i++ {
+			if terms[i] == term { // interned: structural equality is identity
+				ti = i
+				break
+			}
+		}
+		if ti < 0 {
+			if nTerms == quickMaxTerms {
+				return false, false
+			}
+			ti = nTerms
+			nTerms++
+			terms[ti] = term
+			lo[ti], hi[ti] = math.MinInt64, math.MaxInt64
+			if term.Kind == sym.KCond {
+				lo[ti], hi[ti] = 0, 1 // opaque boolean terms range over {0,1}
+			}
+		}
+		switch pred {
+		case ir.EQ:
+			if k > lo[ti] {
+				lo[ti] = k
+			}
+			if k < hi[ti] {
+				hi[ti] = k
+			}
+		case ir.LE:
+			if k < hi[ti] {
+				hi[ti] = k
+			}
+		case ir.LT:
+			if k == math.MinInt64 {
+				return false, false
+			}
+			if k-1 < hi[ti] {
+				hi[ti] = k - 1
+			}
+		case ir.GE:
+			if k > lo[ti] {
+				lo[ti] = k
+			}
+		case ir.GT:
+			if k == math.MaxInt64 {
+				return false, false
+			}
+			if k+1 > lo[ti] {
+				lo[ti] = k + 1
+			}
+		case ir.NE:
+			if nNE == quickMaxNE {
+				return false, false
+			}
+			neTerm[nNE] = ti
+			neVal[nNE] = k
+			nNE++
+		}
+	}
+	if nNE > s.limits.MaxSplits {
+		return false, false // slow path would give up; preserve that
+	}
+	for ti := 0; ti < nTerms; ti++ {
+		if lo[ti] > hi[ti] {
+			return false, true
+		}
+		if lo[ti] == math.MinInt64 || hi[ti] == math.MaxInt64 {
+			continue // an infinite side always escapes finite exclusions
+		}
+		nExcl := 0
+		for j := 0; j < nNE; j++ {
+			if neTerm[j] == ti {
+				nExcl++
+			}
+		}
+		if nExcl == 0 {
+			continue
+		}
+		// uint64 subtraction is exact for any int64 pair with hi ≥ lo; the
+		// +1 cannot wrap because the full-range case was handled above.
+		width := uint64(hi[ti]) - uint64(lo[ti]) + 1
+		if width > uint64(nExcl) {
+			continue // more values than exclusions: something survives
+		}
+		// Tiny finite range (≤ MaxSplits values): test each one.
+		sat := false
+		for v := lo[ti]; ; v++ {
+			excluded := false
+			for j := 0; j < nNE; j++ {
+				if neTerm[j] == ti && neVal[j] == v {
+					excluded = true
+					break
+				}
+			}
+			if !excluded {
+				sat = true
+				break
+			}
+			if v == hi[ti] {
+				break
+			}
+		}
+		if !sat {
+			return false, true
+		}
+	}
+	return true, true
 }
 
 // solveSplit resolves disequalities by case analysis, then runs FM.

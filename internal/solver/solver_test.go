@@ -113,6 +113,18 @@ func TestSatCache(t *testing.T) {
 	}
 }
 
+func TestSatCacheTermVsTerm(t *testing.T) {
+	// Term-vs-term comparisons take the full Fourier–Motzkin path; they
+	// must be memoized too.
+	s := New()
+	cs := set(sym.Cond(sym.Arg("a"), ir.GT, sym.Arg("b")))
+	s.Sat(cs)
+	s.Sat(cs)
+	if s.Stats().CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1", s.Stats().CacheHits)
+	}
+}
+
 func TestSatManyDisequalities(t *testing.T) {
 	// a ∈ {0..3} with a ≠ 0, a ≠ 1, a ≠ 2, a ≠ 3: unsat, needs splits.
 	a := sym.Arg("a")

@@ -9,6 +9,7 @@ package summary
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -118,6 +119,32 @@ func (e *Entry) Instantiate(m map[string]*sym.Expr) *Entry {
 		n.Changes[rc.Key()] = nc
 	}
 	return n
+}
+
+// ChangesSignature returns a canonical string identifying the entry's
+// refcount changes: the sorted (refcount key, delta) pairs. Two entries
+// have equal signatures iff SameChanges holds, so Step III can bucket
+// entries by signature and only cross-bucket pairs can form an IPP.
+func (e *Entry) ChangesSignature() string {
+	if len(e.Changes) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(e.Changes))
+	n := 0
+	for k := range e.Changes {
+		keys = append(keys, k)
+		n += len(k) + 24
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.Grow(n)
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.Itoa(e.Changes[k].Delta))
+		b.WriteByte(';')
+	}
+	return b.String()
 }
 
 // SortedChanges returns the changes sorted by refcount key.

@@ -8,12 +8,13 @@
 // property that they are unobservable outside the function and are
 // existentially projected away when a path summary is finalized.
 //
-// Expressions are immutable once built; Key() provides a canonical string
-// used for structural equality, hashing and as the solver's variable name.
+// Expressions are immutable and hash-consed (see intern.go): structurally
+// equal expressions are pointer-identical, Key() is a string computed once
+// per distinct node, and HasLocal/HasRet are precomputed flags.
 package sym
 
 import (
-	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/ir"
@@ -34,6 +35,13 @@ const (
 	KCond              // A Pred B: a boolean condition
 )
 
+// Derived-property flag bits.
+const (
+	flagComputed = 1 << iota // initDerived ran (distinguishes zero value)
+	flagHasLocal
+	flagHasRet
+)
+
 // Expr is an immutable symbolic expression.
 type Expr struct {
 	Kind Kind
@@ -43,13 +51,15 @@ type Expr struct {
 	Pred ir.Pred // KCond
 	A, B *Expr   // KCond
 
-	key string // memoized canonical form
+	id    uint64 // interned identity; 0 when built with interning off
+	key   string // canonical form, computed once at construction
+	flags uint8
 }
 
 // Constructors.
 
 // Const returns an integer constant expression.
-func Const(v int64) *Expr { return &Expr{Kind: KConst, Int: v} }
+func Const(v int64) *Expr { return intern(KConst, v, "", nil, 0, nil, nil) }
 
 // BoolConst returns 1 for true and 0 for false, the integer encoding used
 // throughout the analysis.
@@ -61,24 +71,24 @@ func BoolConst(b bool) *Expr {
 }
 
 // Null returns the null-pointer expression.
-func Null() *Expr { return &Expr{Kind: KNull} }
+func Null() *Expr { return intern(KNull, 0, "", nil, 0, nil, nil) }
 
 // Arg returns the expression for formal argument name, written [name].
-func Arg(name string) *Expr { return &Expr{Kind: KArg, Name: name} }
+func Arg(name string) *Expr { return intern(KArg, 0, name, nil, 0, nil, nil) }
 
 // Ret returns [0], the summarized function's return value.
-func Ret() *Expr { return &Expr{Kind: KRet} }
+func Ret() *Expr { return intern(KRet, 0, "", nil, 0, nil, nil) }
 
 // Local returns the expression for a local variable read before assignment.
-func Local(name string) *Expr { return &Expr{Kind: KLocal, Name: name} }
+func Local(name string) *Expr { return intern(KLocal, 0, name, nil, 0, nil, nil) }
 
 // Fresh returns a fresh symbol; callers must ensure name uniqueness (the
 // symbolic executor uses a per-path counter).
-func Fresh(name string) *Expr { return &Expr{Kind: KFresh, Name: name} }
+func Fresh(name string) *Expr { return intern(KFresh, 0, name, nil, 0, nil, nil) }
 
 // Field returns base.name.
 func Field(base *Expr, name string) *Expr {
-	return &Expr{Kind: KField, Base: base, Name: name}
+	return intern(KField, 0, name, base, 0, nil, nil)
 }
 
 // Cond returns the condition a pred b, folding constants and boolean
@@ -119,7 +129,7 @@ func Cond(a *Expr, pred ir.Pred, b *Expr) *Expr {
 		}
 	}
 	// Identical terms decide reflexive predicates.
-	if a.Key() == b.Key() {
+	if a.Equal(b) {
 		switch pred {
 		case ir.EQ, ir.LE, ir.GE:
 			return BoolConst(true)
@@ -131,7 +141,7 @@ func Cond(a *Expr, pred ir.Pred, b *Expr) *Expr {
 	if (pred == ir.EQ || pred == ir.NE) && a.Key() > b.Key() {
 		a, b = b, a
 	}
-	return &Expr{Kind: KCond, Pred: pred, A: a, B: b}
+	return intern(KCond, 0, "", nil, pred, a, b)
 }
 
 // constValue returns the integer value of constants and null.
@@ -186,10 +196,29 @@ func (e *Expr) AsCond() *Expr {
 	return Cond(e, ir.NE, Const(0))
 }
 
+// initDerived computes the canonical key and the derived flags exactly
+// once, at construction, before the node can be shared across goroutines.
+func (e *Expr) initDerived() {
+	e.key = e.buildKey()
+	e.flags = flagComputed
+	switch e.Kind {
+	case KLocal, KFresh:
+		e.flags |= flagHasLocal
+	case KRet:
+		e.flags |= flagHasRet
+	case KField:
+		e.flags |= e.Base.flags & (flagHasLocal | flagHasRet)
+	case KCond:
+		e.flags |= (e.A.flags | e.B.flags) & (flagHasLocal | flagHasRet)
+	}
+}
+
 // Key returns the canonical string form of e. Two expressions are
 // structurally equal iff their keys are equal.
 func (e *Expr) Key() string {
 	if e.key == "" {
+		// Only reachable for Expr literals built outside the constructors
+		// (none in this repository); constructed nodes precompute the key.
 		e.key = e.buildKey()
 	}
 	return e.key
@@ -198,7 +227,7 @@ func (e *Expr) Key() string {
 func (e *Expr) buildKey() string {
 	switch e.Kind {
 	case KConst:
-		return fmt.Sprintf("%d", e.Int)
+		return strconv.FormatInt(e.Int, 10)
 	case KNull:
 		return "null"
 	case KArg:
@@ -212,7 +241,17 @@ func (e *Expr) buildKey() string {
 	case KField:
 		return e.Base.Key() + "." + e.Name
 	case KCond:
-		return "(" + e.A.Key() + " " + e.Pred.String() + " " + e.B.Key() + ")"
+		ak, pk, bk := e.A.Key(), e.Pred.String(), e.B.Key()
+		var b strings.Builder
+		b.Grow(len(ak) + len(pk) + len(bk) + 4)
+		b.WriteByte('(')
+		b.WriteString(ak)
+		b.WriteByte(' ')
+		b.WriteString(pk)
+		b.WriteByte(' ')
+		b.WriteString(bk)
+		b.WriteByte(')')
+		return b.String()
 	}
 	return "?"
 }
@@ -220,17 +259,31 @@ func (e *Expr) buildKey() string {
 // String renders the expression in the paper's notation.
 func (e *Expr) String() string { return e.Key() }
 
-// Equal reports structural equality.
+// Equal reports structural equality. Interned expressions compare by
+// identity; everything else falls back to canonical keys.
 func (e *Expr) Equal(o *Expr) bool {
+	if e == o {
+		return true
+	}
 	if e == nil || o == nil {
-		return e == o
+		return false
+	}
+	if e.id != 0 && o.id != 0 {
+		return false // both interned and not the same node
 	}
 	return e.Key() == o.Key()
 }
 
+// ID returns the interned identity of e (0 when e was built with
+// interning disabled). Stable for the lifetime of the process.
+func (e *Expr) ID() uint64 { return e.id }
+
 // HasLocal reports whether e mentions a local variable or fresh symbol —
 // i.e. anything unobservable outside the function.
 func (e *Expr) HasLocal() bool {
+	if e.flags&flagComputed != 0 {
+		return e.flags&flagHasLocal != 0
+	}
 	switch e.Kind {
 	case KLocal, KFresh:
 		return true
@@ -244,6 +297,9 @@ func (e *Expr) HasLocal() bool {
 
 // HasRet reports whether e mentions [0].
 func (e *Expr) HasRet() bool {
+	if e.flags&flagComputed != 0 {
+		return e.flags&flagHasRet != 0
+	}
 	switch e.Kind {
 	case KRet:
 		return true
@@ -257,6 +313,9 @@ func (e *Expr) HasRet() bool {
 
 // Subst returns e with every maximal subexpression whose Key appears in m
 // replaced by the mapped expression. The substitution is simultaneous.
+// Untouched subtrees are returned as-is, and rebuilt nodes are interned,
+// so instantiating a summary reuses existing subtrees instead of
+// reallocating them.
 func (e *Expr) Subst(m map[string]*Expr) *Expr {
 	if len(m) == 0 {
 		return e
@@ -301,13 +360,58 @@ func (e *Expr) Atoms(out []*Expr) []*Expr {
 
 // Set is a conjunction of boolean conditions. The zero value is the empty
 // (true) constraint. Sets are treated as immutable: And returns a new Set.
+// Alongside the insertion-order condition list, a Set maintains the same
+// conditions sorted by canonical key, which makes duplicate checks a
+// binary search, Key() a join of precomputed strings, and CacheKey() an
+// O(n) join of interned IDs.
 type Set struct {
-	conds []*Expr
-	keys  map[string]bool
+	conds  []*Expr // insertion order
+	sorted []*Expr // the same conditions, ordered by Key(), unique
 }
 
 // True returns the empty constraint.
 func True() Set { return Set{} }
+
+// NewSet returns the conjunction of conds, exactly as if And were folded
+// over them: conditions are coerced via AsCond, decided-true conditions
+// and duplicates are dropped (first occurrence wins).
+func NewSet(conds []*Expr) Set {
+	s := Set{
+		conds:  make([]*Expr, 0, len(conds)),
+		sorted: make([]*Expr, 0, len(conds)),
+	}
+	for _, cond := range conds {
+		c := cond.AsCond()
+		if c.IsTrue() {
+			continue
+		}
+		idx, found := s.search(c)
+		if found {
+			continue
+		}
+		s.conds = append(s.conds, c)
+		s.sorted = append(s.sorted, nil)
+		copy(s.sorted[idx+1:], s.sorted[idx:])
+		s.sorted[idx] = c
+	}
+	return s
+}
+
+// search locates c's key in the sorted slice, returning the insertion
+// index and whether an equal condition is already present.
+func (s Set) search(c *Expr) (int, bool) {
+	key := c.Key()
+	lo, hi := 0, len(s.sorted)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.sorted[mid].Key() < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(s.sorted) && s.sorted[lo].Key() == key
+}
 
 // And returns s extended with cond (coerced via AsCond). Decided-true
 // conditions are dropped; duplicates are dropped; a decided-false condition
@@ -317,26 +421,33 @@ func (s Set) And(cond *Expr) Set {
 	if c.IsTrue() {
 		return s
 	}
-	if s.keys[c.Key()] {
+	idx, found := s.search(c)
+	if found {
 		return s
 	}
-	n := Set{conds: make([]*Expr, len(s.conds), len(s.conds)+1), keys: make(map[string]bool, len(s.conds)+1)}
-	copy(n.conds, s.conds)
-	for k := range s.keys {
-		n.keys[k] = true
+	n := Set{
+		conds:  make([]*Expr, 0, len(s.conds)+1),
+		sorted: make([]*Expr, 0, len(s.sorted)+1),
 	}
-	n.conds = append(n.conds, c)
-	n.keys[c.Key()] = true
+	n.conds = append(append(n.conds, s.conds...), c)
+	n.sorted = append(n.sorted, s.sorted[:idx]...)
+	n.sorted = append(n.sorted, c)
+	n.sorted = append(n.sorted, s.sorted[idx:]...)
 	return n
 }
 
 // AndSet returns the conjunction of s and o.
 func (s Set) AndSet(o Set) Set {
-	out := s
-	for _, c := range o.conds {
-		out = out.And(c)
+	if len(o.conds) == 0 {
+		return s
 	}
-	return out
+	if len(s.conds) == 0 {
+		return o
+	}
+	merged := make([]*Expr, 0, len(s.conds)+len(o.conds))
+	merged = append(merged, s.conds...)
+	merged = append(merged, o.conds...)
+	return NewSet(merged)
 }
 
 // Conds returns the conditions in insertion order. The slice must not be
@@ -359,11 +470,14 @@ func (s Set) HasFalse() bool {
 
 // Subst applies an expression substitution to every condition.
 func (s Set) Subst(m map[string]*Expr) Set {
-	out := True()
-	for _, c := range s.conds {
-		out = out.And(c.Subst(m))
+	if len(m) == 0 {
+		return s
 	}
-	return out
+	subbed := make([]*Expr, len(s.conds))
+	for i, c := range s.conds {
+		subbed[i] = c.Subst(m)
+	}
+	return NewSet(subbed)
 }
 
 // WithoutLocals returns the set with every condition that mentions a local
@@ -382,6 +496,18 @@ func (s Set) WithoutLocals() Set {
 // to refcount keys and return expressions so that, e.g., the refcount of an
 // object held in a returned local becomes the refcount of [0].
 func (s Set) ProjectLocals() (Set, map[string]*Expr) {
+	// Fast path: nothing mentions a local, so there is nothing to project
+	// and nothing to pin.
+	anyLocal := false
+	for _, c := range s.conds {
+		if c.HasLocal() {
+			anyLocal = true
+			break
+		}
+	}
+	if !anyLocal {
+		return s, nil
+	}
 	conds := s.conds
 	pins := make(map[string]*Expr)
 	// Fixpoint: substitute locals that are pinned by an equality to a
@@ -416,19 +542,19 @@ func (s Set) ProjectLocals() (Set, map[string]*Expr) {
 				pins[k] = v
 			}
 		}
-		next := True()
-		for _, c := range conds {
-			next = next.And(c.Subst(m))
+		subbed := make([]*Expr, len(conds))
+		for i, c := range conds {
+			subbed[i] = c.Subst(m)
 		}
-		conds = next.conds
+		conds = NewSet(subbed).conds
 	}
-	out := True()
+	keep := make([]*Expr, 0, len(conds))
 	for _, c := range conds {
 		if !c.HasLocal() {
-			out = out.And(c)
+			keep = append(keep, c)
 		}
 	}
-	return out, pins
+	return NewSet(keep), pins
 }
 
 // isProjectable reports whether e is a term whose only unobservable part is
@@ -442,14 +568,48 @@ func isProjectable(e *Expr) bool {
 }
 
 // Key returns a canonical string for the whole conjunction (sorted), used
-// for solver caching.
+// for display and as the order-insensitive identity of the set.
 func (s Set) Key() string {
-	ks := make([]string, len(s.conds))
-	for i, c := range s.conds {
-		ks[i] = c.Key()
+	switch len(s.sorted) {
+	case 0:
+		return ""
+	case 1:
+		return s.sorted[0].Key()
 	}
-	sortStrings(ks)
-	return strings.Join(ks, " & ")
+	n := 0
+	for _, c := range s.sorted {
+		n += len(c.Key()) + 3
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for i, c := range s.sorted {
+		if i > 0 {
+			b.WriteString(" & ")
+		}
+		b.WriteString(c.Key())
+	}
+	return b.String()
+}
+
+// CacheKey returns a compact canonical identity for the conjunction, used
+// by the solver cache. When every condition is interned it is a join of
+// 8-byte interned IDs (prefixed with a NUL so it can never collide with a
+// textual Key); otherwise it falls back to Key().
+func (s Set) CacheKey() string {
+	for _, c := range s.sorted {
+		if c.id == 0 {
+			return s.Key()
+		}
+	}
+	b := make([]byte, 1, 1+8*len(s.sorted))
+	b[0] = 0
+	for _, c := range s.sorted {
+		id := c.id
+		b = append(b,
+			byte(id), byte(id>>8), byte(id>>16), byte(id>>24),
+			byte(id>>32), byte(id>>40), byte(id>>48), byte(id>>56))
+	}
+	return string(b)
 }
 
 // String renders the conjunction in the paper's ∧ notation.
@@ -462,14 +622,4 @@ func (s Set) String() string {
 		parts[i] = c.String()
 	}
 	return strings.Join(parts, " && ")
-}
-
-func sortStrings(s []string) {
-	// Insertion sort: sets are small and this avoids importing sort just
-	// for a hot path that profiles as negligible.
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }

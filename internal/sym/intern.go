@@ -1,0 +1,138 @@
+// Hash-consing for symbolic expressions.
+//
+// Every constructor routes through intern(), which deduplicates
+// structurally equal nodes in a sharded global table: two expressions
+// built from the same parts are the same pointer. Because children are
+// interned before their parents, a node's identity is fully described by
+// its kind, scalar payload, and the interned IDs of its children — the
+// table key is a small comparable struct, never a rebuilt string. Each
+// interned node carries a unique nonzero ID and a canonical key string
+// computed exactly once, so expression equality is pointer (or ID)
+// comparison and Set/solver cache keys are O(n) ID joins instead of
+// O(tree) string construction.
+//
+// Interning can be switched off (SetInterning) for ablation benchmarks
+// and equivalence tests; constructors then allocate fresh nodes with
+// ID 0, and every consumer falls back to canonical-key comparison, which
+// is what the pre-interning implementation did everywhere.
+package sym
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ir"
+)
+
+// interningOff is the ablation switch. The zero value (false) means
+// hash-consing is ON, which is the production configuration.
+var interningOff atomic.Bool
+
+// SetInterning enables or disables hash-consing for subsequently built
+// expressions and reports the previous setting. Already-interned nodes
+// remain valid either way; expressions created while interning is off
+// simply carry no ID and compare by canonical key.
+func SetInterning(on bool) bool {
+	prev := !interningOff.Load()
+	interningOff.Store(!on)
+	return prev
+}
+
+// InterningEnabled reports whether constructors hash-cons new nodes.
+func InterningEnabled() bool { return !interningOff.Load() }
+
+// nodeKey identifies an expression up to structural equality, given that
+// all children are interned: child identity is their interned ID.
+type nodeKey struct {
+	kind    Kind
+	num     int64
+	name    string
+	pred    ir.Pred
+	base    uint64 // Base.id for KField
+	a, b    uint64 // A.id, B.id for KCond
+}
+
+const internShardCount = 64
+
+type internShard struct {
+	mu sync.Mutex
+	m  map[nodeKey]*Expr
+}
+
+var (
+	internTab    [internShardCount]internShard
+	internNextID atomic.Uint64
+)
+
+func init() {
+	for i := range internTab {
+		internTab[i].m = make(map[nodeKey]*Expr, 256)
+	}
+}
+
+// shardOf hashes the node key (FNV-1a over its scalar fields and name)
+// to spread lock traffic across shards under parallel analysis.
+func shardOf(k nodeKey) *internShard {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(k.kind))
+	mix(uint64(k.num))
+	mix(uint64(k.pred))
+	mix(k.base)
+	mix(k.a)
+	mix(k.b)
+	for i := 0; i < len(k.name); i++ {
+		mix(uint64(k.name[i]))
+	}
+	return &internTab[h%internShardCount]
+}
+
+// InternedCount returns the number of distinct expressions currently in
+// the table (diagnostics and tests).
+func InternedCount() int {
+	n := 0
+	for i := range internTab {
+		internTab[i].mu.Lock()
+		n += len(internTab[i].m)
+		internTab[i].mu.Unlock()
+	}
+	return n
+}
+
+// intern builds (or retrieves) the node for the given parts. Children
+// must already be constructed. When interning is disabled, or when any
+// child predates it (ID 0), a fresh uninterned node is returned.
+func intern(kind Kind, num int64, name string, base *Expr, pred ir.Pred, a, b *Expr) *Expr {
+	if interningOff.Load() ||
+		(base != nil && base.id == 0) ||
+		(a != nil && a.id == 0) || (b != nil && b.id == 0) {
+		e := &Expr{Kind: kind, Int: num, Name: name, Base: base, Pred: pred, A: a, B: b}
+		e.initDerived()
+		return e
+	}
+	k := nodeKey{kind: kind, num: num, name: name, pred: pred}
+	if base != nil {
+		k.base = base.id
+	}
+	if a != nil {
+		k.a = a.id
+	}
+	if b != nil {
+		k.b = b.id
+	}
+	s := shardOf(k)
+	s.mu.Lock()
+	if e, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		return e
+	}
+	e := &Expr{Kind: kind, Int: num, Name: name, Base: base, Pred: pred, A: a, B: b}
+	e.initDerived()
+	e.id = internNextID.Add(1)
+	s.m[k] = e
+	s.mu.Unlock()
+	return e
+}

@@ -1,0 +1,118 @@
+package sym
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestInterningPointerIdentity(t *testing.T) {
+	if !InterningEnabled() {
+		t.Fatal("interning must be on by default")
+	}
+	a1 := Field(Arg("dev"), "pm")
+	a2 := Field(Arg("dev"), "pm")
+	if a1 != a2 {
+		t.Error("structurally equal field chains are not pointer-identical")
+	}
+	c1 := Cond(a1, ir.LT, Const(0))
+	c2 := Cond(a2, ir.LT, Const(0))
+	if c1 != c2 {
+		t.Error("structurally equal conditions are not pointer-identical")
+	}
+	if c1.ID() == 0 {
+		t.Error("interned node has no ID")
+	}
+	if c1.Key() != "([dev].pm < 0)" {
+		t.Errorf("precomputed key wrong: %q", c1.Key())
+	}
+}
+
+func TestInterningDistinctNodesDistinctIDs(t *testing.T) {
+	a := Arg("a")
+	b := Arg("b")
+	if a == b || a.ID() == b.ID() {
+		t.Error("distinct expressions share identity")
+	}
+}
+
+func TestInterningToggleFallsBack(t *testing.T) {
+	prev := SetInterning(false)
+	defer SetInterning(prev)
+
+	x1 := Field(Arg("x"), "cnt")
+	x2 := Field(Arg("x"), "cnt")
+	if x1 == x2 {
+		t.Error("interning off must allocate fresh nodes")
+	}
+	if x1.ID() != 0 || x2.ID() != 0 {
+		t.Error("uninterned nodes must carry ID 0")
+	}
+	// Equality, flags, and keys still work via the canonical-key fallback.
+	if !x1.Equal(x2) {
+		t.Error("uninterned structural equality broken")
+	}
+	if x1.Key() != x2.Key() {
+		t.Error("uninterned keys differ")
+	}
+	// A parent built (with interning back on) over an uninterned child must
+	// itself stay uninterned: its child has no identity to key on.
+	SetInterning(true)
+	c := Cond(x1, ir.EQ, Const(0))
+	if c.ID() != 0 {
+		t.Error("parent over uninterned child must not be interned")
+	}
+}
+
+func TestCacheKeyCanonical(t *testing.T) {
+	a := Cond(Arg("a"), ir.GE, Const(0))
+	b := Cond(Arg("b"), ir.LT, Const(5))
+	s1 := True().And(a).And(b)
+	s2 := True().And(b).And(a)
+	if s1.CacheKey() != s2.CacheKey() {
+		t.Error("CacheKey is order-sensitive")
+	}
+	if s1.CacheKey()[0] != 0 {
+		t.Error("interned CacheKey must be NUL-prefixed (collision guard)")
+	}
+	s3 := True().And(a)
+	if s1.CacheKey() == s3.CacheKey() {
+		t.Error("different sets share a CacheKey")
+	}
+}
+
+func TestCacheKeyFallsBackWhenUninterned(t *testing.T) {
+	prev := SetInterning(false)
+	c := Cond(Arg("z"), ir.NE, Const(0))
+	SetInterning(prev)
+	s := True().And(c)
+	if s.CacheKey() != s.Key() {
+		t.Error("uninterned sets must fall back to the textual key")
+	}
+}
+
+func TestNewSetMatchesAndFold(t *testing.T) {
+	conds := []*Expr{
+		Cond(Arg("a"), ir.GE, Const(0)),
+		Cond(Arg("b"), ir.LT, Const(3)),
+		Cond(Arg("a"), ir.GE, Const(0)), // duplicate
+		BoolConst(true),                 // dropped
+		Cond(Arg("c"), ir.EQ, Arg("d")),
+	}
+	bulk := NewSet(conds)
+	folded := True()
+	for _, c := range conds {
+		folded = folded.And(c)
+	}
+	if bulk.Key() != folded.Key() {
+		t.Errorf("NewSet key %q != And-fold key %q", bulk.Key(), folded.Key())
+	}
+	if bulk.Len() != folded.Len() {
+		t.Errorf("NewSet len %d != And-fold len %d", bulk.Len(), folded.Len())
+	}
+	for i, c := range bulk.Conds() {
+		if folded.Conds()[i] != c {
+			t.Fatalf("insertion order diverges at %d", i)
+		}
+	}
+}

@@ -7,7 +7,7 @@
 package symexec
 
 import (
-	"fmt"
+	"strconv"
 	"sync"
 
 	"repro/internal/cfg"
@@ -84,15 +84,22 @@ type state struct {
 	ret     *sym.Expr
 	hasRet  bool
 	dead    bool
+	// cons caches the constraint Set built from conds (Sets are immutable,
+	// so clones share it). Maintained incrementally by addCond; invalidated
+	// when a re-executed branch replaces its condition.
+	cons      sym.Set
+	consValid bool
 }
 
 func (st *state) clone() *state {
 	n := &state{
-		conds:   make([]taggedCond, len(st.conds)),
-		changes: make(map[string]summary.Change, len(st.changes)),
-		vmap:    make(map[string]*sym.Expr, len(st.vmap)),
-		ret:     st.ret,
-		hasRet:  st.hasRet,
+		conds:     make([]taggedCond, len(st.conds)),
+		changes:   make(map[string]summary.Change, len(st.changes)),
+		vmap:      make(map[string]*sym.Expr, len(st.vmap)),
+		ret:       st.ret,
+		hasRet:    st.hasRet,
+		cons:      st.cons,
+		consValid: st.consValid,
 	}
 	copy(n.conds, st.conds)
 	for k, v := range st.changes {
@@ -105,11 +112,15 @@ func (st *state) clone() *state {
 }
 
 func (st *state) consSet() sym.Set {
-	s := sym.True()
-	for _, tc := range st.conds {
-		s = s.And(tc.cond)
+	if !st.consValid {
+		conds := make([]*sym.Expr, len(st.conds))
+		for i, tc := range st.conds {
+			conds[i] = tc.cond
+		}
+		st.cons = sym.NewSet(conds)
+		st.consValid = true
 	}
-	return s
+	return st.cons
 }
 
 // addCond appends a condition; returns false when the state became
@@ -129,6 +140,9 @@ func (st *state) addCond(c *sym.Expr, src *ir.Instr) bool {
 		st.removeCondFrom(src)
 	}
 	st.conds = append(st.conds, taggedCond{cond: c, src: src})
+	if st.consValid {
+		st.cons = st.cons.And(c)
+	}
 	return true
 }
 
@@ -140,6 +154,9 @@ func (st *state) removeCondFrom(src *ir.Instr) {
 		if tc.src != src {
 			out = append(out, tc)
 		}
+	}
+	if len(out) != len(st.conds) {
+		st.consValid = false // a condition was replaced; rebuild lazily
 	}
 	st.conds = out
 }
@@ -175,12 +192,20 @@ func New(db *summary.DB, slv *solver.Solver, cfg Config) *Executor {
 // siteSym returns the fresh symbol for the current execution of in: stable
 // across paths (same site, same occurrence index → same symbol).
 func (pr *pathRun) siteSym(fn *ir.Func, in *ir.Instr, prefix string) *sym.Expr {
-	return sym.Fresh(fmt.Sprintf("%s@%s#%d.%d", prefix, fn.Name, pr.siteIDs[in], pr.occ[in]))
+	var b []byte
+	b = append(b, prefix...)
+	b = append(b, '@')
+	b = append(b, fn.Name...)
+	b = append(b, '#')
+	b = strconv.AppendInt(b, int64(pr.siteIDs[in]), 10)
+	b = append(b, '.')
+	b = strconv.AppendInt(b, int64(pr.occ[in]), 10)
+	return sym.Fresh(string(b))
 }
 
 func (pr *pathRun) anonSym(prefix string) *sym.Expr {
 	pr.anon++
-	return sym.Fresh(fmt.Sprintf("%s%d", prefix, pr.anon))
+	return sym.Fresh(prefix + strconv.Itoa(pr.anon))
 }
 
 // Summarize runs Steps I and II on fn: enumerate paths, symbolically
@@ -214,21 +239,29 @@ func (ex *Executor) Summarize(fn *ir.Func) Result {
 	} else {
 		var wg sync.WaitGroup
 		work := make(chan int)
+		forks := make([]*solver.Solver, workers)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			// Each worker forks the executor's solver: same limits, shared
+			// cache (one worker's verdict is every worker's cache hit),
+			// private counters merged back below.
+			forks[w] = ex.slv.Fork()
+			go func(slv *solver.Solver) {
 				defer wg.Done()
-				pr := &pathRun{Executor: ex, slv: solver.New()}
+				pr := &pathRun{Executor: ex, slv: slv}
 				for i := range work {
 					outs[i].entries, outs[i].truncated = pr.execPath(fn, enum.Paths[i])
 				}
-			}()
+			}(forks[w])
 		}
 		for i := range enum.Paths {
 			work <- i
 		}
 		close(work)
 		wg.Wait()
+		for _, f := range forks {
+			ex.slv.AddStats(f.Stats())
+		}
 	}
 
 	for i, o := range outs {

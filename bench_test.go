@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/baseline/cpyrule"
@@ -82,7 +83,7 @@ func BenchmarkFigure2Foo(b *testing.B) {
 	b.ReportAllocs()
 	var reports int
 	for i := 0; i < b.N; i++ {
-		res := core.Analyze(prog, specs, core.Options{})
+		res := core.Analyze(context.Background(), prog, specs, core.Options{})
 		reports = len(res.Reports)
 	}
 	if reports != 1 {
@@ -97,7 +98,7 @@ func benchPattern(b *testing.B, mix kernelgen.Mix, wantReports int) {
 	b.ReportAllocs()
 	var reports int
 	for i := 0; i < b.N; i++ {
-		res := core.Analyze(prog, spec.LinuxDPM(), core.Options{})
+		res := core.Analyze(context.Background(), prog, spec.LinuxDPM(), core.Options{})
 		reports = 0
 		for _, r := range res.Reports {
 			if _, labeled := c.Truth[r.Fn]; labeled {
@@ -138,7 +139,7 @@ func BenchmarkTable1Classification(b *testing.B) {
 	b.ResetTimer()
 	var res *core.Result
 	for i := 0; i < b.N; i++ {
-		res = core.Analyze(prog, spec.LinuxDPM(), core.Options{})
+		res = core.Analyze(context.Background(), prog, spec.LinuxDPM(), core.Options{})
 	}
 	cl := res.Classification
 	b.ReportMetric(float64(cl.NumRefcount), "cat1")
@@ -167,7 +168,7 @@ func BenchmarkTable2PythonC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		common, ridOnly, cpyOnly = 0, 0, 0
 		for _, m := range mods {
-			res := core.Analyze(m.prog, specs, core.Options{})
+			res := core.Analyze(context.Background(), m.prog, specs, core.Options{})
 			rid := map[string]bool{}
 			for _, r := range res.Reports {
 				rid[r.Fn] = true
@@ -212,7 +213,7 @@ func BenchmarkSection62DPMBugs(b *testing.B) {
 	b.ResetTimer()
 	var reports, confirmed int
 	for i := 0; i < b.N; i++ {
-		res := core.Analyze(prog, spec.LinuxDPM(), core.Options{})
+		res := core.Analyze(context.Background(), prog, spec.LinuxDPM(), core.Options{})
 		reports = len(res.Reports)
 		confirmed = 0
 		hit := map[string]bool{}
@@ -237,7 +238,7 @@ func BenchmarkSection63GetMisuse(b *testing.B) {
 	var r *experiments.MisuseResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = experiments.Misuse(317, 1)
+		r, err = experiments.Misuse(context.Background(), 317, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -275,7 +276,7 @@ func benchScale(b *testing.B, scale, workers int) {
 	b.ResetTimer()
 	var res *core.Result
 	for i := 0; i < b.N; i++ {
-		res = core.Analyze(prog, spec.LinuxDPM(), core.Options{Workers: workers})
+		res = core.Analyze(context.Background(), prog, spec.LinuxDPM(), core.Options{Workers: workers})
 	}
 	b.ReportMetric(float64(res.Stats.FuncsTotal), "functions")
 	b.ReportMetric(float64(res.Stats.FuncsAnalyzed), "analyzed")
@@ -321,12 +322,12 @@ func BenchmarkAblationNoPruning(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			opts := core.Options{Exec: symexec.Config{
-				MaxPaths: 100, MaxSubcases: 10, PruneInfeasible: pruning,
+				MaxPaths: 100, MaxSubcases: 10, NoPrune: !pruning,
 			}}
 			b.ReportAllocs()
 			var reports int
 			for i := 0; i < b.N; i++ {
-				res := core.Analyze(prog, spec.LinuxDPM(), opts)
+				res := core.Analyze(context.Background(), prog, spec.LinuxDPM(), opts)
 				reports = len(res.Reports)
 			}
 			b.ReportMetric(float64(reports), "reports")
@@ -347,12 +348,12 @@ func BenchmarkAblationKeepLocals(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			opts := core.Options{Exec: symexec.Config{
-				MaxPaths: 100, MaxSubcases: 10, PruneInfeasible: true, KeepLocalConds: keep,
+				MaxPaths: 100, MaxSubcases: 10, KeepLocalConds: keep,
 			}}
 			b.ReportAllocs()
 			var reports int
 			for i := 0; i < b.N; i++ {
-				res := core.Analyze(prog, spec.LinuxDPM(), opts)
+				res := core.Analyze(context.Background(), prog, spec.LinuxDPM(), opts)
 				reports = len(res.Reports)
 			}
 			b.ReportMetric(float64(reports), "reports")
@@ -368,7 +369,7 @@ func BenchmarkAblationCat2Limit(b *testing.B) {
 			b.ReportAllocs()
 			var analyzed int
 			for i := 0; i < b.N; i++ {
-				res := core.Analyze(prog, spec.LinuxDPM(), core.Options{MaxCat2Conds: limit})
+				res := core.Analyze(context.Background(), prog, spec.LinuxDPM(), core.Options{MaxCat2Conds: limit})
 				analyzed = res.Stats.FuncsAnalyzed
 			}
 			b.ReportMetric(float64(analyzed), "analyzed")
@@ -390,12 +391,12 @@ func BenchmarkAblationBudgets(b *testing.B) {
 	} {
 		b.Run(budget.name, func(b *testing.B) {
 			opts := core.Options{Exec: symexec.Config{
-				MaxPaths: budget.paths, MaxSubcases: budget.subs, PruneInfeasible: true,
+				MaxPaths: budget.paths, MaxSubcases: budget.subs,
 			}}
 			b.ReportAllocs()
 			var reports int
 			for i := 0; i < b.N; i++ {
-				res := core.Analyze(prog, spec.LinuxDPM(), opts)
+				res := core.Analyze(context.Background(), prog, spec.LinuxDPM(), opts)
 				reports = len(res.Reports)
 			}
 			b.ReportMetric(float64(reports), "reports")
@@ -415,7 +416,7 @@ func BenchmarkAblationSolverCache(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				core.Analyze(prog, spec.LinuxDPM(), core.Options{NoCache: noCache})
+				core.Analyze(context.Background(), prog, spec.LinuxDPM(), core.Options{NoCache: noCache})
 			}
 		})
 	}
@@ -437,7 +438,7 @@ func BenchmarkAblationInterning(b *testing.B) {
 			b.ReportAllocs()
 			var reports int
 			for i := 0; i < b.N; i++ {
-				res := core.Analyze(prog, spec.LinuxDPM(), core.Options{})
+				res := core.Analyze(context.Background(), prog, spec.LinuxDPM(), core.Options{})
 				reports = len(res.Reports)
 			}
 			b.ReportMetric(float64(reports), "reports")
@@ -459,7 +460,7 @@ func BenchmarkAblationBucketing(b *testing.B) {
 			b.ReportAllocs()
 			var reports int
 			for i := 0; i < b.N; i++ {
-				res := core.Analyze(prog, spec.LinuxDPM(), core.Options{NoBucketing: noBucketing})
+				res := core.Analyze(context.Background(), prog, spec.LinuxDPM(), core.Options{NoBucketing: noBucketing})
 				reports = len(res.Reports)
 			}
 			b.ReportMetric(float64(reports), "reports")
@@ -474,12 +475,12 @@ func BenchmarkAblationPathWorkers(b *testing.B) {
 	for _, pw := range []int{1, 2, 4} {
 		b.Run("pathworkers"+itoa(pw), func(b *testing.B) {
 			opts := core.Options{Exec: symexec.Config{
-				MaxPaths: 100, MaxSubcases: 10, PruneInfeasible: true, PathWorkers: pw,
+				MaxPaths: 100, MaxSubcases: 10, PathWorkers: pw,
 			}}
 			b.ReportAllocs()
 			var reports int
 			for i := 0; i < b.N; i++ {
-				res := core.Analyze(prog, spec.LinuxDPM(), opts)
+				res := core.Analyze(context.Background(), prog, spec.LinuxDPM(), opts)
 				reports = len(res.Reports)
 			}
 			b.ReportMetric(float64(reports), "reports")
@@ -508,7 +509,7 @@ func BenchmarkAblationBitTests(b *testing.B) {
 			b.ReportAllocs()
 			var fps, trueBugs int
 			for i := 0; i < b.N; i++ {
-				res := core.Analyze(prog, spec.LinuxDPM(), core.Options{})
+				res := core.Analyze(context.Background(), prog, spec.LinuxDPM(), core.Options{})
 				fps, trueBugs = 0, 0
 				hit := map[string]bool{}
 				for _, r := range res.Reports {

@@ -8,16 +8,23 @@
 //
 // Flags select the predefined API specifications (-spec linux-dpm or
 // -spec python-c, plus -spec-file for custom DSL files), tune the path and
-// sub-case budgets, and control output verbosity.
+// sub-case budgets, and control output verbosity. Long runs can be
+// bounded: -deadline caps the whole run, -func-timeout caps any single
+// function, and both degrade gracefully — partial results are printed and
+// -diag lists exactly what was skipped or truncated. Interrupting with
+// ^C likewise cancels the run and prints what was found so far.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/solver"
 	"repro/internal/spec"
 	"repro/internal/summary"
 	"repro/rid"
@@ -32,8 +39,13 @@ func main() {
 		maxSubs  = flag.Int("max-subcases", 10, "maximum summary entries per path")
 		cat2     = flag.Int("cat2-conds", 3, "category-2 complexity gate (conditional branches)")
 		workers  = flag.Int("workers", 1, "parallel SCC workers (-1 = all cores)")
+		deadline = flag.Duration("deadline", 0, "overall run deadline (0 = none); partial results are printed")
+		funcTO   = flag.Duration("func-timeout", 0, "per-function wall-clock budget (0 = none)")
+		maxCons  = flag.Int("solver-max-constraints", 0, "solver give-up threshold in inequalities per query (0 = default)")
+		maxSplit = flag.Int("solver-max-splits", 0, "solver disequality case-split budget per query (0 = default)")
 		verbose  = flag.Bool("v", false, "print full two-entry evidence for each bug")
 		stats    = flag.Bool("stats", false, "print classification and analysis statistics")
+		diag     = flag.Bool("diag", false, "print degradation diagnostics (truncations, timeouts, panics)")
 		separate = flag.Bool("separate", false, "analyze files separately with a shared summary DB (§5.3)")
 		saveSums = flag.String("save-summaries", "", "write the computed summary database to this JSON file")
 		dotFn    = flag.String("dot", "", "print the named function's CFG in Graphviz dot syntax and exit")
@@ -41,6 +53,16 @@ func main() {
 		suppress = flag.String("suppress", "", "comma-separated function names whose reports are discarded")
 	)
 	flag.Parse()
+
+	// ^C cancels the analysis; the run returns promptly with partial
+	// results instead of being killed mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
 
 	var specs rid.Specs
 	switch *specName {
@@ -64,16 +86,27 @@ func main() {
 	}
 
 	if *separate {
-		runSeparate(flag.Args(), *specName, *specFile, *workers, *saveSums)
+		copts := core.Options{
+			Workers:      *workers,
+			MaxCat2Conds: *cat2,
+			FuncTimeout:  *funcTO,
+			SolverLimits: solver.Limits{MaxConstraints: *maxCons, MaxSplits: *maxSplit},
+		}
+		copts.Exec.MaxPaths = *maxPaths
+		copts.Exec.MaxSubcases = *maxSubs
+		runSeparate(ctx, flag.Args(), *specName, *specFile, copts, *saveSums, *diag)
 		return
 	}
 
 	a := rid.New(specs)
 	opts := rid.Options{
-		MaxPaths:     *maxPaths,
-		MaxSubcases:  *maxSubs,
-		MaxCat2Conds: *cat2,
-		Workers:      *workers,
+		MaxPaths:             *maxPaths,
+		MaxSubcases:          *maxSubs,
+		MaxCat2Conds:         *cat2,
+		Workers:              *workers,
+		FuncTimeout:          *funcTO,
+		SolverMaxConstraints: *maxCons,
+		SolverMaxSplits:      *maxSplit,
 	}
 	if *suppress != "" {
 		opts.Suppress = strings.Split(*suppress, ",")
@@ -103,12 +136,17 @@ func main() {
 		return
 	}
 
-	res, err := a.Run()
+	res, err := a.RunContext(ctx)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	if err := res.WriteReports(os.Stdout, *format, *verbose); err != nil {
 		fatalf("%v", err)
+	}
+	if *diag {
+		if err := res.WriteDiagnostics(os.Stdout, *format); err != nil {
+			fatalf("%v", err)
+		}
 	}
 	if *stats {
 		fmt.Printf("functions: %d total, %d analyzed, %d paths\n",
@@ -116,6 +154,15 @@ func main() {
 		c := res.Categories
 		fmt.Printf("categories: refcount=%d affecting(analyzed)=%d affecting(skipped)=%d other=%d\n",
 			c.RefcountChanging, c.AffectingAnalyzed, c.AffectingUnanalyzed, c.Other)
+		if res.Degraded() {
+			fmt.Printf("degraded: %d truncated, %d timed out, %d panicked, %d diagnostics\n",
+				res.FuncsTruncated, res.FuncsTimedOut, res.FuncsPanicked, len(res.Diagnostics))
+		}
+	}
+	if ctx.Err() != nil {
+		// Partial results were printed; make the truncation unmissable.
+		fmt.Fprintf(os.Stderr, "rid: run canceled (%v); results are partial\n", ctx.Err())
+		os.Exit(3)
 	}
 	if len(res.Bugs) > 0 {
 		os.Exit(1)
@@ -125,7 +172,7 @@ func main() {
 // runSeparate implements the §5.3 separate-compilation mode: each file is
 // lowered on its own and file groups are analyzed in dependency order with
 // a shared summary database.
-func runSeparate(paths []string, specName, specFile string, workers int, saveSums string) {
+func runSeparate(ctx context.Context, paths []string, specName, specFile string, opts core.Options, saveSums string, diag bool) {
 	files := make(map[string]string, len(paths))
 	for _, p := range paths {
 		data, err := os.ReadFile(p)
@@ -157,17 +204,26 @@ func runSeparate(paths []string, specName, specFile string, workers int, saveSum
 		}
 		sp.Merge(extra)
 	}
-	res, err := core.AnalyzeFiles(files, sp, core.Options{Workers: workers})
+	res, err := core.AnalyzeFiles(ctx, files, sp, opts)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	for _, r := range res.ReportsByFunction() {
 		fmt.Println(r)
 	}
+	if diag {
+		for _, d := range res.Diagnostics {
+			fmt.Println(d)
+		}
+	}
 	if saveSums != "" {
 		if err := saveDB(res.DB, saveSums); err != nil {
 			fatalf("%v", err)
 		}
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "rid: run canceled (%v); results are partial\n", ctx.Err())
+		os.Exit(3)
 	}
 	if len(res.Reports) > 0 {
 		os.Exit(1)

@@ -164,3 +164,47 @@ error:
 		t.Fatal("summary database missing wrapper")
 	}
 }
+
+func TestCLIDiagListsTruncation(t *testing.T) {
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "m.c")
+	if err := os.WriteFile(src, []byte(`
+int many_paths(struct device *dev, int a, int b, int c) {
+    pm_runtime_get(dev);
+    if (a) do_transfer(dev);
+    if (b) do_transfer(dev);
+    if (c) do_transfer(dev);
+    pm_runtime_put(dev);
+    return 0;
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := exec.Command(bin, "-max-paths", "1", "-diag", "-stats", src).CombinedOutput()
+	s := string(out)
+	if !strings.Contains(s, "many_paths: path-budget:") {
+		t.Fatalf("-diag output missing truncation line: %s", s)
+	}
+	if !strings.Contains(s, "degraded: 1 truncated") {
+		t.Fatalf("-stats output missing degradation summary: %s", s)
+	}
+	// Without -diag the same run stays quiet about the truncation detail.
+	out2, _ := exec.Command(bin, "-max-paths", "1", src).CombinedOutput()
+	if strings.Contains(string(out2), "path-budget") {
+		t.Fatalf("diagnostics printed without -diag: %s", out2)
+	}
+}
+
+func TestCLIDeadlinePartialExit(t *testing.T) {
+	bin := buildCLI(t)
+	src := writeDriver(t)
+	out, err := exec.Command(bin, "-deadline", "1ns", src).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 3 {
+		t.Fatalf("deadline run must exit 3 (partial), got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "results are partial") {
+		t.Fatalf("missing partial-results notice: %s", out)
+	}
+}

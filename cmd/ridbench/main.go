@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/experiments"
 	"repro/internal/spec"
@@ -33,8 +35,19 @@ func main() {
 		showSpecs = flag.Bool("show-specs", false, "print the predefined summaries (Figure 7)")
 		workers   = flag.Int("workers", 1, "parallel SCC workers (-1 = all cores)")
 		seed      = flag.Int64("seed", 317, "corpus seed")
+		deadline  = flag.Duration("deadline", 0, "overall deadline for the experiment run (0 = none)")
 	)
 	flag.Parse()
+
+	// ^C (or -deadline) cancels the run; experiments then report partial,
+	// degraded numbers instead of being killed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
 	any := *table1 || *table2 || *dpm || *misuse || *perf || *showSpecs || *ablations
 	if *all || !any {
 		*table1, *table2, *dpm, *misuse, *perf, *ablations = true, true, true, true, true, true
@@ -48,32 +61,32 @@ func main() {
 		cfg := experiments.DefaultTable1()
 		cfg.Seed = *seed
 		cfg.Workers = *workers
-		r, err := experiments.Table1(cfg)
+		r, err := experiments.Table1(ctx, cfg)
 		check(err)
 		fmt.Println(r.Format())
 	}
 	if *dpm {
-		r, err := experiments.DPMBugs(*seed, *workers)
+		r, err := experiments.DPMBugs(ctx, *seed, *workers)
 		check(err)
 		fmt.Println(r.Format())
 	}
 	if *misuse {
-		r, err := experiments.Misuse(*seed, *workers)
+		r, err := experiments.Misuse(ctx, *seed, *workers)
 		check(err)
 		fmt.Println(r.Format())
 	}
 	if *table2 {
-		r, err := experiments.Table2(*workers)
+		r, err := experiments.Table2(ctx, *workers)
 		check(err)
 		fmt.Println(r.Format())
 	}
 	if *perf {
-		pts, err := experiments.Perf([]int{1, 2, 4}, *workers)
+		pts, err := experiments.Perf(ctx, []int{1, 2, 4}, *workers)
 		check(err)
 		fmt.Println(experiments.FormatPerf(pts, *workers))
 	}
 	if *ablations {
-		rows, err := experiments.Ablations()
+		rows, err := experiments.Ablations(ctx)
 		check(err)
 		fmt.Println(experiments.FormatAblations(rows))
 	}

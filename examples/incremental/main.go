@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -83,7 +84,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	first := core.Analyze(prog1, spec.LinuxDPM(), core.Options{})
+	first := core.Analyze(context.Background(), prog1, spec.LinuxDPM(), core.Options{})
 	fmt.Println("Initial analysis:")
 	for _, r := range first.ReportsByFunction() {
 		fmt.Printf("  %s\n", r)
@@ -94,7 +95,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	inc := core.Incremental(prog2, spec.LinuxDPM(), core.Options{}, first.DB, []string{"op"})
+	inc := core.Incremental(context.Background(), prog2, spec.LinuxDPM(), core.Options{}, first.DB, []string{"op"})
 	fmt.Println("After fixing op(), incremental recheck of op and its callers:")
 	if len(inc.Reports) == 0 {
 		fmt.Println("  no reports — the fix holds")

@@ -1,6 +1,7 @@
 package pungi
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -117,7 +118,7 @@ func TestSupersetOnPycgenCorpus(t *testing.T) {
 	}
 	specs := spec.PythonC()
 	pungiHits := hits(New(specs, Config{}).Check(prog))
-	res := core.Analyze(prog, specs, core.Options{})
+	res := core.Analyze(context.Background(), prog, specs, core.Options{})
 	ridHits := map[string]bool{}
 	for _, r := range res.Reports {
 		ridHits[r.Fn] = true

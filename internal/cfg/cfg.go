@@ -5,6 +5,8 @@
 package cfg
 
 import (
+	"context"
+
 	"repro/internal/ir"
 )
 
@@ -118,6 +120,10 @@ type Path struct {
 type EnumerateResult struct {
 	Paths     []Path
 	Truncated bool
+	// Canceled reports that the context expired mid-enumeration; the
+	// result is the partial prefix produced so far and Truncated is set
+	// (a canceled function degrades like a budget-truncated one).
+	Canceled bool
 }
 
 // Enumerate lists entry-to-exit paths. Each back edge is taken at most
@@ -125,16 +131,37 @@ type EnumerateResult struct {
 // most maxPaths paths are produced; maxPaths <= 0 means the default of 100
 // (the paper's evaluation setting).
 func (g *Graph) Enumerate(maxPaths int) EnumerateResult {
+	return g.EnumerateCtx(context.Background(), maxPaths)
+}
+
+// EnumerateCtx is Enumerate under a context: when ctx expires the walk
+// stops promptly and the partial result is returned with Truncated and
+// Canceled set, so the caller can fall back to a default summary instead
+// of blocking on a pathological function.
+func (g *Graph) EnumerateCtx(ctx context.Context, maxPaths int) EnumerateResult {
 	if maxPaths <= 0 {
 		maxPaths = 100
 	}
 	var res EnumerateResult
+	// Polling ctx.Err() on every visited block would dominate small
+	// functions; amortize to one check per checkEvery blocks.
+	const checkEvery = 256
+	visited := 0
 	// DFS with explicit stack of (block, taken-back-edges) is awkward to
 	// copy cheaply; use recursion with shared state and an on-path slice.
 	var cur []int
 	usedBack := make(map[[2]int]int)
 	var walk func(b int)
 	walk = func(b int) {
+		if res.Canceled {
+			return
+		}
+		visited++
+		if visited%checkEvery == 0 && ctx.Err() != nil {
+			res.Canceled = true
+			res.Truncated = true
+			return
+		}
 		if len(res.Paths) >= maxPaths {
 			res.Truncated = true
 			return

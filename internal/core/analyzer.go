@@ -2,9 +2,18 @@
 // installation, call-graph construction, the two-phase function
 // classification of §5.2, and summary-based inter-procedural IPP checking
 // in reverse topological order (optionally SCC-parallel, §5.3).
+//
+// The pipeline degrades rather than dies: every entry point takes a
+// context.Context, a per-function wall-clock budget and per-query solver
+// limits can be set in Options, and a panic inside any single function's
+// analysis is recovered into a default summary for that function. Every
+// such event is recorded in Result.Diagnostics, so callers always get
+// partial results plus an exact account of what was degraded.
 package core
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -32,8 +41,19 @@ type Options struct {
 	// AnalyzeAll disables the §5.2 selective analysis and summarizes every
 	// function (ablation; expensive on large corpora).
 	AnalyzeAll bool
+	// FuncTimeout bounds the wall-clock time spent analyzing any single
+	// function (symbolic execution plus IPP checking). When the budget
+	// expires the function keeps its partial entries plus the §5.2
+	// default entry and the run continues; 0 means unlimited.
+	FuncTimeout time.Duration
+	// SolverLimits bounds the work of each satisfiability query, for every
+	// solver in the run — sequential, SCC workers, and the path workers
+	// forked from them. Zero values select the solver's defaults.
+	SolverLimits solver.Limits
 }
 
+// withDefaults normalizes each option independently: an explicitly set
+// field is never overwritten just because a sibling field was left zero.
 func (o Options) withDefaults() Options {
 	if o.MaxCat2Conds == 0 {
 		o.MaxCat2Conds = 3
@@ -45,12 +65,10 @@ func (o Options) withDefaults() Options {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	if o.Exec.MaxPaths == 0 {
-		o.Exec = symexec.Config{
-			MaxPaths:        100,
-			MaxSubcases:     10,
-			PruneInfeasible: true,
-			KeepLocalConds:  o.Exec.KeepLocalConds,
-		}
+		o.Exec.MaxPaths = 100
+	}
+	if o.Exec.MaxSubcases == 0 {
+		o.Exec.MaxSubcases = 10
 	}
 	return o
 }
@@ -63,6 +81,12 @@ type Stats struct {
 	ClassifyTime    time.Duration
 	AnalyzeTime     time.Duration
 	Solver          solver.Stats
+
+	// Degradation counters (each function is counted at most once per
+	// category; see Result.Diagnostics for the per-function detail).
+	FuncsTruncated int // path or sub-case budget hit
+	FuncsTimedOut  int // per-function FuncTimeout expired
+	FuncsPanicked  int // panic recovered into a default summary
 }
 
 // Result is the outcome of Analyze.
@@ -71,6 +95,10 @@ type Result struct {
 	DB             *summary.DB
 	Classification *Classification
 	Stats          Stats
+	// Diagnostics records every degradation event of the run in
+	// deterministic order: budget truncations, solver give-ups, function
+	// timeouts, recovered panics, and run cancellation.
+	Diagnostics []Diagnostic
 }
 
 // ReportsByFunction returns the reports grouped and sorted by function
@@ -87,21 +115,24 @@ func (r *Result) ReportsByFunction() []*ipp.Report {
 	return out
 }
 
-// Analyze runs RID over prog with the given API specifications.
-func Analyze(prog *ir.Program, specs *spec.Specs, opts Options) *Result {
+// Analyze runs RID over prog with the given API specifications. When ctx
+// is canceled (or its deadline passes) the run stops promptly at the next
+// function or path boundary and returns the partial result, with a
+// DegradeCanceled diagnostic recording how far it got.
+func Analyze(ctx context.Context, prog *ir.Program, specs *spec.Specs, opts Options) *Result {
 	opts = opts.withDefaults()
 	db := summary.NewDB()
 	if specs != nil {
 		specs.ApplyTo(db)
 	}
-	return analyzeWithDB(prog, db, opts, nil)
+	return analyzeWithDB(ctx, prog, db, opts, nil)
 }
 
 // analyzeWithDB runs the pipeline against an existing summary database
 // (multi-file and incremental modes carry summaries across calls). When
 // only is non-nil, functions it rejects keep their existing summaries and
 // are not re-analyzed.
-func analyzeWithDB(prog *ir.Program, db *summary.DB, opts Options, only func(string) bool) *Result {
+func analyzeWithDB(ctx context.Context, prog *ir.Program, db *summary.DB, opts Options, only func(string) bool) *Result {
 	g := callgraph.Build(prog)
 
 	t0 := time.Now()
@@ -134,12 +165,20 @@ func analyzeWithDB(prog *ir.Program, db *summary.DB, opts Options, only func(str
 
 	t1 := time.Now()
 	if opts.Workers <= 1 {
-		analyzeSequential(prog, g, db, toAnalyze, opts, res)
+		analyzeSequential(ctx, prog, g, db, toAnalyze, opts, res)
 	} else {
-		analyzeParallel(prog, g, db, toAnalyze, opts, res)
+		analyzeParallel(ctx, prog, g, db, toAnalyze, opts, res)
 	}
 	res.Stats.AnalyzeTime = time.Since(t1)
 
+	if err := ctx.Err(); err != nil {
+		res.Diagnostics = append(res.Diagnostics, Diagnostic{
+			Kind: DegradeCanceled,
+			Cause: fmt.Sprintf("%v; %d of %d functions analyzed",
+				err, res.Stats.FuncsAnalyzed, res.Stats.FuncsTotal),
+		})
+	}
+	sortDiagnostics(res.Diagnostics)
 	sortReports(res)
 	return res
 }
@@ -156,28 +195,134 @@ func sortReports(res *Result) {
 	})
 }
 
-// analyzeOne summarizes a single function and checks its path entries.
-func analyzeOne(fn *ir.Func, db *summary.DB, slv *solver.Solver, opts Options) ([]*ipp.Report, *summary.Summary, int) {
-	ex := symexec.New(db, slv, opts.Exec)
-	sres := ex.Summarize(fn)
-	reports, sum := ipp.CheckWith(sres, slv, ipp.Options{NoBucketing: opts.NoBucketing})
-	return reports, sum, sres.NumPaths
+// funcOutcome is everything analyzing one function produced, including
+// its degradation record, so sequential and parallel schedulers merge
+// results identically.
+type funcOutcome struct {
+	reports  []*ipp.Report
+	sum      *summary.Summary
+	paths    int
+	diags    []Diagnostic
+	trunc    bool // a path or sub-case budget was hit
+	timedOut bool // the per-function budget expired
+	panicked bool // a panic was recovered
+	canceled bool // the run context (not the per-function budget) expired
 }
 
-func analyzeSequential(prog *ir.Program, g *callgraph.Graph, db *summary.DB, toAnalyze func(string) bool, opts Options, res *Result) {
-	slv := solver.New()
+// analyzeOne summarizes a single function and checks its path entries.
+// It never panics: a panic anywhere in symbolic execution or IPP checking
+// is recovered into a default summary plus a DegradePanic diagnostic, so
+// one pathological function cannot take down the run. Solver give-ups are
+// attributed to the function by differencing the worker solver's counters
+// (each worker owns its solver, so the delta is exact).
+func analyzeOne(ctx context.Context, fn *ir.Func, db *summary.DB, slv *solver.Solver, opts Options) funcOutcome {
+	var out funcOutcome
+	fctx := ctx
+	if opts.FuncTimeout > 0 {
+		var cancel context.CancelFunc
+		fctx, cancel = context.WithTimeout(ctx, opts.FuncTimeout)
+		defer cancel()
+	}
+	gaveUp0 := slv.Stats().GaveUp
+
+	var sres symexec.Result
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				out.panicked = true
+				out.reports = nil
+				out.paths = 0
+				out.sum = summary.Default(fn.Name)
+				out.diags = append(out.diags, Diagnostic{
+					Fn:    fn.Name,
+					Kind:  DegradePanic,
+					Cause: fmt.Sprintf("recovered panic: %v", r),
+				})
+			}
+		}()
+		ex := symexec.New(db, slv, opts.Exec)
+		sres = ex.Summarize(fctx, fn)
+		out.reports, out.sum = ipp.CheckWith(fctx, sres, slv, ipp.Options{NoBucketing: opts.NoBucketing})
+		out.paths = sres.NumPaths
+	}()
+	if out.panicked {
+		return out
+	}
+
+	if ctx.Err() != nil {
+		// The whole run is being canceled; the run-level diagnostic is
+		// recorded once by analyzeWithDB.
+		out.canceled = true
+	} else if fctx.Err() != nil {
+		out.timedOut = true
+		out.diags = append(out.diags, Diagnostic{
+			Fn:    fn.Name,
+			Kind:  DegradeTimeout,
+			Cause: fmt.Sprintf("function budget %v exceeded after %d paths; default entry added", opts.FuncTimeout, sres.NumPaths),
+		})
+	}
+	if sres.TruncatedPaths {
+		out.trunc = true
+		out.diags = append(out.diags, Diagnostic{
+			Fn:    fn.Name,
+			Kind:  DegradePathBudget,
+			Cause: fmt.Sprintf("path enumeration truncated at MaxPaths=%d", opts.Exec.MaxPaths),
+		})
+	}
+	if sres.TruncatedSubcases {
+		out.trunc = true
+		out.diags = append(out.diags, Diagnostic{
+			Fn:    fn.Name,
+			Kind:  DegradeSubcaseBudget,
+			Cause: fmt.Sprintf("sub-case set truncated at MaxSubcases=%d", opts.Exec.MaxSubcases),
+		})
+	}
+	if d := slv.Stats().GaveUp - gaveUp0; d > 0 {
+		out.diags = append(out.diags, Diagnostic{
+			Fn:    fn.Name,
+			Kind:  DegradeSolverGiveUp,
+			Cause: fmt.Sprintf("%d solver queries exceeded limits and answered SAT conservatively", d),
+		})
+	}
+	return out
+}
+
+// absorb folds one function's outcome into the result. Callers in
+// parallel mode must hold the result lock.
+func (res *Result) absorb(out funcOutcome) {
+	res.Reports = append(res.Reports, out.reports...)
+	res.Diagnostics = append(res.Diagnostics, out.diags...)
+	res.Stats.FuncsAnalyzed++
+	res.Stats.PathsEnumerated += out.paths
+	if out.trunc {
+		res.Stats.FuncsTruncated++
+	}
+	if out.timedOut {
+		res.Stats.FuncsTimedOut++
+	}
+	if out.panicked {
+		res.Stats.FuncsPanicked++
+	}
+}
+
+func analyzeSequential(ctx context.Context, prog *ir.Program, g *callgraph.Graph, db *summary.DB, toAnalyze func(string) bool, opts Options, res *Result) {
+	slv := solver.NewWithLimits(opts.SolverLimits)
 	if opts.NoCache {
 		slv.DisableCache()
 	}
 	for _, fn := range g.ReverseTopo() {
+		if ctx.Err() != nil {
+			break
+		}
 		if !toAnalyze(fn) {
 			continue
 		}
-		reports, sum, paths := analyzeOne(prog.Funcs[fn], db, slv, opts)
-		db.Put(sum)
-		res.Reports = append(res.Reports, reports...)
-		res.Stats.FuncsAnalyzed++
-		res.Stats.PathsEnumerated += paths
+		out := analyzeOne(ctx, prog.Funcs[fn], db, slv, opts)
+		db.Put(out.sum)
+		res.absorb(out)
+		if out.canceled {
+			break
+		}
 	}
 	res.Stats.Solver = slv.Stats()
 }
@@ -185,7 +330,7 @@ func analyzeSequential(prog *ir.Program, g *callgraph.Graph, db *summary.DB, toA
 // analyzeParallel schedules SCCs across workers once their callee SCCs are
 // done (§5.3: "Multiple SCCs can be analyzed in parallel as long as the
 // SCCs they depend on have been analyzed").
-func analyzeParallel(prog *ir.Program, g *callgraph.Graph, db *summary.DB, toAnalyze func(string) bool, opts Options, res *Result) {
+func analyzeParallel(ctx context.Context, prog *ir.Program, g *callgraph.Graph, db *summary.DB, toAnalyze func(string) bool, opts Options, res *Result) {
 	sccs := g.SCCs()
 	n := len(sccs)
 	// Dependency counts over the SCC DAG.
@@ -238,19 +383,26 @@ func analyzeParallel(prog *ir.Program, g *callgraph.Graph, db *summary.DB, toAna
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer done.Done()
-			slv := solver.NewWithCache(solver.Limits{}, cache)
+			slv := solver.NewWithCache(opts.SolverLimits, cache)
 			for i := range ready {
-				for _, fn := range sccs[i] {
-					if !toAnalyze(fn) {
-						continue
+				// After cancellation, keep draining the ready queue and
+				// completing SCCs (without analyzing) so every dependent
+				// unblocks and the channel is closed — a prompt return,
+				// never a deadlock.
+				if ctx.Err() == nil {
+					for _, fn := range sccs[i] {
+						if !toAnalyze(fn) {
+							continue
+						}
+						out := analyzeOne(ctx, prog.Funcs[fn], db, slv, opts)
+						db.Put(out.sum)
+						mu.Lock()
+						res.absorb(out)
+						mu.Unlock()
+						if out.canceled {
+							break
+						}
 					}
-					reports, sum, paths := analyzeOne(prog.Funcs[fn], db, slv, opts)
-					db.Put(sum)
-					mu.Lock()
-					res.Reports = append(res.Reports, reports...)
-					res.Stats.FuncsAnalyzed++
-					res.Stats.PathsEnumerated += paths
-					mu.Unlock()
 				}
 				complete(i)
 			}

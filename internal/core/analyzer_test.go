@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -16,7 +17,7 @@ func analyze(t *testing.T, src string, opts Options) *Result {
 	if err != nil {
 		t.Fatalf("lower: %v", err)
 	}
-	return Analyze(prog, spec.LinuxDPM(), opts)
+	return Analyze(context.Background(), prog, spec.LinuxDPM(), opts)
 }
 
 // figure1Src is the running example of the paper (Figures 1 and 2),
@@ -61,7 +62,7 @@ func TestFigure2Foo(t *testing.T) {
 	}
 	specs := spec.LinuxDPM()
 	specs.Merge(spec.MustParse("inc_pmcount", incPMCountSpec))
-	res := Analyze(prog, specs, Options{})
+	res := Analyze(context.Background(), prog, specs, Options{})
 
 	// Exactly one IPP: foo's paths disagree on [dev].pm.
 	if len(res.Reports) != 1 {
@@ -110,7 +111,7 @@ func TestFigure2FooSummaryAfterDrop(t *testing.T) {
 	}
 	specs := spec.LinuxDPM()
 	specs.Merge(spec.MustParse("inc_pmcount", incPMCountSpec))
-	res := Analyze(prog, specs, Options{})
+	res := Analyze(context.Background(), prog, specs, Options{})
 
 	// One side of the IPP was dropped: all remaining entries of foo must
 	// have identical changes (mutually consistent).
@@ -436,8 +437,8 @@ func TestParallelMatchesSequential(t *testing.T) {
 	specs := spec.LinuxDPM()
 	specs.Merge(spec.MustParse("inc_pmcount", incPMCountSpec))
 
-	seq := Analyze(prog, specs, Options{Workers: 1})
-	par := Analyze(prog, specs, Options{Workers: 4})
+	seq := Analyze(context.Background(), prog, specs, Options{Workers: 1})
+	par := Analyze(context.Background(), prog, specs, Options{Workers: 4})
 	if len(seq.Reports) != len(par.Reports) {
 		t.Fatalf("sequential %d reports, parallel %d", len(seq.Reports), len(par.Reports))
 	}
@@ -551,7 +552,7 @@ func TestStatsPopulated(t *testing.T) {
 
 func TestValidateIRBeforeAnalyze(t *testing.T) {
 	prog := ir.NewProgram()
-	res := Analyze(prog, nil, Options{})
+	res := Analyze(context.Background(), prog, nil, Options{})
 	if len(res.Reports) != 0 || res.Stats.FuncsTotal != 0 {
 		t.Error("empty program must analyze to nothing")
 	}

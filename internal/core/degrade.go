@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DegradeKind classifies one graceful-degradation event: a place where the
+// analysis gave up precision (or work) to keep the run alive, in the §5.2
+// spirit of "partially analyzed functions get a default summary".
+type DegradeKind int
+
+const (
+	// DegradePathBudget: path enumeration hit MaxPaths; unexplored paths
+	// are covered by the default summary entry.
+	DegradePathBudget DegradeKind = iota
+	// DegradeSubcaseBudget: a path's sub-case fork set hit MaxSubcases.
+	DegradeSubcaseBudget
+	// DegradeSolverGiveUp: one or more solver queries exceeded
+	// solver.Limits and answered SAT conservatively.
+	DegradeSolverGiveUp
+	// DegradeTimeout: the per-function wall-clock budget
+	// (Options.FuncTimeout) expired; the function keeps whatever partial
+	// summary was derived plus the default entry.
+	DegradeTimeout
+	// DegradePanic: symbolic execution of the function panicked; the
+	// panic was recovered, the function got a plain default summary, and
+	// the run continued.
+	DegradePanic
+	// DegradeCanceled: the run's context was canceled; remaining
+	// functions were skipped and partial results returned.
+	DegradeCanceled
+)
+
+// String names the kind for diagnostics output.
+func (k DegradeKind) String() string {
+	switch k {
+	case DegradePathBudget:
+		return "path-budget"
+	case DegradeSubcaseBudget:
+		return "subcase-budget"
+	case DegradeSolverGiveUp:
+		return "solver-give-up"
+	case DegradeTimeout:
+		return "timeout"
+	case DegradePanic:
+		return "panic"
+	case DegradeCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("DegradeKind(%d)", int(k))
+}
+
+// Diagnostic records one degradation event. Fn is empty for run-level
+// events (cancellation).
+type Diagnostic struct {
+	Fn    string
+	Kind  DegradeKind
+	Cause string
+}
+
+// String renders the diagnostic as one line.
+func (d Diagnostic) String() string {
+	fn := d.Fn
+	if fn == "" {
+		fn = "(run)"
+	}
+	return fmt.Sprintf("%s: %s: %s", fn, d.Kind, d.Cause)
+}
+
+// sortDiagnostics orders diagnostics deterministically: run-level first,
+// then by function, kind, cause — so parallel schedules render
+// identically.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Fn != b.Fn {
+			return a.Fn < b.Fn
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Cause < b.Cause
+	})
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/corpus/kernelgen"
+	"repro/internal/lower"
+	"repro/internal/solver"
+	"repro/internal/spec"
+	"repro/internal/symexec"
+)
+
+// faultSrc holds three independent buggy driver ops plus one clean helper.
+// victim_op is the fault-injection target; the other two must be analyzed
+// and reported identically whether or not the victim misbehaves.
+const faultSrc = `
+int victim_op(struct device *dev) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    if (ret < 0)
+        return ret;
+    ret = do_transfer(dev);
+    pm_runtime_put(dev);
+    return ret;
+}
+
+int alpha_op(struct device *dev) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    if (ret < 0)
+        return ret;
+    ret = do_transfer(dev);
+    pm_runtime_put(dev);
+    return ret;
+}
+
+int beta_op(struct device *dev) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    if (ret < 0)
+        return ret;
+    ret = do_transfer(dev);
+    pm_runtime_put(dev);
+    return ret;
+}
+
+int clean_op(struct device *dev) {
+    pm_runtime_get(dev);
+    do_transfer(dev);
+    pm_runtime_put(dev);
+    return 0;
+}
+`
+
+// renderReportsExcept renders the canonical report form with every report
+// of function fn removed, for comparing a degraded run against a clean one.
+func renderReportsExcept(res *Result, fn string) string {
+	var b strings.Builder
+	for _, r := range res.ReportsByFunction() {
+		if r.Fn == fn {
+			continue
+		}
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+		b.WriteString(r.Detail())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func hasDiag(diags []Diagnostic, fn string, kind DegradeKind) bool {
+	for _, d := range diags {
+		if d.Fn == fn && d.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPanicIsolation injects a panic into one function's symbolic
+// execution and requires, at every Workers setting: a completed run, a
+// default summary for the victim, a DegradePanic diagnostic, a counted
+// FuncsPanicked, and byte-identical reports for every other function.
+func TestPanicIsolation(t *testing.T) {
+	prog, err := lower.SourceString("t.c", faultSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := Analyze(context.Background(), prog, spec.LinuxDPM(), Options{})
+	if len(clean.Reports) == 0 {
+		t.Fatal("clean run found no reports; source not exercising the pipeline")
+	}
+	want := renderReportsExcept(clean, "victim_op")
+
+	for _, workers := range []int{1, 4} {
+		opts := Options{Workers: workers}
+		opts.Exec.OnFunction = func(fn string) {
+			if fn == "victim_op" {
+				panic("injected fault")
+			}
+		}
+		res := Analyze(context.Background(), prog, spec.LinuxDPM(), opts)
+
+		if res.Stats.FuncsPanicked != 1 {
+			t.Errorf("workers=%d: FuncsPanicked = %d, want 1", workers, res.Stats.FuncsPanicked)
+		}
+		if !hasDiag(res.Diagnostics, "victim_op", DegradePanic) {
+			t.Errorf("workers=%d: no DegradePanic diagnostic for victim_op: %v", workers, res.Diagnostics)
+		}
+		s := res.DB.Get("victim_op")
+		if s == nil || !s.HasDefault {
+			t.Errorf("workers=%d: panicked function must carry a default summary: %v", workers, s)
+		}
+		if got := renderReportsExcept(res, "victim_op"); got != want {
+			t.Errorf("workers=%d: panic in victim_op changed other functions' reports\n--- got ---\n%s\n--- want ---\n%s",
+				workers, got, want)
+		}
+		for _, r := range res.Reports {
+			if r.Fn == "victim_op" {
+				t.Errorf("workers=%d: panicked function must not report (its analysis never completed)", workers)
+			}
+		}
+	}
+}
+
+// TestFuncTimeoutDegrades gives one function an impossible wall-clock
+// budget and requires the run to finish with a default summary, a
+// DegradeTimeout diagnostic, and a FuncsTimedOut count — not an abort.
+func TestFuncTimeoutDegrades(t *testing.T) {
+	prog, err := lower.SourceString("t.c", faultSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{FuncTimeout: 2 * time.Millisecond}
+	opts.Exec.OnFunction = func(fn string) {
+		if fn == "victim_op" {
+			time.Sleep(30 * time.Millisecond)
+		}
+	}
+	res := Analyze(context.Background(), prog, spec.LinuxDPM(), opts)
+
+	if res.Stats.FuncsTimedOut != 1 {
+		t.Fatalf("FuncsTimedOut = %d, want 1; diags: %v", res.Stats.FuncsTimedOut, res.Diagnostics)
+	}
+	if !hasDiag(res.Diagnostics, "victim_op", DegradeTimeout) {
+		t.Errorf("no DegradeTimeout diagnostic for victim_op: %v", res.Diagnostics)
+	}
+	s := res.DB.Get("victim_op")
+	if s == nil || !s.HasDefault {
+		t.Errorf("timed-out function must carry a default summary: %v", s)
+	}
+	// The budget is per-function: the rest of the run is unaffected.
+	if res.Stats.FuncsAnalyzed != 4 {
+		t.Errorf("FuncsAnalyzed = %d, want 4 (timeout must not stop the run)", res.Stats.FuncsAnalyzed)
+	}
+}
+
+// TestCancellationReturnsPartialResults runs a §6.5-style generated corpus
+// under a 1ms deadline and requires a prompt return carrying partial
+// results and a run-level DegradeCanceled diagnostic.
+func TestCancellationReturnsPartialResults(t *testing.T) {
+	kc := kernelgen.Generate(kernelgen.Config{
+		Seed: 11, Mix: kernelgen.PaperMix(),
+		SimpleHelpers: 10, ComplexHelpers: 8, OtherFuncs: 50,
+	})
+	prog := buildCorpus(t, kc.Files)
+
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		opts := Options{Workers: workers}
+		// Slow each function slightly so the 1ms deadline reliably lands
+		// mid-run regardless of machine speed.
+		opts.Exec.OnFunction = func(string) { time.Sleep(300 * time.Microsecond) }
+
+		start := time.Now()
+		res := Analyze(ctx, prog, spec.LinuxDPM(), opts)
+		elapsed := time.Since(start)
+		cancel()
+
+		if elapsed > 5*time.Second {
+			t.Errorf("workers=%d: cancellation not prompt: run took %v", workers, elapsed)
+		}
+		if res.Stats.FuncsAnalyzed >= res.Stats.FuncsTotal {
+			t.Errorf("workers=%d: expected a partial run, analyzed %d of %d",
+				workers, res.Stats.FuncsAnalyzed, res.Stats.FuncsTotal)
+		}
+		if !hasDiag(res.Diagnostics, "", DegradeCanceled) {
+			t.Errorf("workers=%d: no run-level DegradeCanceled diagnostic: %v", workers, res.Diagnostics)
+		}
+	}
+}
+
+// TestCanceledContextStopsImmediately hands Analyze an already-dead
+// context: nothing may be analyzed, and the cancellation must still be
+// diagnosed.
+func TestCanceledContextStopsImmediately(t *testing.T) {
+	prog, err := lower.SourceString("t.c", faultSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := Analyze(ctx, prog, spec.LinuxDPM(), Options{})
+	if res.Stats.FuncsAnalyzed != 0 {
+		t.Errorf("FuncsAnalyzed = %d on a canceled context, want 0", res.Stats.FuncsAnalyzed)
+	}
+	if !hasDiag(res.Diagnostics, "", DegradeCanceled) {
+		t.Errorf("no DegradeCanceled diagnostic: %v", res.Diagnostics)
+	}
+}
+
+// splitHeavySrc puts two disequality conditions on every refcount path so
+// a MaxSplits=1 solver budget is guaranteed to be exceeded during
+// infeasible-path pruning and IPP checking.
+const splitHeavySrc = `
+int split_a(struct device *dev, int a, int b) {
+    if (a != 0) {
+        if (b != 1) {
+            pm_runtime_get(dev);
+            do_transfer(dev);
+            pm_runtime_put(dev);
+            return 0;
+        }
+    }
+    return -1;
+}
+
+int split_b(struct device *dev, int a, int b) {
+    if (a != 2) {
+        if (b != 3) {
+            pm_runtime_get(dev);
+            do_transfer(dev);
+            pm_runtime_put(dev);
+            return 0;
+        }
+    }
+    return -1;
+}
+
+int split_c(struct device *dev, int a, int b) {
+    if (a != 4) {
+        if (b != 5) {
+            pm_runtime_get(dev);
+            do_transfer(dev);
+            pm_runtime_put(dev);
+            return 0;
+        }
+    }
+    return -1;
+}
+`
+
+// TestSolverLimitsReachWorkers sets a give-up-inducing split budget in
+// Options and requires that parallel workers actually inherit it: the
+// merged Stats.Solver counts give-ups and each gave-up function gets a
+// DegradeSolverGiveUp diagnostic.
+func TestSolverLimitsReachWorkers(t *testing.T) {
+	prog, err := lower.SourceString("t.c", splitHeavySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		res := Analyze(context.Background(), prog, spec.LinuxDPM(), Options{
+			Workers:      workers,
+			SolverLimits: solver.Limits{MaxSplits: 1},
+		})
+		if res.Stats.Solver.GaveUp == 0 {
+			t.Errorf("workers=%d: MaxSplits=1 produced no give-ups; limits not threaded through", workers)
+		}
+		giveUps := 0
+		for _, d := range res.Diagnostics {
+			if d.Kind == DegradeSolverGiveUp {
+				giveUps++
+			}
+		}
+		if giveUps == 0 {
+			t.Errorf("workers=%d: give-ups counted in stats but not diagnosed: %v", workers, res.Diagnostics)
+		}
+		// Generous limits on the same program must not give up.
+		clean := Analyze(context.Background(), prog, spec.LinuxDPM(), Options{Workers: workers})
+		if clean.Stats.Solver.GaveUp != 0 {
+			t.Errorf("workers=%d: default limits gave up %d times", workers, clean.Stats.Solver.GaveUp)
+		}
+	}
+}
+
+// TestTruncationDiagnosed checks that §5.2 budget truncation is surfaced
+// as structured diagnostics, not just a counter.
+func TestTruncationDiagnosed(t *testing.T) {
+	prog, err := lower.SourceString("t.c", figure8Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Analyze(context.Background(), prog, spec.LinuxDPM(), Options{
+		Exec: symexec.Config{MaxPaths: 1, MaxSubcases: 1},
+	})
+	if res.Stats.FuncsTruncated == 0 {
+		t.Fatal("tight budgets truncated nothing")
+	}
+	if !hasDiag(res.Diagnostics, "radeon_crtc_set_config", DegradePathBudget) {
+		t.Errorf("no DegradePathBudget diagnostic: %v", res.Diagnostics)
+	}
+}
+
+// TestDiagnosticsDeterministic requires the diagnostics slice to be in
+// the documented (Fn, Kind, Cause) order regardless of worker scheduling.
+func TestDiagnosticsDeterministic(t *testing.T) {
+	prog, err := lower.SourceString("t.c", splitHeavySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Workers: 4, SolverLimits: solver.Limits{MaxSplits: 1}}
+	first := Analyze(context.Background(), prog, spec.LinuxDPM(), opts)
+	for i := 0; i < 3; i++ {
+		again := Analyze(context.Background(), prog, spec.LinuxDPM(), opts)
+		if len(again.Diagnostics) != len(first.Diagnostics) {
+			t.Fatalf("diagnostic count varies: %d vs %d", len(again.Diagnostics), len(first.Diagnostics))
+		}
+		for j := range again.Diagnostics {
+			if again.Diagnostics[j] != first.Diagnostics[j] {
+				t.Fatalf("diagnostic order varies at %d: %v vs %v", j, again.Diagnostics[j], first.Diagnostics[j])
+			}
+		}
+	}
+}

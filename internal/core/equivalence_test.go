@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"strings"
@@ -81,11 +82,11 @@ func TestOptimizationsAreReportPreserving(t *testing.T) {
 
 	for _, c := range corpora {
 		t.Run(c.name, func(t *testing.T) {
-			optimized := renderReports(Analyze(c.prog, c.specs, Options{}))
+			optimized := renderReports(Analyze(context.Background(), c.prog, c.specs, Options{}))
 
 			prev := sym.SetInterning(false)
 			defer sym.SetInterning(prev)
-			plain := renderReports(Analyze(c.prog, c.specs, Options{
+			plain := renderReports(Analyze(context.Background(), c.prog, c.specs, Options{
 				NoCache:     true,
 				NoBucketing: true,
 			}))
@@ -117,12 +118,12 @@ func TestSharedCacheDeterministicAcrossWorkers(t *testing.T) {
 	if workers < 4 {
 		workers = 4
 	}
-	seq := renderReports(Analyze(prog, spec.LinuxDPM(), Options{Workers: 1}))
+	seq := renderReports(Analyze(context.Background(), prog, spec.LinuxDPM(), Options{Workers: 1}))
 	if seq == "" {
 		t.Fatal("no reports rendered; corpus not exercising the pipeline")
 	}
 	for round := 0; round < 3; round++ {
-		par := renderReports(Analyze(prog, spec.LinuxDPM(), Options{Workers: workers}))
+		par := renderReports(Analyze(context.Background(), prog, spec.LinuxDPM(), Options{Workers: workers}))
 		if par != seq {
 			t.Fatalf("round %d: workers=%d reports differ from workers=1\n--- parallel ---\n%s\n--- sequential ---\n%s",
 				round, workers, par, seq)
@@ -140,7 +141,7 @@ func TestParallelSolverStatsAggregated(t *testing.T) {
 	})
 	prog := buildCorpus(t, c.Files)
 
-	res := Analyze(prog, spec.LinuxDPM(), Options{Workers: 4})
+	res := Analyze(context.Background(), prog, spec.LinuxDPM(), Options{Workers: 4})
 	st := res.Stats.Solver
 	if st.Queries == 0 {
 		t.Fatal("parallel analysis dropped solver stats (Queries == 0)")

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"os"
 	"testing"
 
@@ -21,7 +22,7 @@ func TestGoldenRealisticDriver(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Analyze(prog, spec.LinuxDPM(), Options{})
+	res := Analyze(context.Background(), prog, spec.LinuxDPM(), Options{})
 
 	want := map[string]string{
 		"rtl_resume": "[priv].dev.pm",
@@ -87,8 +88,8 @@ int hop` + itoa(i) + `(struct device *d, int n) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := Analyze(prog, spec.LinuxDPM(), Options{})
-	b := Analyze(prog, spec.LinuxDPM(), Options{Workers: 4})
+	a := Analyze(context.Background(), prog, spec.LinuxDPM(), Options{})
+	b := Analyze(context.Background(), prog, spec.LinuxDPM(), Options{Workers: 4})
 	if len(a.Reports) != len(b.Reports) {
 		t.Errorf("recursion chain nondeterministic: %d vs %d", len(a.Reports), len(b.Reports))
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/callgraph"
 	"repro/internal/ir"
 	"repro/internal/spec"
@@ -16,7 +18,7 @@ import (
 //
 // The returned result contains reports only for the re-analyzed functions;
 // combine with the previous run's reports for untouched code as needed.
-func Incremental(prog *ir.Program, specs *spec.Specs, opts Options, prev *summary.DB, changed []string) *Result {
+func Incremental(ctx context.Context, prog *ir.Program, specs *spec.Specs, opts Options, prev *summary.DB, changed []string) *Result {
 	opts = opts.withDefaults()
 
 	// Affected = changed ∪ transitive callers of changed.
@@ -54,5 +56,5 @@ func Incremental(prog *ir.Program, specs *spec.Specs, opts Options, prev *summar
 		}
 	}
 
-	return analyzeWithDB(prog, db, opts, func(fn string) bool { return affected[fn] })
+	return analyzeWithDB(ctx, prog, db, opts, func(fn string) bool { return affected[fn] })
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -18,7 +19,10 @@ import (
 // analyzed in reverse topological order with a shared summary database —
 // summaries computed for one group are reused, not recomputed, when later
 // groups call into it.
-func AnalyzeFiles(files map[string]string, specs *spec.Specs, opts Options) (*Result, error) {
+//
+// Cancellation stops between (and within) file groups: groups analyzed so
+// far contribute their reports and diagnostics, later groups are skipped.
+func AnalyzeFiles(ctx context.Context, files map[string]string, specs *spec.Specs, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 
 	names := make([]string, 0, len(files))
@@ -71,6 +75,11 @@ func AnalyzeFiles(files map[string]string, specs *spec.Specs, opts Options) (*Re
 	}}
 
 	for _, group := range groups {
+		if ctx.Err() != nil {
+			// The group during which cancellation fired already recorded
+			// the run-level diagnostic; skip the remaining groups.
+			break
+		}
 		linked := ir.NewProgram()
 		for _, n := range group {
 			linked.Merge(progs[n])
@@ -78,13 +87,18 @@ func AnalyzeFiles(files map[string]string, specs *spec.Specs, opts Options) (*Re
 		if err := linked.Validate(); err != nil {
 			return nil, err
 		}
-		res := analyzeWithDB(linked, db, opts, nil)
+		res := analyzeWithDB(ctx, linked, db, opts, nil)
 		total.Reports = append(total.Reports, res.Reports...)
+		total.Diagnostics = append(total.Diagnostics, res.Diagnostics...)
 		total.Stats.FuncsTotal += res.Stats.FuncsTotal
 		total.Stats.FuncsAnalyzed += res.Stats.FuncsAnalyzed
 		total.Stats.PathsEnumerated += res.Stats.PathsEnumerated
 		total.Stats.ClassifyTime += res.Stats.ClassifyTime
 		total.Stats.AnalyzeTime += res.Stats.AnalyzeTime
+		total.Stats.FuncsTruncated += res.Stats.FuncsTruncated
+		total.Stats.FuncsTimedOut += res.Stats.FuncsTimedOut
+		total.Stats.FuncsPanicked += res.Stats.FuncsPanicked
+		total.Stats.Solver.Add(res.Stats.Solver)
 		for fn, cat := range res.Classification.Category {
 			total.Classification.Category[fn] = cat
 		}
@@ -96,6 +110,7 @@ func AnalyzeFiles(files map[string]string, specs *spec.Specs, opts Options) (*Re
 		total.Classification.NumAffectingUnanalyzed += res.Classification.NumAffectingUnanalyzed
 		total.Classification.NumOther += res.Classification.NumOther
 	}
+	sortDiagnostics(total.Diagnostics)
 	sortReports(total)
 	return total, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/lower"
@@ -38,7 +39,7 @@ error:
 }
 `,
 	}
-	multi, err := AnalyzeFiles(files, spec.LinuxDPM(), Options{})
+	multi, err := AnalyzeFiles(context.Background(), files, spec.LinuxDPM(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ error:
 	if err != nil {
 		t.Fatal(err)
 	}
-	full := Analyze(prog, spec.LinuxDPM(), Options{})
+	full := Analyze(context.Background(), prog, spec.LinuxDPM(), Options{})
 
 	if len(multi.Reports) != len(full.Reports) {
 		t.Fatalf("multi %d reports, linked %d", len(multi.Reports), len(full.Reports))
@@ -86,7 +87,7 @@ int bf(struct device *dev, int n) {
 }
 `,
 	}
-	res, err := AnalyzeFiles(files, spec.LinuxDPM(), Options{})
+	res, err := AnalyzeFiles(context.Background(), files, spec.LinuxDPM(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ int bf(struct device *dev, int n) {
 }
 
 func TestAnalyzeFilesParseError(t *testing.T) {
-	if _, err := AnalyzeFiles(map[string]string{"x.c": "int broken("}, spec.LinuxDPM(), Options{}); err == nil {
+	if _, err := AnalyzeFiles(context.Background(), map[string]string{"x.c": "int broken("}, spec.LinuxDPM(), Options{}); err == nil {
 		t.Fatal("expected parse error")
 	}
 }
@@ -127,7 +128,7 @@ int unrelated(struct device *dev) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first := Analyze(prog, spec.LinuxDPM(), Options{})
+	first := Analyze(context.Background(), prog, spec.LinuxDPM(), Options{})
 	if len(first.Reports) != 1 || first.Reports[0].Fn != "op" {
 		t.Fatalf("v1 reports: %v", first.Reports)
 	}
@@ -161,8 +162,8 @@ int unrelated(struct device *dev) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inc := Incremental(prog2, spec.LinuxDPM(), Options{}, first.DB, []string{"op"})
-	full := Analyze(prog2, spec.LinuxDPM(), Options{})
+	inc := Incremental(context.Background(), prog2, spec.LinuxDPM(), Options{}, first.DB, []string{"op"})
+	full := Analyze(context.Background(), prog2, spec.LinuxDPM(), Options{})
 
 	if len(inc.Reports) != len(full.Reports) {
 		t.Fatalf("incremental %d reports, full %d", len(inc.Reports), len(full.Reports))
@@ -198,7 +199,7 @@ int op(struct device *dev) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first := Analyze(prog, spec.LinuxDPM(), Options{})
+	first := Analyze(context.Background(), prog, spec.LinuxDPM(), Options{})
 
 	// "Fix" the wrapper to conditional semantics: op, written for the
 	// transparent contract, is now clean — the incremental recheck of the
@@ -226,7 +227,7 @@ int op(struct device *dev) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inc := Incremental(prog2, spec.LinuxDPM(), Options{}, first.DB, []string{"wrapper_get"})
+	inc := Incremental(context.Background(), prog2, spec.LinuxDPM(), Options{}, first.DB, []string{"wrapper_get"})
 	if inc.Stats.FuncsAnalyzed != 2 {
 		t.Errorf("re-analyzed %d, want 2 (wrapper and its caller)", inc.Stats.FuncsAnalyzed)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/lower"
@@ -13,11 +14,29 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.MaxCat2Conds != 3 || o.Workers != 1 {
 		t.Errorf("defaults: %+v", o)
 	}
-	if o.Exec.MaxPaths != 100 || o.Exec.MaxSubcases != 10 || !o.Exec.PruneInfeasible {
+	if o.Exec.MaxPaths != 100 || o.Exec.MaxSubcases != 10 || o.Exec.NoPrune {
 		t.Errorf("exec defaults: %+v", o.Exec)
 	}
 	if w := (Options{Workers: -1}).withDefaults().Workers; w < 1 {
 		t.Errorf("all-cores workers: %d", w)
+	}
+}
+
+// TestOptionsPartialExecDefaults is the regression test for the old
+// withDefaults bug: a partially-populated Exec config used to be replaced
+// wholesale whenever MaxPaths was zero, silently discarding the fields the
+// caller did set. Each field must now default independently.
+func TestOptionsPartialExecDefaults(t *testing.T) {
+	o := Options{Exec: symexec.Config{MaxSubcases: 5}}.withDefaults()
+	if o.Exec.MaxSubcases != 5 {
+		t.Errorf("explicit MaxSubcases overwritten: %+v", o.Exec)
+	}
+	if o.Exec.MaxPaths != 100 {
+		t.Errorf("unset MaxPaths not defaulted: %+v", o.Exec)
+	}
+	o2 := Options{Exec: symexec.Config{MaxPaths: 7, NoPrune: true}}.withDefaults()
+	if o2.Exec.MaxPaths != 7 || o2.Exec.MaxSubcases != 10 || !o2.Exec.NoPrune {
+		t.Errorf("partial exec defaults: %+v", o2.Exec)
 	}
 }
 
@@ -40,8 +59,8 @@ int driver(struct device *dev) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	normal := Analyze(prog, spec.LinuxDPM(), Options{})
-	all := Analyze(prog, spec.LinuxDPM(), Options{AnalyzeAll: true})
+	normal := Analyze(context.Background(), prog, spec.LinuxDPM(), Options{})
+	all := Analyze(context.Background(), prog, spec.LinuxDPM(), Options{AnalyzeAll: true})
 	if normal.Stats.FuncsAnalyzed != 1 {
 		t.Errorf("selective analysis covered %d, want 1", normal.Stats.FuncsAnalyzed)
 	}
@@ -58,8 +77,8 @@ func TestNoCacheSameReports(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	with := Analyze(prog, spec.LinuxDPM(), Options{})
-	without := Analyze(prog, spec.LinuxDPM(), Options{NoCache: true})
+	with := Analyze(context.Background(), prog, spec.LinuxDPM(), Options{})
+	without := Analyze(context.Background(), prog, spec.LinuxDPM(), Options{NoCache: true})
 	if len(with.Reports) != len(without.Reports) {
 		t.Errorf("cache changed results: %d vs %d", len(with.Reports), len(without.Reports))
 	}
@@ -93,7 +112,7 @@ int aa_op(struct device *dev) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Analyze(prog, spec.LinuxDPM(), Options{})
+	res := Analyze(context.Background(), prog, spec.LinuxDPM(), Options{})
 	byFn := res.ReportsByFunction()
 	if len(byFn) != 2 || byFn[0].Fn != "aa_op" || byFn[1].Fn != "zz_op" {
 		t.Errorf("order: %v", byFn)
@@ -107,8 +126,8 @@ func TestCustomBudgetsRespected(t *testing.T) {
 	}
 	// Pathologically tight budgets still terminate; the truncated function
 	// gets a default summary entry.
-	res := Analyze(prog, spec.LinuxDPM(), Options{
-		Exec: symexec.Config{MaxPaths: 1, MaxSubcases: 1, PruneInfeasible: true},
+	res := Analyze(context.Background(), prog, spec.LinuxDPM(), Options{
+		Exec: symexec.Config{MaxPaths: 1, MaxSubcases: 1},
 	})
 	s := res.DB.Get("radeon_crtc_set_config")
 	if s == nil || !s.HasDefault {
@@ -137,7 +156,7 @@ void fp_pattern(struct device *dev, struct dpm_opts *o) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res1 := Analyze(prog1, spec.LinuxDPM(), Options{})
+	res1 := Analyze(context.Background(), prog1, spec.LinuxDPM(), Options{})
 	hit1 := map[string]bool{}
 	for _, r := range res1.Reports {
 		hit1[r.Fn] = true
@@ -151,7 +170,7 @@ void fp_pattern(struct device *dev, struct dpm_opts *o) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2 := Analyze(prog2, spec.LinuxDPM(), Options{})
+	res2 := Analyze(context.Background(), prog2, spec.LinuxDPM(), Options{})
 	hit2 := map[string]bool{}
 	for _, r := range res2.Reports {
 		hit2[r.Fn] = true

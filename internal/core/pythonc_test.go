@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/lower"
@@ -13,7 +14,7 @@ func analyzePyC(t *testing.T, src string, opts Options) *Result {
 	if err != nil {
 		t.Fatalf("lower: %v", err)
 	}
-	return Analyze(prog, spec.PythonC(), opts)
+	return Analyze(context.Background(), prog, spec.PythonC(), opts)
 }
 
 // Error-path leak: the PyList_New failure path and the do_fill failure path

@@ -1,6 +1,7 @@
 package kernelgen
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/baseline/grepscan"
@@ -78,7 +79,7 @@ func TestGeneratedCorpusParses(t *testing.T) {
 func TestDetectionMatrix(t *testing.T) {
 	c := Generate(Config{Seed: 42, Mix: smallMix(), SimpleHelpers: 4, ComplexHelpers: 2, OtherFuncs: 20})
 	prog := buildProgram(t, c)
-	res := core.Analyze(prog, spec.LinuxDPM(), core.Options{})
+	res := core.Analyze(context.Background(), prog, spec.LinuxDPM(), core.Options{})
 
 	reported := make(map[string]bool)
 	for _, r := range res.Reports {
@@ -117,7 +118,7 @@ func TestDetectionMatrix(t *testing.T) {
 func TestClassificationShape(t *testing.T) {
 	c := Generate(Config{Seed: 5, Mix: smallMix(), SimpleHelpers: 5, ComplexHelpers: 3, OtherFuncs: 50})
 	prog := buildProgram(t, c)
-	res := core.Analyze(prog, spec.LinuxDPM(), core.Options{})
+	res := core.Analyze(context.Background(), prog, spec.LinuxDPM(), core.Options{})
 	cl := res.Classification
 
 	// All driver ops and wrappers are category 1.

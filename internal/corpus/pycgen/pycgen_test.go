@@ -1,6 +1,7 @@
 package pycgen
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/baseline/cpyrule"
@@ -33,7 +34,7 @@ func buildProgram(t testing.TB, m *Module) *ir.Program {
 func detect(t testing.TB, m *Module) (rid, cpy map[string]bool) {
 	t.Helper()
 	prog := buildProgram(t, m)
-	res := core.Analyze(prog, spec.PythonC(), core.Options{})
+	res := core.Analyze(context.Background(), prog, spec.PythonC(), core.Options{})
 	rid = make(map[string]bool)
 	for _, r := range res.Reports {
 		rid[r.Fn] = true

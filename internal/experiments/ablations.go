@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -26,7 +27,7 @@ type AblationRow struct {
 // Ablations runs every design-decision ablation DESIGN.md §5 calls out on
 // one seeded corpus and returns the rows in a fixed order. It is the code
 // behind `ridbench -ablations` and mirrors the Benchmark* ablations.
-func Ablations() ([]AblationRow, error) {
+func Ablations(ctx context.Context) ([]AblationRow, error) {
 	c := kernelgen.Generate(kernelgen.Config{
 		Seed: 9, Mix: kernelgen.PaperMix(),
 		SimpleHelpers: 10, ComplexHelpers: 8, OtherFuncs: 50,
@@ -39,7 +40,7 @@ func Ablations() ([]AblationRow, error) {
 	var rows []AblationRow
 	run := func(name string, opts core.Options) {
 		t0 := time.Now()
-		res := core.Analyze(prog, spec.LinuxDPM(), opts)
+		res := core.Analyze(ctx, prog, spec.LinuxDPM(), opts)
 		rows = append(rows, AblationRow{
 			Name:     name,
 			Reports:  len(res.Reports),
@@ -50,18 +51,18 @@ func Ablations() ([]AblationRow, error) {
 
 	run("baseline (paper §6.1 settings)", core.Options{})
 	run("no Alg-1 pruning", core.Options{Exec: symexec.Config{
-		MaxPaths: 100, MaxSubcases: 10, PruneInfeasible: false,
+		MaxPaths: 100, MaxSubcases: 10, NoPrune: true,
 	}})
 	run("keep local conditions (no §3.3.3 projection)", core.Options{Exec: symexec.Config{
-		MaxPaths: 100, MaxSubcases: 10, PruneInfeasible: true, KeepLocalConds: true,
+		MaxPaths: 100, MaxSubcases: 10, KeepLocalConds: true,
 	}})
 	run("cat-2 gate = 1 branch", core.Options{MaxCat2Conds: 1})
 	run("cat-2 gate = 8 branches", core.Options{MaxCat2Conds: 8})
 	run("budgets 10 paths / 2 subcases", core.Options{Exec: symexec.Config{
-		MaxPaths: 10, MaxSubcases: 2, PruneInfeasible: true,
+		MaxPaths: 10, MaxSubcases: 2,
 	}})
 	run("budgets 1000 paths / 50 subcases", core.Options{Exec: symexec.Config{
-		MaxPaths: 1000, MaxSubcases: 50, PruneInfeasible: true,
+		MaxPaths: 1000, MaxSubcases: 50,
 	}})
 	run("solver cache off", core.Options{NoCache: true})
 	run("step-III bucketing off", core.Options{NoBucketing: true})
@@ -69,7 +70,7 @@ func Ablations() ([]AblationRow, error) {
 	run("expression interning off", core.Options{})
 	sym.SetInterning(prev)
 	run("path workers = 4 (§7 future work)", core.Options{Exec: symexec.Config{
-		MaxPaths: 100, MaxSubcases: 10, PruneInfeasible: true, PathWorkers: 4,
+		MaxPaths: 100, MaxSubcases: 10, PathWorkers: 4,
 	}})
 
 	// Bit-test preservation needs a differently lowered program; score FPs
@@ -80,7 +81,7 @@ func Ablations() ([]AblationRow, error) {
 			return err
 		}
 		t0 := time.Now()
-		res := core.Analyze(p2, spec.LinuxDPM(), core.Options{})
+		res := core.Analyze(ctx, p2, spec.LinuxDPM(), core.Options{})
 		row := AblationRow{Name: name, Reports: len(res.Reports), Analyzed: res.Stats.FuncsAnalyzed, Elapsed: time.Since(t0)}
 		hit := map[string]bool{}
 		for _, r := range res.Reports {

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -97,7 +98,7 @@ type Table1Result struct {
 }
 
 // Table1 generates the corpus and classifies it.
-func Table1(cfg Table1Config) (*Table1Result, error) {
+func Table1(ctx context.Context, cfg Table1Config) (*Table1Result, error) {
 	c := kernelgen.Generate(kernelgen.Config{
 		Seed:           cfg.Seed,
 		Mix:            kernelgen.PaperMix(),
@@ -109,7 +110,7 @@ func Table1(cfg Table1Config) (*Table1Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := core.Analyze(prog, spec.LinuxDPM(), core.Options{Workers: cfg.Workers})
+	res := core.Analyze(ctx, prog, spec.LinuxDPM(), core.Options{Workers: cfg.Workers})
 	cl := res.Classification
 	return &Table1Result{
 		Refcount:            cl.NumRefcount,
@@ -153,7 +154,7 @@ type DPMResult struct {
 
 // DPMBugs runs RID over the PaperMix corpus and scores against ground
 // truth.
-func DPMBugs(seed int64, workers int) (*DPMResult, error) {
+func DPMBugs(ctx context.Context, seed int64, workers int) (*DPMResult, error) {
 	c := kernelgen.Generate(kernelgen.Config{
 		Seed: seed, Mix: kernelgen.PaperMix(),
 		SimpleHelpers: 10, ComplexHelpers: 8, OtherFuncs: 100,
@@ -163,7 +164,7 @@ func DPMBugs(seed int64, workers int) (*DPMResult, error) {
 		return nil, err
 	}
 	t0 := time.Now()
-	res := core.Analyze(prog, spec.LinuxDPM(), core.Options{Workers: workers})
+	res := core.Analyze(ctx, prog, spec.LinuxDPM(), core.Options{Workers: workers})
 	out := &DPMResult{Reports: len(res.Reports), AnalyzeTime: time.Since(t0)}
 
 	reported := make(map[string]bool)
@@ -221,7 +222,7 @@ type MisuseResult struct {
 }
 
 // Misuse reruns the brute-force census and RID over the same corpus.
-func Misuse(seed int64, workers int) (*MisuseResult, error) {
+func Misuse(ctx context.Context, seed int64, workers int) (*MisuseResult, error) {
 	c := kernelgen.Generate(kernelgen.Config{
 		Seed: seed, Mix: kernelgen.PaperMix(),
 		SimpleHelpers: 10, ComplexHelpers: 8, OtherFuncs: 100,
@@ -230,7 +231,7 @@ func Misuse(seed int64, workers int) (*MisuseResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := core.Analyze(prog, spec.LinuxDPM(), core.Options{Workers: workers})
+	res := core.Analyze(ctx, prog, spec.LinuxDPM(), core.Options{Workers: workers})
 	reported := make(map[string]bool)
 	for _, r := range res.Reports {
 		reported[r.Fn] = true
@@ -303,7 +304,7 @@ var paperTable2 = map[string][3]int{
 }
 
 // Table2 runs both tools over the three generated modules.
-func Table2(workers int) (*Table2Result, error) {
+func Table2(ctx context.Context, workers int) (*Table2Result, error) {
 	out := &Table2Result{}
 	out.Total.Program = "total"
 	for _, cfg := range pycgen.PaperConfigs() {
@@ -312,7 +313,7 @@ func Table2(workers int) (*Table2Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := core.Analyze(prog, spec.PythonC(), core.Options{Workers: workers})
+		res := core.Analyze(ctx, prog, spec.PythonC(), core.Options{Workers: workers})
 		ridHits := make(map[string]bool)
 		for _, r := range res.Reports {
 			ridHits[r.Fn] = true
@@ -389,7 +390,7 @@ type PerfPoint struct {
 
 // Perf measures classification and analysis time across corpus scales and
 // worker counts.
-func Perf(scales []int, workers int) ([]PerfPoint, error) {
+func Perf(ctx context.Context, scales []int, workers int) ([]PerfPoint, error) {
 	var out []PerfPoint
 	for _, s := range scales {
 		c := kernelgen.Generate(kernelgen.Config{
@@ -400,7 +401,7 @@ func Perf(scales []int, workers int) ([]PerfPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := core.Analyze(prog, spec.LinuxDPM(), core.Options{Workers: workers})
+		res := core.Analyze(ctx, prog, spec.LinuxDPM(), core.Options{Workers: workers})
 		out = append(out, PerfPoint{
 			Funcs:        res.Stats.FuncsTotal,
 			ClassifyTime: res.Stats.ClassifyTime,

@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestTable1SmallScale(t *testing.T) {
-	r, err := Table1(Table1Config{Seed: 1, Helpers: 5, Complex: 7, Other: 100})
+	r, err := Table1(context.Background(), Table1Config{Seed: 1, Helpers: 5, Complex: 7, Other: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +23,7 @@ func TestTable1SmallScale(t *testing.T) {
 }
 
 func TestDPMBugsScoring(t *testing.T) {
-	r, err := DPMBugs(99, 1)
+	r, err := DPMBugs(context.Background(), 99, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestDPMBugsScoring(t *testing.T) {
 }
 
 func TestMisuseCensus(t *testing.T) {
-	r, err := Misuse(7, 1)
+	r, err := Misuse(context.Background(), 7, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestMisuseCensus(t *testing.T) {
 }
 
 func TestTable2ExactCounts(t *testing.T) {
-	r, err := Table2(1)
+	r, err := Table2(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestTable2ExactCounts(t *testing.T) {
 }
 
 func TestPerfSeries(t *testing.T) {
-	pts, err := Perf([]int{1}, 1)
+	pts, err := Perf(context.Background(), []int{1}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestPerfSeries(t *testing.T) {
 }
 
 func TestAblations(t *testing.T) {
-	rows, err := Ablations()
+	rows, err := Ablations(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package ipp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -83,9 +84,10 @@ type Options struct {
 }
 
 // Check runs the consistency check over the per-path entries of one
-// function and builds its final summary, with default options.
+// function and builds its final summary, with default options and no
+// cancellation.
 func Check(res symexec.Result, slv *solver.Solver) ([]*Report, *summary.Summary) {
-	return CheckWith(res, slv, Options{})
+	return CheckWith(context.Background(), res, slv, Options{})
 }
 
 // CheckWith runs the consistency check over the per-path entries of one
@@ -106,7 +108,11 @@ func Check(res symexec.Result, slv *solver.Solver) ([]*Report, *summary.Summary)
 // term ⋈ const); disjoint bounds on any shared term — e.g. x ≤ k in one
 // entry, x ≥ k+1 in the other — prove the conjunction UNSAT, which is the
 // same verdict Fourier–Motzkin would reach, so the pair is skipped.
-func CheckWith(res symexec.Result, slv *solver.Solver, opts Options) ([]*Report, *summary.Summary) {
+//
+// ctx bounds the pairwise sweep: when it expires, entries not yet
+// admitted are dropped and the summary gets the §5.2 default entry, the
+// same degradation as a budget-truncated function.
+func CheckWith(ctx context.Context, res symexec.Result, slv *solver.Solver, opts Options) ([]*Report, *summary.Summary) {
 	fn := res.Fn
 	sum := summary.New(fn.Name)
 	sum.Params = fn.Params
@@ -128,7 +134,12 @@ func CheckWith(res symexec.Result, slv *solver.Solver, opts Options) ([]*Report,
 		}
 	}
 
+	canceled := false
 	for ci, cand := range res.Entries {
+		if ctx.Err() != nil {
+			canceled = true
+			break
+		}
 		inconsistent := false
 		for ki, k := range kept {
 			if opts.NoBucketing {
@@ -182,7 +193,7 @@ func CheckWith(res symexec.Result, slv *solver.Solver, opts Options) ([]*Report,
 	for _, k := range kept {
 		sum.Entries = append(sum.Entries, exportable(k.Entry))
 	}
-	if res.Truncated || len(sum.Entries) == 0 {
+	if res.Truncated || canceled || len(sum.Entries) == 0 {
 		// Partially analyzed (or fully infeasible): add the default entry
 		// so callers can still be analyzed (§5.2).
 		sum.HasDefault = true

@@ -1,6 +1,7 @@
 package ipp
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -100,12 +101,12 @@ func TestBucketingPreservesReports(t *testing.T) {
 	ret := sym.Ret()
 	res := result("f",
 		entry(0, nil, 1, pm, sym.Cond(a, ir.LE, sym.Const(4)), sym.Cond(ret, ir.EQ, sym.Const(0))),
-		entry(1, nil, 1, pm, sym.Cond(a, ir.GE, sym.Const(0))), // same signature as 0
+		entry(1, nil, 1, pm, sym.Cond(a, ir.GE, sym.Const(0))),  // same signature as 0
 		entry(2, nil, 0, nil, sym.Cond(a, ir.GE, sym.Const(5))), // prefilter vs 0, solver vs 1
 		entry(3, nil, -1, pm, sym.Cond(ret, ir.EQ, sym.Const(0))),
 	)
-	repOn, sumOn := CheckWith(res, solver.New(), Options{})
-	repOff, sumOff := CheckWith(res, solver.New(), Options{NoBucketing: true})
+	repOn, sumOn := CheckWith(context.Background(), res, solver.New(), Options{})
+	repOff, sumOff := CheckWith(context.Background(), res, solver.New(), Options{NoBucketing: true})
 	if len(repOn) != len(repOff) {
 		t.Fatalf("report counts differ: bucketing %d, plain %d", len(repOn), len(repOff))
 	}

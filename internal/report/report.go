@@ -111,6 +111,44 @@ func writeJSON(w io.Writer, reports []*ipp.Report) error {
 	return nil
 }
 
+// Diag is one degradation diagnostic for rendering: a place where the
+// analysis traded precision for progress (budget truncation, solver
+// give-up, per-function timeout, recovered panic, cancellation).
+type Diag struct {
+	Function string `json:"function,omitempty"` // empty for run-level events
+	Kind     string `json:"kind"`
+	Cause    string `json:"cause"`
+}
+
+// WriteDiags renders degradation diagnostics to w. Text mode emits one
+// "fn: kind: cause" line per event; JSON mode one object per line. SARIF
+// has no natural home for run-health records, so it falls back to text —
+// diagnostics are operator output, not code-review findings.
+func WriteDiags(w io.Writer, f Format, diags []Diag) error {
+	switch f {
+	case JSON:
+		enc := json.NewEncoder(w)
+		for _, d := range diags {
+			if err := enc.Encode(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Text, SARIF:
+		for _, d := range diags {
+			fn := d.Function
+			if fn == "" {
+				fn = "(run)"
+			}
+			if _, err := fmt.Fprintf(w, "%s: %s: %s\n", fn, d.Kind, d.Cause); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unhandled format %q", f)
+}
+
 // Minimal SARIF 2.1.0 structures (stdlib-only; only the fields consumers
 // require).
 type sarifLog struct {

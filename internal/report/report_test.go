@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -38,7 +39,7 @@ int aa_op(struct device *dev) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := core.Analyze(prog, spec.LinuxDPM(), core.Options{})
+	res := core.Analyze(context.Background(), prog, spec.LinuxDPM(), core.Options{})
 	if len(res.Reports) != 2 {
 		t.Fatalf("reports: %d", len(res.Reports))
 	}
@@ -141,5 +142,54 @@ func TestSARIFEmptyRunsHaveResultsArray(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), `"results": []`) {
 		t.Errorf("empty results array required by SARIF consumers:\n%s", buf.String())
+	}
+}
+
+func TestWriteDiags(t *testing.T) {
+	diags := []Diag{
+		{Function: "", Kind: "canceled", Cause: "context deadline exceeded; 3 of 9 functions analyzed"},
+		{Function: "drv_op", Kind: "path-budget", Cause: "path enumeration truncated at MaxPaths=100"},
+	}
+	var text strings.Builder
+	if err := WriteDiags(&text, Text, diags); err != nil {
+		t.Fatal(err)
+	}
+	want := "(run): canceled: context deadline exceeded; 3 of 9 functions analyzed\n" +
+		"drv_op: path-budget: path enumeration truncated at MaxPaths=100\n"
+	if text.String() != want {
+		t.Errorf("text diags:\n%q\nwant:\n%q", text.String(), want)
+	}
+
+	var buf strings.Builder
+	if err := WriteDiags(&buf, JSON, diags); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("json diag lines: %d", len(lines))
+	}
+	var d Diag
+	if err := json.Unmarshal([]byte(lines[1]), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d != diags[1] {
+		t.Errorf("json round-trip: %+v", d)
+	}
+	// Run-level events omit the function field entirely.
+	var raw map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["function"]; ok {
+		t.Errorf("run-level diag carries a function key: %s", lines[0])
+	}
+
+	// SARIF has no diagnostics section; text fallback keeps -diag usable.
+	var sb strings.Builder
+	if err := WriteDiags(&sb, SARIF, diags); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Errorf("sarif fallback: %q", sb.String())
 	}
 }

@@ -96,6 +96,10 @@ func (s *Solver) Fork() *Solver {
 // Stats returns a copy of the accumulated counters.
 func (s *Solver) Stats() Stats { return s.stats }
 
+// Limits returns the effective (normalized) per-query limits, so callers
+// can verify that forked workers inherited the configured bounds.
+func (s *Solver) Limits() Limits { return s.limits }
+
 // AddStats merges counters from a forked worker back into s.
 func (s *Solver) AddStats(o Stats) { s.stats.Add(o) }
 

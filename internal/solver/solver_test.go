@@ -284,6 +284,27 @@ func TestSplitBudgetGivesUpConservatively(t *testing.T) {
 	}
 }
 
+// TestForkAndCacheInheritLimits pins the property the per-run budget
+// plumbing relies on: every solver derived from a limited one — forked
+// path workers and cache-sharing SCC workers alike — carries the same
+// limits, so a per-query budget set once in core.Options governs the
+// whole run.
+func TestForkAndCacheInheritLimits(t *testing.T) {
+	want := Limits{MaxConstraints: 17, MaxSplits: 2}
+	s := NewWithLimits(want)
+	if got := s.Fork().Limits(); got != want {
+		t.Errorf("Fork limits = %+v, want %+v", got, want)
+	}
+	if got := NewWithCache(want, NewCache()).Limits(); got != want {
+		t.Errorf("NewWithCache limits = %+v, want %+v", got, want)
+	}
+	// Zero fields normalize to the documented defaults everywhere.
+	d := New().Limits()
+	if d.MaxConstraints != defaultMaxConstraints || d.MaxSplits != defaultMaxSplits {
+		t.Errorf("default limits: %+v", d)
+	}
+}
+
 func TestDisableCache(t *testing.T) {
 	s := New()
 	s.DisableCache()

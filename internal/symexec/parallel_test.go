@@ -1,6 +1,7 @@
 package symexec
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -44,9 +45,9 @@ func TestParallelPathsDeterministic(t *testing.T) {
 	spec.LinuxDPM().ApplyTo(db)
 
 	run := func(workers int) Result {
-		cfg := Config{MaxPaths: 100, MaxSubcases: 10, PruneInfeasible: true, PathWorkers: workers}
+		cfg := Config{MaxPaths: 100, MaxSubcases: 10, PathWorkers: workers}
 		ex := New(db, solver.New(), cfg)
-		return ex.Summarize(prog.Funcs["f"])
+		return ex.Summarize(context.Background(), prog.Funcs["f"])
 	}
 	seq := run(1)
 	if len(seq.Entries) < 8 {
@@ -79,8 +80,8 @@ func TestParallelPathsSinglePathFallsBack(t *testing.T) {
 	}
 	db := summary.NewDB()
 	spec.LinuxDPM().ApplyTo(db)
-	cfg := Config{MaxPaths: 100, MaxSubcases: 10, PruneInfeasible: true, PathWorkers: 8}
-	res := New(db, solver.New(), cfg).Summarize(prog.Funcs["g"])
+	cfg := Config{MaxPaths: 100, MaxSubcases: 10, PathWorkers: 8}
+	res := New(db, solver.New(), cfg).Summarize(context.Background(), prog.Funcs["g"])
 	if len(res.Entries) != 1 {
 		t.Fatalf("entries: %d", len(res.Entries))
 	}

@@ -7,6 +7,7 @@
 package symexec
 
 import (
+	"context"
 	"strconv"
 	"sync"
 
@@ -18,7 +19,11 @@ import (
 )
 
 // Config controls the executor. Zero values select the paper's evaluation
-// settings (§6.1): 100 paths per function, 10 sub-cases per path.
+// settings (§6.1): 100 paths per function, 10 sub-cases per path,
+// infeasible forks pruned. Every field defaults independently, so a
+// partially-populated Config (say, only MaxSubcases set) still gets the
+// paper's values for the rest — identical to DefaultConfig() with that one
+// field overridden.
 type Config struct {
 	MaxPaths    int
 	MaxSubcases int
@@ -30,19 +35,30 @@ type Config struct {
 	// completion order.
 	PathWorkers int
 
-	// PruneInfeasible enables the satisfiability check of Algorithm 1
-	// line 6 when forking on callee summary entries. Disabling it is the
-	// BenchmarkAblationNoPruning configuration.
-	PruneInfeasible bool
+	// NoPrune disables the satisfiability check of Algorithm 1 line 6
+	// when forking on callee summary entries (the
+	// BenchmarkAblationNoPruning configuration). The zero value — pruning
+	// enabled — is the paper's setting; the flag is inverted so that a
+	// partially-populated Config cannot silently lose the default.
+	NoPrune bool
 
 	// KeepLocalConds disables the local-condition projection of §3.3.3
 	// (ablation only; entries stop being caller-comparable).
 	KeepLocalConds bool
+
+	// OnFunction, when non-nil, is invoked with the function name at the
+	// start of every Summarize call. It exists for instrumentation and
+	// fault-injection testing: a panic raised here (or anywhere else in
+	// symbolic execution) is isolated per-function by package core, which
+	// degrades the function to a default summary instead of crashing the
+	// run.
+	OnFunction func(fn string)
 }
 
-// DefaultConfig returns the paper's evaluation configuration.
+// DefaultConfig returns the paper's evaluation configuration. It is the
+// fixed point of defaulting: the zero Config normalizes to exactly this.
 func DefaultConfig() Config {
-	return Config{MaxPaths: 100, MaxSubcases: 10, PruneInfeasible: true}
+	return Config{MaxPaths: 100, MaxSubcases: 10}
 }
 
 func (c Config) withDefaults() Config {
@@ -66,7 +82,13 @@ type Result struct {
 	Fn        *ir.Func
 	Entries   []PathEntry
 	NumPaths  int
-	Truncated bool // path or sub-case budget was hit (default entry needed)
+	Truncated bool // any budget or the deadline was hit (default entry needed)
+
+	// Degradation detail behind Truncated, for diagnostics: which budget
+	// was exhausted, and whether the context expired mid-function.
+	TruncatedPaths    bool // path enumeration budget (MaxPaths)
+	TruncatedSubcases bool // per-path sub-case budget (MaxSubcases)
+	Canceled          bool // context canceled/deadline exceeded
 }
 
 // taggedCond is one conjunct of the path constraint, remembering which
@@ -211,7 +233,15 @@ func (pr *pathRun) anonSym(prefix string) *sym.Expr {
 // Summarize runs Steps I and II on fn: enumerate paths, symbolically
 // execute each, and return the per-path entries (Step III — consistency
 // checking and merging — lives in internal/ipp).
-func (ex *Executor) Summarize(fn *ir.Func) Result {
+//
+// ctx bounds the work: when it expires the executor stops at the next
+// path (or block) boundary and returns whatever it has, with Canceled and
+// Truncated set so the function degrades to a partial summary plus the
+// §5.2 default entry rather than blocking the run.
+func (ex *Executor) Summarize(ctx context.Context, fn *ir.Func) Result {
+	if ex.cfg.OnFunction != nil {
+		ex.cfg.OnFunction(fn.Name)
+	}
 	ex.siteIDs = make(map[*ir.Instr]int)
 	id := 0
 	for _, b := range fn.Blocks {
@@ -221,12 +251,19 @@ func (ex *Executor) Summarize(fn *ir.Func) Result {
 		}
 	}
 	g := cfg.New(fn)
-	enum := g.Enumerate(ex.cfg.MaxPaths)
-	res := Result{Fn: fn, NumPaths: len(enum.Paths), Truncated: enum.Truncated}
+	enum := g.EnumerateCtx(ctx, ex.cfg.MaxPaths)
+	res := Result{
+		Fn:             fn,
+		NumPaths:       len(enum.Paths),
+		Truncated:      enum.Truncated,
+		TruncatedPaths: enum.Truncated && !enum.Canceled,
+		Canceled:       enum.Canceled,
+	}
 
 	type pathOut struct {
 		entries   []*summary.Entry
 		truncated bool
+		canceled  bool
 	}
 	outs := make([]pathOut, len(enum.Paths))
 
@@ -234,7 +271,11 @@ func (ex *Executor) Summarize(fn *ir.Func) Result {
 	if workers <= 1 || len(enum.Paths) < 2 {
 		pr := &pathRun{Executor: ex, slv: ex.slv}
 		for i, p := range enum.Paths {
-			outs[i].entries, outs[i].truncated = pr.execPath(fn, p)
+			if ctx.Err() != nil {
+				res.Canceled = true
+				break
+			}
+			outs[i].entries, outs[i].truncated, outs[i].canceled = pr.execPath(ctx, fn, p)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -250,7 +291,13 @@ func (ex *Executor) Summarize(fn *ir.Func) Result {
 				defer wg.Done()
 				pr := &pathRun{Executor: ex, slv: slv}
 				for i := range work {
-					outs[i].entries, outs[i].truncated = pr.execPath(fn, enum.Paths[i])
+					// Drain remaining work without executing once the
+					// context expires, so close(work) is always reached.
+					if ctx.Err() != nil {
+						outs[i].canceled = true
+						continue
+					}
+					outs[i].entries, outs[i].truncated, outs[i].canceled = pr.execPath(ctx, fn, enum.Paths[i])
 				}
 			}(forks[w])
 		}
@@ -266,17 +313,25 @@ func (ex *Executor) Summarize(fn *ir.Func) Result {
 
 	for i, o := range outs {
 		if o.truncated {
-			res.Truncated = true
+			res.TruncatedSubcases = true
+		}
+		if o.canceled {
+			res.Canceled = true
 		}
 		for _, e := range o.entries {
 			res.Entries = append(res.Entries, PathEntry{Entry: e, PathIndex: i})
 		}
 	}
+	if res.TruncatedSubcases || res.Canceled {
+		res.Truncated = true
+	}
 	return res
 }
 
-// execPath symbolically executes one path and returns its summary entries.
-func (pr *pathRun) execPath(fn *ir.Func, path cfg.Path) ([]*summary.Entry, bool) {
+// execPath symbolically executes one path and returns its summary
+// entries, plus whether the sub-case budget truncated the state set and
+// whether the context expired mid-path.
+func (pr *pathRun) execPath(ctx context.Context, fn *ir.Func, path cfg.Path) ([]*summary.Entry, bool, bool) {
 	init := &state{
 		changes: make(map[string]summary.Change),
 		vmap:    make(map[string]*sym.Expr, len(fn.Params)),
@@ -286,10 +341,15 @@ func (pr *pathRun) execPath(fn *ir.Func, path cfg.Path) ([]*summary.Entry, bool)
 	}
 	states := []*state{init}
 	truncated := false
+	canceled := false
 	var finished []*state
 	pr.occ = make(map[*ir.Instr]int)
 
 	for bi, b := range path.Blocks {
+		if ctx.Err() != nil {
+			canceled = true
+			break
+		}
 		blk := fn.Blocks[b]
 		next := -1
 		if bi+1 < len(path.Blocks) {
@@ -338,7 +398,7 @@ func (pr *pathRun) execPath(fn *ir.Func, path cfg.Path) ([]*summary.Entry, bool)
 		entries = entries[:pr.cfg.MaxSubcases]
 		truncated = true
 	}
-	return entries, truncated
+	return entries, truncated, canceled
 }
 
 // step executes one instruction on st, returning the successor states
@@ -427,7 +487,7 @@ func (pr *pathRun) call(fn *ir.Func, st *state, in *ir.Instr) []*state {
 		if !ok {
 			continue
 		}
-		if pr.cfg.PruneInfeasible && inst.Cons.Len() > 0 {
+		if !pr.cfg.NoPrune && inst.Cons.Len() > 0 {
 			if !pr.slv.Sat(ns.consSet()) {
 				continue
 			}

@@ -1,6 +1,7 @@
 package symexec
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -27,7 +28,7 @@ func summarize(t *testing.T, src, fn string, cfg Config) Result {
 	if f == nil {
 		t.Fatalf("function %s not found", fn)
 	}
-	return ex.Summarize(f)
+	return ex.Summarize(context.Background(), f)
 }
 
 func TestStraightLineEntry(t *testing.T) {
@@ -111,7 +112,7 @@ void f(PyObject *o) {
 func TestNoPruningKeepsForkUntilFinalize(t *testing.T) {
 	// Even with Algorithm-1 pruning off, finalization's satisfiability
 	// check drops the contradictory entry.
-	cfg := Config{MaxPaths: 100, MaxSubcases: 10, PruneInfeasible: false}
+	cfg := Config{MaxPaths: 100, MaxSubcases: 10, NoPrune: true}
 	res := summarize(t, `
 void f(PyObject *o) {
     assert(o != NULL);
@@ -180,7 +181,7 @@ func TestSubcaseBudgetTruncates(t *testing.T) {
     Py_XDECREF(a); Py_XDECREF(b); Py_XDECREF(c);
     Py_XDECREF(d); Py_XDECREF(e); Py_XDECREF(g);
 }`
-	cfg := Config{MaxPaths: 100, MaxSubcases: 4, PruneInfeasible: true}
+	cfg := Config{MaxPaths: 100, MaxSubcases: 4}
 	res := summarize(t, src, "f", cfg)
 	if !res.Truncated {
 		t.Error("sub-case budget must mark truncation")
@@ -314,7 +315,60 @@ func TestConfigDefaults(t *testing.T) {
 		t.Errorf("defaults: %+v", c)
 	}
 	d := DefaultConfig()
-	if !d.PruneInfeasible {
+	if d.NoPrune {
 		t.Error("default config must prune")
+	}
+	if comparable_(d.withDefaults()) != comparable_(d) {
+		t.Errorf("DefaultConfig must be the fixed point of defaulting: %+v", d.withDefaults())
+	}
+}
+
+// comparable_ projects Config onto its value fields (dropping the
+// OnFunction hook, which makes the struct non-comparable).
+func comparable_(c Config) [5]int {
+	b2i := func(b bool) int {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	return [5]int{c.MaxPaths, c.MaxSubcases, c.PathWorkers, b2i(c.NoPrune), b2i(c.KeepLocalConds)}
+}
+
+// TestConfigWithDefaultsTable drives withDefaults over every zero/nonzero
+// combination of the budget fields plus the flag fields: a
+// partially-populated Config must get the paper's value for each unset
+// field and keep every explicitly set one — no field's default may depend
+// on a sibling being set (the pre-fix bug dropped MaxSubcases and pruning
+// when only one budget was given).
+func TestConfigWithDefaultsTable(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Config
+		want Config
+	}{
+		{"zero", Config{}, Config{MaxPaths: 100, MaxSubcases: 10}},
+		{"paths only", Config{MaxPaths: 7}, Config{MaxPaths: 7, MaxSubcases: 10}},
+		{"subcases only", Config{MaxSubcases: 3}, Config{MaxPaths: 100, MaxSubcases: 3}},
+		{"both budgets", Config{MaxPaths: 7, MaxSubcases: 3}, Config{MaxPaths: 7, MaxSubcases: 3}},
+		{"noprune survives", Config{NoPrune: true}, Config{MaxPaths: 100, MaxSubcases: 10, NoPrune: true}},
+		{"noprune with paths", Config{MaxPaths: 7, NoPrune: true}, Config{MaxPaths: 7, MaxSubcases: 10, NoPrune: true}},
+		{"keep locals survives", Config{KeepLocalConds: true}, Config{MaxPaths: 100, MaxSubcases: 10, KeepLocalConds: true}},
+		{"path workers survive", Config{PathWorkers: 4}, Config{MaxPaths: 100, MaxSubcases: 10, PathWorkers: 4}},
+		{"everything set", Config{MaxPaths: 1, MaxSubcases: 2, PathWorkers: 3, NoPrune: true, KeepLocalConds: true},
+			Config{MaxPaths: 1, MaxSubcases: 2, PathWorkers: 3, NoPrune: true, KeepLocalConds: true}},
+	}
+	for _, tc := range cases {
+		got := tc.in.withDefaults()
+		if comparable_(got) != comparable_(tc.want) {
+			t.Errorf("%s: withDefaults(%+v) = %+v, want %+v", tc.name, tc.in, got, tc.want)
+		}
+	}
+	// The hook must survive normalization.
+	called := false
+	c := Config{OnFunction: func(string) { called = true }}.withDefaults()
+	c.OnFunction("f")
+	if !called {
+		t.Error("OnFunction hook lost by withDefaults")
 	}
 }

@@ -19,12 +19,14 @@
 package rid
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/baseline/cpyrule"
 	"repro/internal/cfg"
@@ -34,6 +36,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/lower"
 	"repro/internal/report"
+	"repro/internal/solver"
 	"repro/internal/spec"
 	"repro/internal/summary"
 )
@@ -87,6 +90,36 @@ type Options struct {
 	// mechanism for the abstraction-induced false positives of §6.4
 	// (patterns guarded by data-structure contents the abstraction drops).
 	Suppress []string
+	// FuncTimeout bounds the wall-clock time spent on any single function.
+	// A function that exceeds it keeps its partial summary plus the §5.2
+	// default entry, a Diagnostic is recorded, and the run continues;
+	// 0 means unlimited.
+	FuncTimeout time.Duration
+	// SolverMaxConstraints and SolverMaxSplits bound each satisfiability
+	// query (0 selects the solver's defaults). A query over budget answers
+	// SAT conservatively — degradation toward false positives, never a
+	// hang — and is recorded in Diagnostics.
+	SolverMaxConstraints int
+	SolverMaxSplits      int
+}
+
+// Diagnostic is one degradation event of a run: the analysis kept going
+// but gave up precision or work somewhere, and this records exactly
+// where. Kind is one of "path-budget", "subcase-budget", "solver-give-up",
+// "timeout", "panic" or "canceled".
+type Diagnostic struct {
+	Function string // empty for run-level events (cancellation)
+	Kind     string
+	Cause    string
+}
+
+// String renders the diagnostic as one line.
+func (d Diagnostic) String() string {
+	fn := d.Function
+	if fn == "" {
+		fn = "(run)"
+	}
+	return fmt.Sprintf("%s: %s: %s", fn, d.Kind, d.Cause)
 }
 
 // Bug is one reported inconsistent path pair.
@@ -124,10 +157,24 @@ type Result struct {
 	FuncsTotal int
 	// PathsEnumerated counts paths across all summarized functions.
 	PathsEnumerated int
+	// FuncsTruncated, FuncsTimedOut and FuncsPanicked count degraded
+	// functions (budget truncation, per-function timeout, recovered
+	// panic); Diagnostics has the per-function detail.
+	FuncsTruncated int
+	FuncsTimedOut  int
+	FuncsPanicked  int
+	// Diagnostics records every degradation event of the run in
+	// deterministic order. Empty means the analysis was exhaustive within
+	// its configured budgets.
+	Diagnostics []Diagnostic
 
 	db      *summary.DB
 	reports []*ipp.Report
 }
+
+// Degraded reports whether any part of the run was degraded (truncated,
+// timed out, panicked, gave up a solver query, or was canceled).
+func (r *Result) Degraded() bool { return len(r.Diagnostics) > 0 }
 
 // WriteReports renders the run's reports to w in the named format: "text"
 // (one line per bug, plus Figure-2-style evidence when verbose), "json"
@@ -251,21 +298,34 @@ func (a *Analyzer) FunctionCFG(fn string) string {
 }
 
 // Run executes the full pipeline: classification, bottom-up summarization,
-// and IPP checking.
+// and IPP checking. It is RunContext with no deadline.
 func (a *Analyzer) Run() (*Result, error) {
+	return a.RunContext(context.Background())
+}
+
+// RunContext executes the full pipeline under a context. Cancellation (or
+// a deadline) stops the run promptly at the next function or path
+// boundary; the returned Result then holds the reports derived so far and
+// a "canceled" Diagnostic recording how far the run got. A canceled run
+// is still a valid, partial result — err is non-nil only for invalid
+// input.
+func (a *Analyzer) RunContext(ctx context.Context) (*Result, error) {
 	if err := a.prog.Validate(); err != nil {
 		return nil, fmt.Errorf("invalid program: %w", err)
 	}
 	opts := core.Options{
 		MaxCat2Conds: a.opts.MaxCat2Conds,
 		Workers:      a.opts.Workers,
+		FuncTimeout:  a.opts.FuncTimeout,
+		SolverLimits: solver.Limits{
+			MaxConstraints: a.opts.SolverMaxConstraints,
+			MaxSplits:      a.opts.SolverMaxSplits,
+		},
 	}
-	if a.opts.MaxPaths != 0 || a.opts.MaxSubcases != 0 {
-		opts.Exec.MaxPaths = a.opts.MaxPaths
-		opts.Exec.MaxSubcases = a.opts.MaxSubcases
-		opts.Exec.PruneInfeasible = true
-	}
-	res := core.Analyze(a.prog, a.specs.s, opts)
+	// Unset fields default individually inside core (paper's §6.1 values).
+	opts.Exec.MaxPaths = a.opts.MaxPaths
+	opts.Exec.MaxSubcases = a.opts.MaxSubcases
+	res := core.Analyze(ctx, a.prog, a.specs.s, opts)
 	if len(a.opts.Suppress) > 0 {
 		drop := make(map[string]bool, len(a.opts.Suppress))
 		for _, fn := range a.opts.Suppress {
@@ -289,13 +349,37 @@ func (a *Analyzer) Run() (*Result, error) {
 		FuncsAnalyzed:   res.Stats.FuncsAnalyzed,
 		FuncsTotal:      res.Stats.FuncsTotal,
 		PathsEnumerated: res.Stats.PathsEnumerated,
+		FuncsTruncated:  res.Stats.FuncsTruncated,
+		FuncsTimedOut:   res.Stats.FuncsTimedOut,
+		FuncsPanicked:   res.Stats.FuncsPanicked,
 		db:              res.DB,
 		reports:         res.Reports,
+	}
+	for _, d := range res.Diagnostics {
+		out.Diagnostics = append(out.Diagnostics, Diagnostic{
+			Function: d.Fn,
+			Kind:     d.Kind.String(),
+			Cause:    d.Cause,
+		})
 	}
 	for _, r := range res.ReportsByFunction() {
 		out.Bugs = append(out.Bugs, toBug(r))
 	}
 	return out, nil
+}
+
+// WriteDiagnostics renders the run's degradation diagnostics to w in the
+// named format ("text" or "json"); see cmd/rid's -diag flag.
+func (r *Result) WriteDiagnostics(w io.Writer, format string) error {
+	f, err := report.ParseFormat(format)
+	if err != nil {
+		return err
+	}
+	ds := make([]report.Diag, len(r.Diagnostics))
+	for i, d := range r.Diagnostics {
+		ds[i] = report.Diag{Function: d.Function, Kind: d.Kind, Cause: d.Cause}
+	}
+	return report.WriteDiags(w, f, ds)
 }
 
 func toBug(r *ipp.Report) Bug {

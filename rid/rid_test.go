@@ -1,6 +1,7 @@
 package rid
 
 import (
+	"context"
 	"io"
 	"os"
 	"path/filepath"
@@ -273,5 +274,87 @@ void fp(struct device *dev, struct opts *o) {
 	res2, _ := ext.Run()
 	if len(res2.Bugs) != 0 {
 		t.Errorf("PreserveBitTests must kill the FP: %v", res2.Bugs)
+	}
+}
+
+// TestRunContextCanceled verifies the facade surfaces graceful
+// degradation: a dead context still yields a Result, marked Degraded,
+// with a run-level "canceled" diagnostic that WriteDiagnostics renders.
+func TestRunContextCanceled(t *testing.T) {
+	a := New(LinuxDPMSpecs())
+	if err := a.AddSource("drv.c", buggy); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := a.RunContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded() {
+		t.Fatal("canceled run not marked degraded")
+	}
+	found := false
+	for _, d := range res.Diagnostics {
+		if d.Function == "" && d.Kind == "canceled" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no run-level canceled diagnostic: %v", res.Diagnostics)
+	}
+	var buf strings.Builder
+	if err := res.WriteDiagnostics(&buf, "text"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(run): canceled") {
+		t.Errorf("rendered diagnostics: %q", buf.String())
+	}
+	var jb strings.Builder
+	if err := res.WriteDiagnostics(&jb, "json"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jb.String(), `"kind":"canceled"`) {
+		t.Errorf("json diagnostics: %q", jb.String())
+	}
+}
+
+// TestFacadeBudgetDiagnostics drives the new Options knobs end to end:
+// tight path budgets through the facade produce truncation counters and
+// diagnostics, while a clean default run reports Degraded() == false.
+func TestFacadeBudgetDiagnostics(t *testing.T) {
+	src := `
+int many_paths(struct device *dev, int a, int b, int c) {
+    pm_runtime_get(dev);
+    if (a) do_transfer(dev);
+    if (b) do_transfer(dev);
+    if (c) do_transfer(dev);
+    pm_runtime_put(dev);
+    return 0;
+}
+`
+	a := New(LinuxDPMSpecs())
+	a.SetOptions(Options{MaxPaths: 1})
+	if err := a.AddSource("m.c", src); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FuncsTruncated != 1 || !res.Degraded() {
+		t.Errorf("truncation not surfaced: truncated=%d diags=%v", res.FuncsTruncated, res.Diagnostics)
+	}
+
+	clean := New(LinuxDPMSpecs())
+	if err := clean.AddSource("m.c", src); err != nil {
+		t.Fatal(err)
+	}
+	cres, err := clean.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Degraded() {
+		t.Errorf("default run degraded: %v", cres.Diagnostics)
 	}
 }

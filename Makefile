@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-all vet fmt cover examples experiments clean
+.PHONY: all build test race fuzz-smoke bench bench-all vet fmt cover examples experiments clean
 
 all: build vet test
 
@@ -14,6 +14,12 @@ test: vet
 
 race:
 	$(GO) test -race ./internal/...
+
+# Short fuzzing pass over the three fuzz targets; CI runs the same budget.
+fuzz-smoke:
+	$(GO) test ./internal/frontend/lexer -fuzz=FuzzLexer -fuzztime=20s
+	$(GO) test ./internal/frontend/parser -fuzz=FuzzParser -fuzztime=20s
+	$(GO) test ./internal/solver -fuzz=FuzzSolver -fuzztime=20s
 
 # §6.5 scaling benches with allocation stats; raw JSON lands in
 # BENCH_section65.json for before/after comparisons.

@@ -24,6 +24,8 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/report"
 	"repro/internal/solver"
 	"repro/internal/spec"
 	"repro/internal/summary"
@@ -51,6 +53,9 @@ func main() {
 		dotFn    = flag.String("dot", "", "print the named function's CFG in Graphviz dot syntax and exit")
 		format   = flag.String("format", "text", "report format: text, json or sarif")
 		suppress = flag.String("suppress", "", "comma-separated function names whose reports are discarded")
+		trace    = flag.String("trace", "", "write a JSONL span log of every pipeline phase to this file")
+		metrics  = flag.Bool("metrics", false, "print the metrics registry (counters and phase histograms) after the run")
+		pprofSrv = flag.String("pprof", "", "serve /debug/pprof/ and /debug/vars on this address (e.g. localhost:6060) for the duration of the run")
 	)
 	flag.Parse()
 
@@ -85,6 +90,16 @@ func main() {
 		}
 	}
 
+	var traceFile *os.File
+	if *trace != "" {
+		var err error
+		traceFile, err = os.Create(*trace)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer closeTrace(traceFile)
+	}
+
 	if *separate {
 		copts := core.Options{
 			Workers:      *workers,
@@ -94,7 +109,19 @@ func main() {
 		}
 		copts.Exec.MaxPaths = *maxPaths
 		copts.Exec.MaxSubcases = *maxSubs
-		runSeparate(ctx, flag.Args(), *specName, *specFile, copts, *saveSums, *diag)
+		var tracer obs.Tracer
+		if traceFile != nil {
+			tracer = obs.NewJSONLTracer(traceFile)
+		}
+		copts.Obs = obs.New(tracer, obs.NewRegistry())
+		if *metrics {
+			copts.Obs.EnableQueryTiming()
+		}
+		if *pprofSrv != "" {
+			stopSrv := serveDebug(*pprofSrv, copts.Obs.Registry())
+			defer stopSrv()
+		}
+		runSeparate(ctx, flag.Args(), *specName, *specFile, copts, *saveSums, *diag, *metrics, *format)
 		return
 	}
 
@@ -107,11 +134,24 @@ func main() {
 		FuncTimeout:          *funcTO,
 		SolverMaxConstraints: *maxCons,
 		SolverMaxSplits:      *maxSplit,
+		QueryTiming:          *metrics,
+	}
+	if traceFile != nil {
+		opts.TraceWriter = traceFile
 	}
 	if *suppress != "" {
 		opts.Suppress = strings.Split(*suppress, ",")
 	}
 	a.SetOptions(opts)
+
+	if *pprofSrv != "" {
+		stop, addr, err := a.ServeDebug(*pprofSrv)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "rid: serving /debug/pprof/ and /debug/vars on http://%s\n", addr)
+		defer stop() //nolint:errcheck
+	}
 
 	if *dir != "" {
 		if err := a.AddDir(*dir); err != nil {
@@ -159,6 +199,11 @@ func main() {
 				res.FuncsTruncated, res.FuncsTimedOut, res.FuncsPanicked, len(res.Diagnostics))
 		}
 	}
+	if *metrics {
+		if err := res.WriteMetrics(os.Stdout, *format); err != nil {
+			fatalf("%v", err)
+		}
+	}
 	if ctx.Err() != nil {
 		// Partial results were printed; make the truncation unmissable.
 		fmt.Fprintf(os.Stderr, "rid: run canceled (%v); results are partial\n", ctx.Err())
@@ -172,7 +217,7 @@ func main() {
 // runSeparate implements the §5.3 separate-compilation mode: each file is
 // lowered on its own and file groups are analyzed in dependency order with
 // a shared summary database.
-func runSeparate(ctx context.Context, paths []string, specName, specFile string, opts core.Options, saveSums string, diag bool) {
+func runSeparate(ctx context.Context, paths []string, specName, specFile string, opts core.Options, saveSums string, diag, metrics bool, format string) {
 	files := make(map[string]string, len(paths))
 	for _, p := range paths {
 		data, err := os.ReadFile(p)
@@ -216,6 +261,15 @@ func runSeparate(ctx context.Context, paths []string, specName, specFile string,
 			fmt.Println(d)
 		}
 	}
+	if metrics {
+		f, ferr := report.ParseFormat(format)
+		if ferr != nil {
+			fatalf("%v", ferr)
+		}
+		if err := report.WriteMetrics(os.Stdout, f, opts.Obs.Registry().Snapshot()); err != nil {
+			fatalf("%v", err)
+		}
+	}
 	if saveSums != "" {
 		if err := saveDB(res.DB, saveSums); err != nil {
 			fatalf("%v", err)
@@ -227,6 +281,25 @@ func runSeparate(ctx context.Context, paths []string, specName, specFile string,
 	}
 	if len(res.Reports) > 0 {
 		os.Exit(1)
+	}
+}
+
+// serveDebug starts the pprof/expvar server for -separate mode (the main
+// path uses Analyzer.ServeDebug) and returns its stop function.
+func serveDebug(addr string, reg *obs.Registry) func() {
+	stop, actual, err := obs.Serve(addr, reg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "rid: serving /debug/pprof/ and /debug/vars on http://%s\n", actual)
+	return func() { stop() } //nolint:errcheck
+}
+
+// closeTrace closes the -trace file, surfacing a write error that a
+// deferred Close would otherwise swallow.
+func closeTrace(f *os.File) {
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "rid: closing trace file: %v\n", err)
 	}
 }
 

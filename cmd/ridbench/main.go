@@ -19,6 +19,7 @@ import (
 	"os/signal"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/spec"
 	"repro/internal/summary"
 )
@@ -36,8 +37,16 @@ func main() {
 		workers   = flag.Int("workers", 1, "parallel SCC workers (-1 = all cores)")
 		seed      = flag.Int64("seed", 317, "corpus seed")
 		deadline  = flag.Duration("deadline", 0, "overall deadline for the experiment run (0 = none)")
+		pprofSrv  = flag.String("pprof", "", "serve /debug/pprof/ and /debug/vars on this address for the duration of the run")
 	)
 	flag.Parse()
+
+	if *pprofSrv != "" {
+		stopSrv, addr, err := obs.Serve(*pprofSrv, nil)
+		check(err)
+		fmt.Fprintf(os.Stderr, "ridbench: serving /debug/pprof/ on http://%s\n", addr)
+		defer stopSrv() //nolint:errcheck
+	}
 
 	// ^C (or -deadline) cancels the run; experiments then report partial,
 	// degraded numbers instead of being killed.

@@ -8,6 +8,7 @@ import (
 	"context"
 
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // Graph is the CFG view of a function.
@@ -132,6 +133,21 @@ type EnumerateResult struct {
 // (the paper's evaluation setting).
 func (g *Graph) Enumerate(maxPaths int) EnumerateResult {
 	return g.EnumerateCtx(context.Background(), maxPaths)
+}
+
+// EnumerateObs is EnumerateCtx under observation: it wraps the walk in a
+// PhaseEnumerate span labeled with the function and counts the paths
+// produced (plus one paths_truncated tick when the budget — not the
+// context — cut the walk short).
+func (g *Graph) EnumerateObs(ctx context.Context, maxPaths int, o *obs.Obs) EnumerateResult {
+	sp := o.Start(obs.PhaseEnumerate, g.Fn.Name)
+	res := g.EnumerateCtx(ctx, maxPaths)
+	sp.End()
+	o.Count(obs.MPathsEnumerated, int64(len(res.Paths)))
+	if res.Truncated && !res.Canceled {
+		o.Count(obs.MPathsTruncated, 1)
+	}
+	return res
 }
 
 // EnumerateCtx is Enumerate under a context: when ctx expires the walk

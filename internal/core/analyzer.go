@@ -22,6 +22,7 @@ import (
 	"repro/internal/callgraph"
 	"repro/internal/ipp"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/solver"
 	"repro/internal/spec"
 	"repro/internal/summary"
@@ -50,6 +51,12 @@ type Options struct {
 	// solver in the run — sequential, SCC workers, and the path workers
 	// forked from them. Zero values select the solver's defaults.
 	SolverLimits solver.Limits
+	// Obs, when non-nil, observes the run: phase spans go to its tracer
+	// and event counters to its registry. The pipeline always counts into
+	// a registry — a private one is created when Obs carries none — and
+	// Stats.Solver is read back from it, so solver totals are exact under
+	// any worker count and at any snapshot instant.
+	Obs *obs.Obs
 }
 
 // withDefaults normalizes each option independently: an explicitly set
@@ -133,10 +140,24 @@ func Analyze(ctx context.Context, prog *ir.Program, specs *spec.Specs, opts Opti
 // only is non-nil, functions it rejects keep their existing summaries and
 // are not re-analyzed.
 func analyzeWithDB(ctx context.Context, prog *ir.Program, db *summary.DB, opts Options, only func(string) bool) *Result {
+	// Every run counts into a registry (a private one when the caller did
+	// not attach an observer) so Stats.Solver can be read back as the
+	// counter delta across this call — exact under Workers>1, and immune
+	// to the old snapshot-before-diagnostics ordering hazard. Multi-file
+	// runs call this repeatedly against a shared registry; the delta keeps
+	// per-call stats additive.
+	opts.Obs = opts.Obs.EnsureRegistry()
+	opts.Exec.Obs = opts.Obs
+	reg := opts.Obs.Registry()
+	solverBase := solverCounters(reg)
+	runSpan := opts.Obs.Start(obs.PhaseRun, "")
+
 	g := callgraph.Build(prog)
 
 	t0 := time.Now()
+	classifySpan := opts.Obs.Start(obs.PhaseClassify, "")
 	cl := classify(g, db, opts.MaxCat2Conds)
+	classifySpan.End()
 	classifyTime := time.Since(t0)
 
 	// Which functions get summarized?
@@ -180,7 +201,22 @@ func analyzeWithDB(ctx context.Context, prog *ir.Program, db *summary.DB, opts O
 	}
 	sortDiagnostics(res.Diagnostics)
 	sortReports(res)
+	// Read the solver totals back from the registry only now, after every
+	// worker has exited and all diagnostics are finalized.
+	res.Stats.Solver = solverCounters(reg).Sub(solverBase)
+	runSpan.End()
 	return res
+}
+
+// solverCounters reads the registry's solver counters as a solver.Stats.
+func solverCounters(r *obs.Registry) solver.Stats {
+	return solver.Stats{
+		Queries:   int(r.Counter(obs.MSolverQueries)),
+		CacheHits: int(r.Counter(obs.MSolverCacheHits)),
+		Sat:       int(r.Counter(obs.MSolverSat)),
+		Unsat:     int(r.Counter(obs.MSolverUnsat)),
+		GaveUp:    int(r.Counter(obs.MSolverGaveUp)),
+	}
 }
 
 // sortReports orders reports by function then refcount for deterministic
@@ -242,7 +278,7 @@ func analyzeOne(ctx context.Context, fn *ir.Func, db *summary.DB, slv *solver.So
 		}()
 		ex := symexec.New(db, slv, opts.Exec)
 		sres = ex.Summarize(fctx, fn)
-		out.reports, out.sum = ipp.CheckWith(fctx, sres, slv, ipp.Options{NoBucketing: opts.NoBucketing})
+		out.reports, out.sum = ipp.CheckWith(fctx, sres, slv, ipp.Options{NoBucketing: opts.NoBucketing, Obs: opts.Obs})
 		out.paths = sres.NumPaths
 	}()
 	if out.panicked {
@@ -307,6 +343,7 @@ func (res *Result) absorb(out funcOutcome) {
 
 func analyzeSequential(ctx context.Context, prog *ir.Program, g *callgraph.Graph, db *summary.DB, toAnalyze func(string) bool, opts Options, res *Result) {
 	slv := solver.NewWithLimits(opts.SolverLimits)
+	slv.SetObs(opts.Obs)
 	if opts.NoCache {
 		slv.DisableCache()
 	}
@@ -317,6 +354,7 @@ func analyzeSequential(ctx context.Context, prog *ir.Program, g *callgraph.Graph
 		if !toAnalyze(fn) {
 			continue
 		}
+		slv.SetFunction(fn)
 		out := analyzeOne(ctx, prog.Funcs[fn], db, slv, opts)
 		db.Put(out.sum)
 		res.absorb(out)
@@ -324,7 +362,6 @@ func analyzeSequential(ctx context.Context, prog *ir.Program, g *callgraph.Graph
 			break
 		}
 	}
-	res.Stats.Solver = slv.Stats()
 }
 
 // analyzeParallel schedules SCCs across workers once their callee SCCs are
@@ -384,6 +421,7 @@ func analyzeParallel(ctx context.Context, prog *ir.Program, g *callgraph.Graph, 
 		go func() {
 			defer done.Done()
 			slv := solver.NewWithCache(opts.SolverLimits, cache)
+			slv.SetObs(opts.Obs)
 			for i := range ready {
 				// After cancellation, keep draining the ready queue and
 				// completing SCCs (without analyzing) so every dependent
@@ -394,6 +432,7 @@ func analyzeParallel(ctx context.Context, prog *ir.Program, g *callgraph.Graph, 
 						if !toAnalyze(fn) {
 							continue
 						}
+						slv.SetFunction(fn)
 						out := analyzeOne(ctx, prog.Funcs[fn], db, slv, opts)
 						db.Put(out.sum)
 						mu.Lock()
@@ -406,9 +445,6 @@ func analyzeParallel(ctx context.Context, prog *ir.Program, g *callgraph.Graph, 
 				}
 				complete(i)
 			}
-			mu.Lock()
-			res.Stats.Solver.Add(slv.Stats())
-			mu.Unlock()
 		}()
 	}
 	done.Wait()

@@ -24,6 +24,10 @@ import (
 // far contribute their reports and diagnostics, later groups are skipped.
 func AnalyzeFiles(ctx context.Context, files map[string]string, specs *spec.Specs, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	// One registry for the whole multi-file run: per-group Stats.Solver is
+	// delta-based, so sharing keeps the Add below exact while -metrics and
+	// /debug/vars see a single live view.
+	opts.Obs = opts.Obs.EnsureRegistry()
 
 	names := make([]string, 0, len(files))
 	for n := range files {

@@ -1,0 +1,90 @@
+package kernelgen
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/spec"
+)
+
+// TestStaticCoversDynamicWitnesses differentially tests the static
+// pipeline against the concrete interpreter over randomized corpora: a
+// dynamic IPP witness is ground truth (two executions with the same
+// arguments and return value but different refcount deltas were actually
+// observed), so every function that has one must either appear in the
+// static reports or carry a degradation diagnostic explaining why the
+// analyzer backed off. A silent miss is a soundness bug in the pipeline —
+// enumeration, symbolic execution, or the IPP check dropped a real pair.
+// The run is repeated at Workers=1 and Workers=4 and the report sets must
+// agree, so scheduling cannot mask or manufacture coverage.
+func TestStaticCoversDynamicWitnesses(t *testing.T) {
+	mix := Mix{
+		CorrectBalanced:   3,
+		CorrectErrHandled: 2,
+		CorrectWrapperUse: 2,
+		CorrectLoop:       2,
+		CorrectSwitch:     2,
+		BugGetErrReturn:   3,
+		BugWrapperErrPath: 2,
+		BugWrapperMisuse:  2,
+		BugDoublePut:      2,
+		BugIRQStyle:       2,
+		BugAsymmetricErr:  2,
+		BugLoopErrPath:    2,
+		BugDeepWrapper:    2,
+	}
+	specs := spec.LinuxDPM()
+	for _, seed := range []int64{7, 211} {
+		c := Generate(Config{Seed: seed, Mix: mix})
+		prog := buildProgram(t, c)
+
+		seq := core.Analyze(context.Background(), prog, specs, core.Options{Workers: 1})
+		par := core.Analyze(context.Background(), prog, specs, core.Options{Workers: 4})
+
+		reported := map[string]bool{}
+		for _, r := range seq.Reports {
+			reported[r.Fn] = true
+		}
+		parReported := map[string]bool{}
+		for _, r := range par.Reports {
+			parReported[r.Fn] = true
+		}
+		for fn := range reported {
+			if !parReported[fn] {
+				t.Errorf("seed %d: %s reported at Workers=1 but not Workers=4", seed, fn)
+			}
+		}
+		for fn := range parReported {
+			if !reported[fn] {
+				t.Errorf("seed %d: %s reported at Workers=4 but not Workers=1", seed, fn)
+			}
+		}
+
+		explained := map[string]bool{}
+		for _, d := range seq.Diagnostics {
+			if d.Fn != "" {
+				explained[d.Fn] = true
+			}
+		}
+
+		for fn := range c.Truth {
+			f := prog.Funcs[fn]
+			if f == nil {
+				t.Fatalf("seed %d: labeled function %s not in program", seed, fn)
+			}
+			w, err := interp.FindWitness(prog, specs, fn, ptrParams(f.Params), 600, seed*3+1)
+			if err != nil {
+				t.Fatalf("seed %d: %s: %v", seed, fn, err)
+			}
+			if w == nil {
+				continue
+			}
+			if !reported[fn] && !explained[fn] {
+				t.Errorf("seed %d: %s has a dynamic IPP witness but no static report and no diagnostic\n  A: %s\n  B: %s",
+					seed, fn, w.A.Key(), w.B.Key())
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package pycgen
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/spec"
+)
+
+// TestStaticCoversDynamicWitnessesPythonC is the Python/C counterpart of
+// the kernelgen differential: over randomized modules, any function the
+// concrete interpreter can exhibit an IPP witness for must be statically
+// reported or carry a degradation diagnostic naming it. Workers=1 and
+// Workers=4 must produce the same report set.
+func TestStaticCoversDynamicWitnessesPythonC(t *testing.T) {
+	specs := spec.PythonC()
+	for _, seed := range []int64{19, 404} {
+		m := Generate(Config{
+			Name: fmt.Sprintf("diff%d", seed),
+			Seed: seed,
+			Mix:  Mix{Common: 3, RIDOnly: 3, CpyOnly: 3, Correct: 5},
+		})
+		prog := buildProgram(t, m)
+
+		seq := core.Analyze(context.Background(), prog, specs, core.Options{Workers: 1})
+		par := core.Analyze(context.Background(), prog, specs, core.Options{Workers: 4})
+
+		reported := map[string]bool{}
+		for _, r := range seq.Reports {
+			reported[r.Fn] = true
+		}
+		parReported := map[string]bool{}
+		for _, r := range par.Reports {
+			parReported[r.Fn] = true
+		}
+		for fn := range reported {
+			if !parReported[fn] {
+				t.Errorf("seed %d: %s reported at Workers=1 but not Workers=4", seed, fn)
+			}
+		}
+		for fn := range parReported {
+			if !reported[fn] {
+				t.Errorf("seed %d: %s reported at Workers=4 but not Workers=1", seed, fn)
+			}
+		}
+
+		explained := map[string]bool{}
+		for _, d := range seq.Diagnostics {
+			if d.Fn != "" {
+				explained[d.Fn] = true
+			}
+		}
+
+		for fn := range m.Truth {
+			f := prog.Funcs[fn]
+			if f == nil {
+				t.Fatalf("seed %d: %s missing", seed, fn)
+			}
+			ptr := make([]bool, len(f.Params))
+			for i := range ptr {
+				ptr[i] = true
+			}
+			w, err := interp.FindWitness(prog, specs, fn, ptr, 600, seed*5+3)
+			if err != nil {
+				t.Fatalf("seed %d: %s: %v", seed, fn, err)
+			}
+			if w == nil {
+				continue
+			}
+			if !reported[fn] && !explained[fn] {
+				t.Errorf("seed %d: %s has a dynamic IPP witness but no static report and no diagnostic\n  A: %s\n  B: %s",
+					seed, fn, w.A.Key(), w.B.Key())
+			}
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/frontend/parser"
 	"repro/internal/ir"
 	"repro/internal/lower"
+	"repro/internal/obs"
 	"repro/internal/solver"
 	"repro/internal/spec"
 )
@@ -386,6 +387,11 @@ type PerfPoint struct {
 	ClassifyTime time.Duration
 	AnalyzeTime  time.Duration
 	Solver       solver.Stats // aggregated across all workers
+	// Phases holds the per-phase wall-clock histograms of the run
+	// (count, total, p50, p95, max per pipeline stage). Solver queries
+	// are individually timed in this mode, so the "solver" row is
+	// populated; the timing overhead is part of the measured run.
+	Phases []obs.PhaseStats
 }
 
 // Perf measures classification and analysis time across corpus scales and
@@ -401,12 +407,15 @@ func Perf(ctx context.Context, scales []int, workers int) ([]PerfPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := core.Analyze(ctx, prog, spec.LinuxDPM(), core.Options{Workers: workers})
+		o := obs.New(nil, obs.NewRegistry())
+		o.EnableQueryTiming()
+		res := core.Analyze(ctx, prog, spec.LinuxDPM(), core.Options{Workers: workers, Obs: o})
 		out = append(out, PerfPoint{
 			Funcs:        res.Stats.FuncsTotal,
 			ClassifyTime: res.Stats.ClassifyTime,
 			AnalyzeTime:  res.Stats.AnalyzeTime,
 			Solver:       res.Stats.Solver,
+			Phases:       o.Registry().Snapshot().Phases,
 		})
 	}
 	return out, nil
@@ -442,6 +451,21 @@ func FormatPerf(points []PerfPoint, workers int) string {
 		fmt.Fprintf(&b, "%10d %14s %14s %10d %10d %8d %8d %8d\n",
 			p.Funcs, p.ClassifyTime.Round(time.Microsecond), p.AnalyzeTime.Round(time.Microsecond),
 			p.Solver.Queries, p.Solver.CacheHits, p.Solver.Sat, p.Solver.Unsat, p.Solver.GaveUp)
+	}
+	b.WriteString("phase wall-clock histograms (per-query solver timing on):\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "  functions=%d\n", p.Funcs)
+		for _, ph := range p.Phases {
+			if ph.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "    %-10s count=%-8d total=%-12s p50=%-10s p95=%-10s max=%s\n",
+				ph.Phase, ph.Count,
+				ph.Total.Round(time.Microsecond),
+				ph.P50.Round(time.Microsecond),
+				ph.P95.Round(time.Microsecond),
+				ph.Max.Round(time.Microsecond))
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,45 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/frontend/token"
+)
+
+// FuzzLexer checks the scanner's structural invariants on arbitrary input:
+// it never panics, always terminates, produces exactly one EOF token (at
+// the end), and keeps every token's position inside the source bounds.
+// Invalid bytes must surface as Errors(), not as crashes.
+func FuzzLexer(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"int f(int a) { return a; }",
+		"if (x != NULL && y->f <= 0x10) goto out;",
+		"/* comment */ struct device { int pm; }; // eol",
+		"a += b << 2; c = ~d % 'x';",
+		"\"unterminated",
+		"'\\n' \"str\\\"esc\" 0x 123abc $ @ #",
+		"int \xff\xfe bad bytes \x00 here",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		l := New("fuzz.c", src)
+		toks := l.All()
+		if len(toks) == 0 {
+			t.Fatal("All returned no tokens; want at least EOF")
+		}
+		if last := toks[len(toks)-1]; last.Kind != token.EOF {
+			t.Fatalf("last token is %v, want EOF", last.Kind)
+		}
+		for i, tok := range toks[:len(toks)-1] {
+			if tok.Kind == token.EOF {
+				t.Fatalf("EOF at index %d of %d, before end of stream", i, len(toks))
+			}
+			if tok.Pos.Line < 1 || tok.Pos.Column < 1 {
+				t.Fatalf("token %d (%v) has invalid position %v", i, tok.Kind, tok.Pos)
+			}
+		}
+		_ = l.Errors() // must be callable; contents are input-dependent
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/frontend/token"
+	"repro/internal/obs"
 	"repro/internal/solver"
 	"repro/internal/summary"
 	"repro/internal/sym"
@@ -81,6 +82,12 @@ type Options struct {
 	// pair goes through SameChanges and the solver, as the original
 	// implementation did.
 	NoBucketing bool
+
+	// Obs, when non-nil, receives the per-function ipp span and the Step
+	// III counters: ipp_candidates (pairs that reached the solver — i.e.
+	// survived bucketing and the bounds pre-filter) and ipp_confirmed
+	// (reports emitted after deduplication).
+	Obs *obs.Obs
 }
 
 // Check runs the consistency check over the per-path entries of one
@@ -114,6 +121,8 @@ func Check(res symexec.Result, slv *solver.Solver) ([]*Report, *summary.Summary)
 // same degradation as a budget-truncated function.
 func CheckWith(ctx context.Context, res symexec.Result, slv *solver.Solver, opts Options) ([]*Report, *summary.Summary) {
 	fn := res.Fn
+	sp := opts.Obs.Start(obs.PhaseIPP, fn.Name)
+	defer sp.End()
 	sum := summary.New(fn.Name)
 	sum.Params = fn.Params
 
@@ -155,6 +164,7 @@ func CheckWith(ctx context.Context, res symexec.Result, slv *solver.Solver, opts
 				}
 			}
 			// Different changes: IPP iff constraints are co-satisfiable.
+			opts.Obs.Count(obs.MIPPCandidates, 1)
 			if !slv.Sat(k.Cons.AndSet(cand.Cons)) {
 				continue
 			}
@@ -177,6 +187,7 @@ func CheckWith(ctx context.Context, res symexec.Result, slv *solver.Solver, opts
 				if !seen[rep.Key()] {
 					seen[rep.Key()] = true
 					reports = append(reports, rep)
+					opts.Obs.Count(obs.MIPPConfirmed, 1)
 				}
 			}
 			break

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Serve starts an HTTP server on addr (e.g. "localhost:6060"; port 0 picks
+// a free one) exposing the standard live-profiling surface for long
+// analysis runs:
+//
+//	/debug/pprof/          net/http/pprof index (profile, heap, trace, ...)
+//	/debug/vars            expvar globals plus "rid_metrics": the registry
+//
+// It returns a stop function closing the server, and the bound address
+// (useful with port 0). The registry may be nil, in which case only the
+// process-level vars are served. Serve never touches the default mux, so
+// embedding applications keep their own handlers.
+func Serve(addr string, r *Registry) (stop func() error, actual string, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", varsHandler(r))
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // Close below returns ErrServerClosed here
+	return srv.Close, ln.Addr().String(), nil
+}
+
+// varsHandler renders the expvar globals (memstats, cmdline, anything the
+// process published) plus the registry snapshot under "rid_metrics", in
+// the same JSON-object shape as expvar.Handler.
+func varsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\n")
+		first := true
+		expvar.Do(func(kv expvar.KeyValue) {
+			if !first {
+				fmt.Fprintf(w, ",\n")
+			}
+			first = false
+			fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+		})
+		if r != nil {
+			if !first {
+				fmt.Fprintf(w, ",\n")
+			}
+			fmt.Fprintf(w, "%q: ", "rid_metrics")
+			writeSnapshotJSON(w, r.Snapshot())
+		}
+		fmt.Fprintf(w, "\n}\n")
+	})
+}

@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Metric identifies one counter in the Registry. The set replaces the
+// ad-hoc fields that used to feed core.Stats: every stage increments its
+// counters at the event site, atomically, so totals are exact regardless
+// of worker count or when a snapshot is taken.
+type Metric uint8
+
+// The counter taxonomy. Names (see Metric.Name) are the wire format of
+// `rid -metrics` and /debug/vars and are append-only.
+const (
+	MFuncsAnalyzed   Metric = iota // functions summarized (Step II ran)
+	MPathsEnumerated               // entry-to-exit paths produced by Step I
+	MPathsTruncated                // functions whose enumeration hit MaxPaths
+	MSubcasesForked                // states forked on callee summary entries
+	MSummaryEntries                // finalized per-path summary entries
+	MSolverQueries                 // satisfiability queries issued
+	MSolverCacheHits               // queries answered from the shared cache
+	MSolverSat                     // SAT verdicts (give-ups included)
+	MSolverUnsat                   // UNSAT verdicts
+	MSolverGaveUp                  // queries over budget, answered SAT
+	MIPPCandidates                 // Step III pairs that reached the solver
+	MIPPConfirmed                  // inconsistent path pair reports emitted
+	numMetrics
+)
+
+var metricNames = [numMetrics]string{
+	MFuncsAnalyzed:   "funcs_analyzed",
+	MPathsEnumerated: "paths_enumerated",
+	MPathsTruncated:  "paths_truncated",
+	MSubcasesForked:  "subcases_forked",
+	MSummaryEntries:  "summary_entries",
+	MSolverQueries:   "solver_queries",
+	MSolverCacheHits: "solver_cache_hits",
+	MSolverSat:       "solver_sat",
+	MSolverUnsat:     "solver_unsat",
+	MSolverGaveUp:    "solver_gave_up",
+	MIPPCandidates:   "ipp_candidates",
+	MIPPConfirmed:    "ipp_confirmed",
+}
+
+// Name returns the stable metric name used in -metrics and /debug/vars.
+func (m Metric) Name() string {
+	if int(m) < len(metricNames) {
+		return metricNames[m]
+	}
+	return "metric" + itoa(int(m))
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// counter is a cache-line-padded atomic, so independent counters hammered
+// by different workers never share a line (the counters themselves are
+// single atomics: at pipeline rates — at most a few million increments per
+// second — contention on one cache line is far below measurement noise,
+// and padding keeps neighbors out of the blast radius).
+type counter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// histBuckets is enough log2(ns) buckets to cover ~9 minutes per span.
+const histBuckets = 40
+
+// hist is a lock-free log-scale duration histogram.
+type hist struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // total ns
+	max     atomic.Int64 // ns
+	buckets [histBuckets]atomic.Int64
+}
+
+func (h *hist) observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		m := h.max.Load()
+		if ns <= m || h.max.CompareAndSwap(m, ns) {
+			break
+		}
+	}
+	i := bits.Len64(uint64(ns)) // 0 → bucket 0, [2^(k-1), 2^k) → bucket k
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+}
+
+// quantile returns an estimate of the q-quantile (0 < q ≤ 1) from the log
+// buckets: the geometric midpoint of the bucket holding the q-th
+// observation. Exact to within a factor of √2, which is plenty for "where
+// did the time go" attribution.
+func (h *hist) quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if i <= 1 {
+				return time.Duration(i) // 0 or 1 ns
+			}
+			lo := int64(1) << (i - 1)
+			return time.Duration(lo + lo/2) // midpoint of [2^(i-1), 2^i)
+		}
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Registry is the shared metrics store: a fixed set of padded atomic
+// counters plus one duration histogram per phase. One Registry serves an
+// entire run (all SCC and path workers) and may outlive it — cmd/rid
+// keeps a single registry across -separate file groups, and ServeDebug
+// exposes it live.
+type Registry struct {
+	counters [numMetrics]counter
+	phases   [numPhases]hist
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Count adds d to metric m.
+func (r *Registry) Count(m Metric, d int64) {
+	r.counters[m].v.Add(d)
+}
+
+// Counter returns the current value of metric m.
+func (r *Registry) Counter(m Metric) int64 {
+	return r.counters[m].v.Load()
+}
+
+// Observe records one completed span duration for phase ph.
+func (r *Registry) Observe(ph Phase, d time.Duration) {
+	r.phases[ph].observe(int64(d))
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+
+// CounterValue is one named counter reading.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// PhaseStats summarizes one phase histogram.
+type PhaseStats struct {
+	Phase string        `json:"phase"`
+	Count int64         `json:"count"`
+	Total time.Duration `json:"total_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Snapshot is a point-in-time copy of the registry, in fixed metric and
+// phase order (deterministic output shape regardless of activity).
+type Snapshot struct {
+	Counters []CounterValue `json:"counters"`
+	Phases   []PhaseStats   `json:"phases"`
+}
+
+// Snapshot copies the registry. Concurrent-safe; the copy is not atomic
+// across counters (each counter individually is).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: make([]CounterValue, numMetrics),
+		Phases:   make([]PhaseStats, numPhases),
+	}
+	for m := Metric(0); m < numMetrics; m++ {
+		s.Counters[m] = CounterValue{Name: m.Name(), Value: r.Counter(m)}
+	}
+	for p := Phase(0); p < numPhases; p++ {
+		h := &r.phases[p]
+		s.Phases[p] = PhaseStats{
+			Phase: p.String(),
+			Count: h.count.Load(),
+			Total: time.Duration(h.sum.Load()),
+			P50:   h.quantile(0.50),
+			P95:   h.quantile(0.95),
+			Max:   time.Duration(h.max.Load()),
+		}
+	}
+	return s
+}
+
+// Phase returns the snapshot's stats for ph.
+func (s Snapshot) Phase(ph Phase) PhaseStats {
+	if int(ph) < len(s.Phases) {
+		return s.Phases[ph]
+	}
+	return PhaseStats{Phase: ph.String()}
+}
+
+// Counter returns the snapshot's value for m.
+func (s Snapshot) Counter(m Metric) int64 {
+	if int(m) < len(s.Counters) {
+		return s.Counters[m].Value
+	}
+	return 0
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/ipp"
+	"repro/internal/obs"
 )
 
 // Format selects an output renderer.
@@ -145,6 +146,20 @@ func WriteDiags(w io.Writer, f Format, diags []Diag) error {
 			}
 		}
 		return nil
+	}
+	return fmt.Errorf("unhandled format %q", f)
+}
+
+// WriteMetrics renders a metrics registry snapshot to w. Text mode uses
+// the snapshot's stable fixed-order layout (one line per counter, then one
+// per phase); JSON mode emits a single object. SARIF has no natural home
+// for run metrics, so it falls back to text, as WriteDiags does.
+func WriteMetrics(w io.Writer, f Format, s obs.Snapshot) error {
+	switch f {
+	case JSON:
+		return s.WriteJSON(w)
+	case Text, SARIF:
+		return s.WriteText(w)
 	}
 	return fmt.Errorf("unhandled format %q", f)
 }

@@ -1,0 +1,78 @@
+package solver
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/sym"
+)
+
+// FuzzSolver cross-checks the quickSolve interval fast path against the
+// full Fourier–Motzkin procedure. quickSolve's contract is that whenever
+// it claims a query (handled=true) its verdict is identical to the slow
+// path's — give-up behavior included, which is why it defers any query the
+// slow path might answer conservatively. The fuzzer builds conjunctions
+// over a small term vocabulary (so terms collide and intervals interact)
+// and asserts both procedures agree under several limit settings.
+func FuzzSolver(f *testing.F) {
+	f.Add([]byte{0, 2, 9}, uint8(0))
+	f.Add([]byte{0, 2, 9, 0, 5, 3}, uint8(1))                   // contradictory bounds on one term
+	f.Add([]byte{1, 1, 0, 1, 1, 1, 1, 1, 2}, uint8(2))          // NE exclusions
+	f.Add([]byte{0x80, 0, 7, 2, 3, 200, 3, 4, 128}, uint8(3))   // flipped orientation, negatives
+	f.Add([]byte{5, 0, 1, 5, 1, 0, 4, 2, 1, 4, 3, 1}, uint8(0)) // bool term + Ret
+	f.Add([]byte{0x40, 0, 0, 0x41, 1, 0, 0x42, 2, 0}, uint8(1)) // term-vs-term (slow path only)
+	f.Fuzz(func(t *testing.T, data []byte, limitSel uint8) {
+		var limits Limits
+		switch limitSel % 4 {
+		case 1:
+			limits = Limits{MaxSplits: 1}
+		case 2:
+			limits = Limits{MaxSplits: 3, MaxConstraints: 8}
+		case 3:
+			limits = Limits{MaxConstraints: 6}
+		}
+		// A small vocabulary of interned terms: collisions across conjuncts
+		// are what make intervals (and disequality exclusions) interact.
+		terms := []*sym.Expr{
+			sym.Arg("a"),
+			sym.Arg("b"),
+			sym.Field(sym.Arg("a"), "f"),
+			sym.Fresh("w"),
+			sym.Ret(),
+			sym.Cond(sym.Arg("b"), ir.NE, sym.Null()), // opaque boolean term
+		}
+		preds := []ir.Pred{ir.EQ, ir.NE, ir.LT, ir.LE, ir.GT, ir.GE}
+		var conds []*sym.Expr
+		for i := 0; i+2 < len(data) && len(conds) < 24; i += 3 {
+			tm := terms[int(data[i]&0x0f)%len(terms)]
+			pred := preds[int(data[i+1])%len(preds)]
+			// Small constants so bounds from different conjuncts overlap.
+			k := sym.Const(int64(int8(data[i+2])) / 8)
+			a, b := tm, sym.Const(k.Int)
+			switch {
+			case data[i]&0x40 != 0:
+				// Term-vs-term conjunct: out of quickSolve's scope by
+				// construction, exercises the bail-out agreement.
+				b = terms[int(data[i+2])%len(terms)]
+			case data[i]&0x80 != 0:
+				a, b = b, a // constant on the left
+			}
+			conds = append(conds, sym.Cond(a, pred, b))
+		}
+		cs := sym.NewSet(conds)
+
+		fast := NewWithLimits(limits)
+		slow := NewWithLimits(limits)
+		slow.noQuick = true
+		v1 := fast.Sat(cs)
+		v2 := slow.Sat(cs)
+		if v1 != v2 {
+			t.Fatalf("quickSolve disagrees with full procedure: quick=%v full=%v\nconds: %v",
+				v1, v2, cs.Conds())
+		}
+		// Re-asking must be stable (second answer comes from the cache).
+		if fast.Sat(cs) != v1 {
+			t.Fatal("cached verdict differs from computed verdict")
+		}
+	})
+}

@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/sym"
 )
 
@@ -55,14 +56,28 @@ func (s *Stats) Add(o Stats) {
 	s.GaveUp += o.GaveUp
 }
 
+// Sub returns s − o componentwise — the delta between two snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Queries:   s.Queries - o.Queries,
+		CacheHits: s.CacheHits - o.CacheHits,
+		Sat:       s.Sat - o.Sat,
+		Unsat:     s.Unsat - o.Unsat,
+		GaveUp:    s.GaveUp - o.GaveUp,
+	}
+}
+
 // Solver answers satisfiability queries with memoization. A Solver's
 // counters are not safe for concurrent use — create one per worker — but
 // the underlying Cache may be shared across workers (see Fork and
 // NewWithCache).
 type Solver struct {
-	limits Limits
-	cache  *Cache
-	stats  Stats
+	limits  Limits
+	cache   *Cache
+	stats   Stats
+	obs     *obs.Obs // optional; counters land here atomically per query
+	fn      string   // current function label for query spans
+	noQuick bool     // skip quickSolve (differential testing only)
 }
 
 // New returns a solver with default limits and a private cache.
@@ -86,12 +101,22 @@ func NewWithCache(l Limits, c *Cache) *Solver {
 	return &Solver{limits: l, cache: c}
 }
 
-// Fork returns a new solver sharing s's limits and cache, with fresh
-// counters. Use one fork per worker goroutine; merge the counters back
-// with AddStats.
+// Fork returns a new solver sharing s's limits, cache, and observer, with
+// fresh counters. Use one fork per worker goroutine; merge the counters
+// back with AddStats. (The observer's registry is atomic, so forks count
+// into it directly; only the local Stats need merging.)
 func (s *Solver) Fork() *Solver {
-	return &Solver{limits: s.limits, cache: s.cache}
+	return &Solver{limits: s.limits, cache: s.cache, obs: s.obs, fn: s.fn, noQuick: s.noQuick}
 }
+
+// SetObs attaches an observer: every query increments the registry
+// counters at the event site, and — when query timing is enabled — emits a
+// PhaseSolver span labeled with the current function (see SetFunction).
+// A nil observer detaches.
+func (s *Solver) SetObs(o *obs.Obs) { s.obs = o }
+
+// SetFunction sets the function label attributed to subsequent queries.
+func (s *Solver) SetFunction(fn string) { s.fn = fn }
 
 // Stats returns a copy of the accumulated counters.
 func (s *Solver) Stats() Stats { return s.stats }
@@ -108,13 +133,26 @@ func (s *Solver) DisableCache() { s.cache = nil }
 
 // Sat reports whether the conjunction is satisfiable over the integers.
 func (s *Solver) Sat(cs sym.Set) bool {
+	if s.obs.QueryTiming() {
+		sp := s.obs.StartQuery(s.fn)
+		v := s.sat(cs)
+		sp.End()
+		return v
+	}
+	return s.sat(cs)
+}
+
+func (s *Solver) sat(cs sym.Set) bool {
 	s.stats.Queries++
+	s.obs.Count(obs.MSolverQueries, 1)
 	if cs.HasFalse() {
 		s.stats.Unsat++
+		s.obs.Count(obs.MSolverUnsat, 1)
 		return false
 	}
 	if cs.Len() == 0 {
 		s.stats.Sat++
+		s.obs.Count(obs.MSolverSat, 1)
 		return true
 	}
 	var key string
@@ -122,6 +160,7 @@ func (s *Solver) Sat(cs sym.Set) bool {
 		key = cs.CacheKey()
 		if v, ok := s.cache.Get(key); ok {
 			s.stats.CacheHits++
+			s.obs.Count(obs.MSolverCacheHits, 1)
 			return v
 		}
 	}
@@ -131,10 +170,18 @@ func (s *Solver) Sat(cs sym.Set) bool {
 	}
 	if res {
 		s.stats.Sat++
+		s.obs.Count(obs.MSolverSat, 1)
 	} else {
 		s.stats.Unsat++
+		s.obs.Count(obs.MSolverUnsat, 1)
 	}
 	return res
+}
+
+// gaveUp records a budget-exceeded query (answered SAT conservatively).
+func (s *Solver) gaveUp() {
+	s.stats.GaveUp++
+	s.obs.Count(obs.MSolverGaveUp, 1)
 }
 
 // ---------------------------------------------------------------------------
@@ -235,8 +282,10 @@ func neg(l linear) linear {
 // Decision procedure
 
 func (s *Solver) solve(cs sym.Set) bool {
-	if v, ok := s.quickSolve(cs); ok {
-		return v
+	if !s.noQuick {
+		if v, ok := s.quickSolve(cs); ok {
+			return v
+		}
 	}
 	p := translate(cs)
 	return s.solveSplit(p.ineqs, p.diseq, 0)
@@ -425,7 +474,7 @@ func (s *Solver) solveSplit(ineqs []linear, diseq []linear, depth int) bool {
 	if depth >= s.limits.MaxSplits {
 		// Too many splits: drop remaining disequalities (weakening the
 		// system over-approximates satisfiability).
-		s.stats.GaveUp++
+		s.gaveUp()
 		return s.fm(ineqs)
 	}
 	d := diseq[0]
@@ -457,7 +506,7 @@ func (s *Solver) fm(ineqs []linear) bool {
 			return true
 		}
 		if len(work) > s.limits.MaxConstraints {
-			s.stats.GaveUp++
+			s.gaveUp()
 			return true
 		}
 		v := pickVar(work, vars)

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cfg"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/solver"
 	"repro/internal/summary"
 	"repro/internal/sym"
@@ -53,6 +54,11 @@ type Config struct {
 	// degrades the function to a default summary instead of crashing the
 	// run.
 	OnFunction func(fn string)
+
+	// Obs, when non-nil, receives enumerate/exec spans and the Step I/II
+	// counters (paths enumerated, subcases forked, summary entries). All
+	// hooks are nil-safe, so the zero Config observes nothing at no cost.
+	Obs *obs.Obs
 }
 
 // DefaultConfig returns the paper's evaluation configuration. It is the
@@ -239,6 +245,7 @@ func (pr *pathRun) anonSym(prefix string) *sym.Expr {
 // Truncated set so the function degrades to a partial summary plus the
 // §5.2 default entry rather than blocking the run.
 func (ex *Executor) Summarize(ctx context.Context, fn *ir.Func) Result {
+	ex.cfg.Obs.Count(obs.MFuncsAnalyzed, 1)
 	if ex.cfg.OnFunction != nil {
 		ex.cfg.OnFunction(fn.Name)
 	}
@@ -251,7 +258,7 @@ func (ex *Executor) Summarize(ctx context.Context, fn *ir.Func) Result {
 		}
 	}
 	g := cfg.New(fn)
-	enum := g.EnumerateCtx(ctx, ex.cfg.MaxPaths)
+	enum := g.EnumerateObs(ctx, ex.cfg.MaxPaths, ex.cfg.Obs)
 	res := Result{
 		Fn:             fn,
 		NumPaths:       len(enum.Paths),
@@ -266,6 +273,7 @@ func (ex *Executor) Summarize(ctx context.Context, fn *ir.Func) Result {
 		canceled  bool
 	}
 	outs := make([]pathOut, len(enum.Paths))
+	execSpan := ex.cfg.Obs.Start(obs.PhaseExec, fn.Name)
 
 	workers := ex.cfg.PathWorkers
 	if workers <= 1 || len(enum.Paths) < 2 {
@@ -325,6 +333,8 @@ func (ex *Executor) Summarize(ctx context.Context, fn *ir.Func) Result {
 	if res.TruncatedSubcases || res.Canceled {
 		res.Truncated = true
 	}
+	execSpan.End()
+	ex.cfg.Obs.Count(obs.MSummaryEntries, int64(len(res.Entries)))
 	return res
 }
 
@@ -476,6 +486,7 @@ func (pr *pathRun) call(fn *ir.Func, st *state, in *ir.Instr) []*state {
 		ns := st
 		if idx < len(sum.Entries)-1 {
 			ns = st.clone()
+			pr.cfg.Obs.Count(obs.MSubcasesForked, 1)
 		}
 		ok := true
 		for _, c := range inst.Cons.Conds() {

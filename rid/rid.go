@@ -35,6 +35,7 @@ import (
 	"repro/internal/ipp"
 	"repro/internal/ir"
 	"repro/internal/lower"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/solver"
 	"repro/internal/spec"
@@ -101,6 +102,16 @@ type Options struct {
 	// hang — and is recorded in Diagnostics.
 	SolverMaxConstraints int
 	SolverMaxSplits      int
+	// TraceWriter, when non-nil, receives one JSON object per completed
+	// pipeline span (classify, path enumeration, symbolic execution, IPP
+	// check, solver query), newline-delimited — the `rid -trace` format.
+	// Tracing implies per-query solver timing.
+	TraceWriter io.Writer
+	// QueryTiming times each solver query individually (feeding the
+	// "solver" phase histogram of Result.WriteMetrics) even without a
+	// TraceWriter. Off by default: queries can be sub-microsecond, where
+	// the clock reads themselves are measurable.
+	QueryTiming bool
 }
 
 // Diagnostic is one degradation event of a run: the analysis kept going
@@ -170,6 +181,7 @@ type Result struct {
 
 	db      *summary.DB
 	reports []*ipp.Report
+	metrics obs.Snapshot
 }
 
 // Degraded reports whether any part of the run was degraded (truncated,
@@ -236,11 +248,12 @@ type Analyzer struct {
 	specs Specs
 	prog  *ir.Program
 	opts  Options
+	reg   *obs.Registry
 }
 
 // New returns an analyzer with the given API specifications.
 func New(specs Specs) *Analyzer {
-	return &Analyzer{specs: specs, prog: ir.NewProgram()}
+	return &Analyzer{specs: specs, prog: ir.NewProgram(), reg: obs.NewRegistry()}
 }
 
 // SetOptions replaces the analysis options.
@@ -325,6 +338,14 @@ func (a *Analyzer) RunContext(ctx context.Context) (*Result, error) {
 	// Unset fields default individually inside core (paper's §6.1 values).
 	opts.Exec.MaxPaths = a.opts.MaxPaths
 	opts.Exec.MaxSubcases = a.opts.MaxSubcases
+	var tracer obs.Tracer
+	if a.opts.TraceWriter != nil {
+		tracer = obs.NewJSONLTracer(a.opts.TraceWriter)
+	}
+	opts.Obs = obs.New(tracer, a.reg)
+	if a.opts.QueryTiming {
+		opts.Obs.EnableQueryTiming()
+	}
 	res := core.Analyze(ctx, a.prog, a.specs.s, opts)
 	if len(a.opts.Suppress) > 0 {
 		drop := make(map[string]bool, len(a.opts.Suppress))
@@ -354,6 +375,7 @@ func (a *Analyzer) RunContext(ctx context.Context) (*Result, error) {
 		FuncsPanicked:   res.Stats.FuncsPanicked,
 		db:              res.DB,
 		reports:         res.Reports,
+		metrics:         a.reg.Snapshot(),
 	}
 	for _, d := range res.Diagnostics {
 		out.Diagnostics = append(out.Diagnostics, Diagnostic{
@@ -366,6 +388,29 @@ func (a *Analyzer) RunContext(ctx context.Context) (*Result, error) {
 		out.Bugs = append(out.Bugs, toBug(r))
 	}
 	return out, nil
+}
+
+// WriteMetrics renders the run's metrics — event counters (paths
+// enumerated, subcases forked, solver verdicts, IPP candidates and
+// reports) and per-phase wall-clock histograms (count, total, p50, p95,
+// max) — in the named format ("text" or "json"); see cmd/rid's -metrics
+// flag. Counter lines are deterministic for a sequential run; durations
+// are wall-clock and vary.
+func (r *Result) WriteMetrics(w io.Writer, format string) error {
+	f, err := report.ParseFormat(format)
+	if err != nil {
+		return err
+	}
+	return report.WriteMetrics(w, f, r.metrics)
+}
+
+// ServeDebug starts an HTTP server on addr (e.g. "localhost:6060"; port 0
+// picks a free one) exposing /debug/pprof/ and /debug/vars — the expvar
+// globals plus the analyzer's live metrics registry under "rid_metrics".
+// It returns a function stopping the server and the bound address. The
+// registry is live: a Run in progress is visible as it happens.
+func (a *Analyzer) ServeDebug(addr string) (stop func() error, actual string, err error) {
+	return obs.Serve(addr, a.reg)
 }
 
 // WriteDiagnostics renders the run's degradation diagnostics to w in the

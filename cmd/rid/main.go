@@ -5,6 +5,16 @@
 //
 //	rid [flags] file.c [file2.c ...]
 //	rid [flags] -dir path/to/tree
+//	rid explain [-fn F] [-html out.html] file.c [file2.c ...]
+//
+// The explain subcommand re-runs the analysis with provenance capture on
+// and prints, per bug, the complete derivation: both CFG paths with
+// block-level source positions, the entry constraints before and after
+// the projection of locals, every callee summary entry applied, the
+// deciding solver query, and the witness-replay verdict
+// (confirmed-by-replay / replay-diverged / not-replayable). With -html
+// it also writes a self-contained evidence page embedding a Graphviz
+// overlay of the two paths.
 //
 // Flags select the predefined API specifications (-spec linux-dpm or
 // -spec python-c, plus -spec-file for custom DSL files), tune the path and
@@ -33,6 +43,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		runExplain(os.Args[2:])
+		return
+	}
 	var (
 		specName = flag.String("spec", "linux-dpm", "predefined API specs: linux-dpm or python-c")
 		specFile = flag.String("spec-file", "", "additional summary-DSL file to merge")
@@ -206,6 +220,109 @@ func main() {
 	}
 	if ctx.Err() != nil {
 		// Partial results were printed; make the truncation unmissable.
+		fmt.Fprintf(os.Stderr, "rid: run canceled (%v); results are partial\n", ctx.Err())
+		os.Exit(3)
+	}
+	if len(res.Bugs) > 0 {
+		os.Exit(1)
+	}
+}
+
+// runExplain implements `rid explain`: the analysis with provenance
+// capture and witness replay on, reported as full per-bug derivations
+// (text to stdout, optionally a self-contained HTML page).
+func runExplain(args []string) {
+	fs := flag.NewFlagSet("rid explain", flag.ExitOnError)
+	var (
+		specName = fs.String("spec", "linux-dpm", "predefined API specs: linux-dpm or python-c")
+		specFile = fs.String("spec-file", "", "additional summary-DSL file to merge")
+		dir      = fs.String("dir", "", "analyze every *.c file under this directory")
+		fnFilter = fs.String("fn", "", "explain only bugs in this comma-separated function list")
+		htmlOut  = fs.String("html", "", "also write a self-contained HTML evidence page to this file")
+		workers  = fs.Int("workers", 1, "parallel SCC workers (-1 = all cores)")
+		trace    = fs.String("trace", "", "write a JSONL span log to this file (evidence query refs gain trace seq numbers)")
+	)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var specs rid.Specs
+	switch *specName {
+	case "linux-dpm":
+		specs = rid.LinuxDPMSpecs()
+	case "python-c":
+		specs = rid.PythonCSpecs()
+	default:
+		fatalf("unknown -spec %q (want linux-dpm or python-c)", *specName)
+	}
+	if *specFile != "" {
+		data, err := os.ReadFile(*specFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var perr error
+		specs, perr = specs.Parse(*specFile, string(data))
+		if perr != nil {
+			fatalf("%v", perr)
+		}
+	}
+
+	a := rid.New(specs)
+	opts := rid.Options{Workers: *workers, Provenance: true}
+	var traceFile *os.File
+	if *trace != "" {
+		var err error
+		traceFile, err = os.Create(*trace)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer closeTrace(traceFile)
+		opts.TraceWriter = traceFile
+	}
+	a.SetOptions(opts)
+
+	if *dir != "" {
+		if err := a.AddDir(*dir); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	for _, f := range fs.Args() {
+		if err := a.AddFile(f); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if a.NumFunctions() == 0 {
+		fatalf("no functions to analyze (pass files or -dir)")
+	}
+
+	res, err := a.RunContext(ctx)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *fnFilter != "" {
+		res = res.FilterFunctions(strings.Split(*fnFilter, ",")...)
+	}
+	if len(res.Bugs) == 0 {
+		fmt.Println("no inconsistent path pairs found")
+	} else if err := res.WriteExplain(os.Stdout); err != nil {
+		fatalf("%v", err)
+	}
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		werr := res.WriteExplainHTML(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fatalf("%v", werr)
+		}
+		fmt.Fprintf(os.Stderr, "rid: wrote HTML evidence report to %s\n", *htmlOut)
+	}
+	if ctx.Err() != nil {
 		fmt.Fprintf(os.Stderr, "rid: run canceled (%v); results are partial\n", ctx.Err())
 		os.Exit(3)
 	}

@@ -8,6 +8,8 @@
 //	ridbench -dpm            # §6.2 reports vs confirmed bugs
 //	ridbench -misuse         # §6.3 pm_runtime_get census
 //	ridbench -perf           # §6.5 scaling series
+//	ridbench -perf -perf-json perf.json   # ...and save the series
+//	ridbench -perf -compare perf.json     # ...and diff against a saved series
 //	ridbench -show-specs     # the predefined summaries (Figure 7)
 package main
 
@@ -32,6 +34,8 @@ func main() {
 		dpm       = flag.Bool("dpm", false, "§6.2: DPM bug reports vs confirmed")
 		misuse    = flag.Bool("misuse", false, "§6.3: pm_runtime_get misuse census")
 		perf      = flag.Bool("perf", false, "§6.5: performance scaling")
+		perfJSON  = flag.String("perf-json", "", "write the -perf series to this file as JSON")
+		compare   = flag.String("compare", "", "diff the -perf series against a snapshot written by -perf-json")
 		ablations = flag.Bool("ablations", false, "design-decision ablations (DESIGN.md §5)")
 		showSpecs = flag.Bool("show-specs", false, "print the predefined summaries (Figure 7)")
 		workers   = flag.Int("workers", 1, "parallel SCC workers (-1 = all cores)")
@@ -56,6 +60,9 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *deadline)
 		defer cancel()
+	}
+	if *perfJSON != "" || *compare != "" {
+		*perf = true
 	}
 	any := *table1 || *table2 || *dpm || *misuse || *perf || *showSpecs || *ablations
 	if *all || !any {
@@ -93,6 +100,21 @@ func main() {
 		pts, err := experiments.Perf(ctx, []int{1, 2, 4}, *workers)
 		check(err)
 		fmt.Println(experiments.FormatPerf(pts, *workers))
+		if *perfJSON != "" {
+			f, err := os.Create(*perfJSON)
+			check(err)
+			check(experiments.WritePerfSnapshot(f, *workers, pts))
+			check(f.Close())
+			fmt.Fprintf(os.Stderr, "ridbench: perf snapshot written to %s\n", *perfJSON)
+		}
+		if *compare != "" {
+			f, err := os.Open(*compare)
+			check(err)
+			old, err := experiments.ReadPerfSnapshot(f)
+			check(f.Close())
+			check(err)
+			fmt.Println(experiments.DiffPerf(old, &experiments.PerfSnapshot{Workers: *workers, Points: pts}))
+		}
 	}
 	if *ablations {
 		rows, err := experiments.Ablations(ctx)

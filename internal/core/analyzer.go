@@ -57,6 +57,14 @@ type Options struct {
 	// Stats.Solver is read back from it, so solver totals are exact under
 	// any worker count and at any snapshot instant.
 	Obs *obs.Obs
+	// Provenance records, per report, the full derivation as an
+	// ipp.Evidence object (CFG paths with positions, constraint history,
+	// applied callee entries, the deciding solver query) and then runs
+	// the witness-replay post-pass, annotating each report
+	// confirmed-by-replay / replay-diverged / not-replayable. Off by
+	// default; the disabled path does no extra work and no extra
+	// allocations (TestProvenanceOffAllocFree).
+	Provenance bool
 }
 
 // withDefaults normalizes each option independently: an explicitly set
@@ -132,14 +140,16 @@ func Analyze(ctx context.Context, prog *ir.Program, specs *spec.Specs, opts Opti
 	if specs != nil {
 		specs.ApplyTo(db)
 	}
-	return analyzeWithDB(ctx, prog, db, opts, nil)
+	return analyzeWithDB(ctx, prog, specs, db, opts, nil)
 }
 
 // analyzeWithDB runs the pipeline against an existing summary database
 // (multi-file and incremental modes carry summaries across calls). When
 // only is non-nil, functions it rejects keep their existing summaries and
-// are not re-analyzed.
-func analyzeWithDB(ctx context.Context, prog *ir.Program, db *summary.DB, opts Options, only func(string) bool) *Result {
+// are not re-analyzed. specs is used only by the provenance replay
+// post-pass (extern callees execute their predefined summaries); nil is
+// fine without Options.Provenance.
+func analyzeWithDB(ctx context.Context, prog *ir.Program, specs *spec.Specs, db *summary.DB, opts Options, only func(string) bool) *Result {
 	// Every run counts into a registry (a private one when the caller did
 	// not attach an observer) so Stats.Solver can be read back as the
 	// counter delta across this call — exact under Workers>1, and immune
@@ -148,6 +158,9 @@ func analyzeWithDB(ctx context.Context, prog *ir.Program, db *summary.DB, opts O
 	// per-call stats additive.
 	opts.Obs = opts.Obs.EnsureRegistry()
 	opts.Exec.Obs = opts.Obs
+	if opts.Provenance {
+		opts.Exec.Provenance = true
+	}
 	reg := opts.Obs.Registry()
 	solverBase := solverCounters(reg)
 	runSpan := opts.Obs.Start(obs.PhaseRun, "")
@@ -201,6 +214,12 @@ func analyzeWithDB(ctx context.Context, prog *ir.Program, db *summary.DB, opts O
 	}
 	sortDiagnostics(res.Diagnostics)
 	sortReports(res)
+	if opts.Provenance {
+		// Replay runs after sorting, sequentially, with seeds derived
+		// from function names only — verdicts are identical at any
+		// Workers setting (TestReplayDeterministicAcrossWorkers).
+		replayReports(ctx, prog, specs, res, opts.Obs)
+	}
 	// Read the solver totals back from the registry only now, after every
 	// worker has exited and all diagnostics are finalized.
 	res.Stats.Solver = solverCounters(reg).Sub(solverBase)
@@ -278,7 +297,7 @@ func analyzeOne(ctx context.Context, fn *ir.Func, db *summary.DB, slv *solver.So
 		}()
 		ex := symexec.New(db, slv, opts.Exec)
 		sres = ex.Summarize(fctx, fn)
-		out.reports, out.sum = ipp.CheckWith(fctx, sres, slv, ipp.Options{NoBucketing: opts.NoBucketing, Obs: opts.Obs})
+		out.reports, out.sum = ipp.CheckWith(fctx, sres, slv, ipp.Options{NoBucketing: opts.NoBucketing, Obs: opts.Obs, Provenance: opts.Provenance})
 		out.paths = sres.NumPaths
 	}()
 	if out.panicked {

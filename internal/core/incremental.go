@@ -56,5 +56,5 @@ func Incremental(ctx context.Context, prog *ir.Program, specs *spec.Specs, opts 
 		}
 	}
 
-	return analyzeWithDB(ctx, prog, db, opts, func(fn string) bool { return affected[fn] })
+	return analyzeWithDB(ctx, prog, specs, db, opts, func(fn string) bool { return affected[fn] })
 }

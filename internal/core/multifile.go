@@ -91,7 +91,7 @@ func AnalyzeFiles(ctx context.Context, files map[string]string, specs *spec.Spec
 		if err := linked.Validate(); err != nil {
 			return nil, err
 		}
-		res := analyzeWithDB(ctx, linked, db, opts, nil)
+		res := analyzeWithDB(ctx, linked, specs, db, opts, nil)
 		total.Reports = append(total.Reports, res.Reports...)
 		total.Diagnostics = append(total.Diagnostics, res.Diagnostics...)
 		total.Stats.FuncsTotal += res.Stats.FuncsTotal

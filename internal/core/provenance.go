@@ -1,0 +1,107 @@
+package core
+
+import (
+	"context"
+	"hash/fnv"
+
+	"repro/internal/interp"
+	"repro/internal/ipp"
+	"repro/internal/ir"
+	"repro/internal/obs"
+	"repro/internal/spec"
+)
+
+// replayTrials bounds the interpreter runs spent steering execution onto
+// each recorded path. Extern callees execute a randomly chosen summary
+// entry (and defined callees draw havoc internally), so reproducing a
+// specific path is stochastic; 256 seeds per path steers even two-level
+// callee chains reliably while keeping the post-pass a few milliseconds
+// per report.
+const replayTrials = 256
+
+// replayReports closes the provenance loop: for every report carrying an
+// Evidence record, it drives the concrete interpreter down the two
+// recorded paths under the report's witness assignment and annotates the
+// evidence confirmed-by-replay / replay-diverged / not-replayable.
+//
+// The pass runs sequentially after reports are sorted, and every seed is
+// derived from the function name alone, so verdicts are byte-identical
+// at any Workers setting. Reports from the same inconsistent pair share
+// one *Evidence; the pair is replayed once.
+func replayReports(ctx context.Context, prog *ir.Program, specs *spec.Specs, res *Result, o *obs.Obs) {
+	done := make(map[*ipp.Evidence]bool)
+	for _, rep := range res.Reports {
+		ev := rep.Evidence
+		if ev == nil || done[ev] {
+			continue
+		}
+		done[ev] = true
+		if ctx.Err() != nil {
+			ev.Replay = &ipp.ReplayResult{Verdict: ipp.ReplayNotReplayable}
+			o.Count(obs.MReplayUnreplayed, 1)
+			continue
+		}
+		sp := o.Start(obs.PhaseReplay, rep.Fn)
+		ev.Replay = replayOne(prog, specs, rep)
+		sp.End()
+		switch ev.Replay.Verdict {
+		case ipp.ReplayConfirmed:
+			o.Count(obs.MReplayConfirmed, 1)
+		case ipp.ReplayDiverged:
+			o.Count(obs.MReplayDiverged, 1)
+		default:
+			o.Count(obs.MReplayUnreplayed, 1)
+		}
+	}
+}
+
+// replayOne replays both recorded paths of one report and derives the
+// verdict: confirmed when both paths reproduce (same witness arguments,
+// recorded block trajectories, witness return value) with *different*
+// normalized refcount delta signatures — a dynamic IPP witness — and
+// diverged when both reproduce but the deltas agree.
+func replayOne(prog *ir.Program, specs *spec.Specs, rep *ipp.Report) *ipp.ReplayResult {
+	ev := rep.Evidence
+	blocksA := blockIndexes(ev.PathA)
+	blocksB := blockIndexes(ev.PathB)
+	if len(blocksA) == 0 || len(blocksB) == 0 {
+		// Symexec ran without provenance capture (or the path records
+		// were lost): nothing to steer toward.
+		return &ipp.ReplayResult{Verdict: ipp.ReplayNotReplayable}
+	}
+	seed := int64(fnvHash(rep.Fn))
+	ra, errA := interp.ReplayPath(prog, specs, rep.Fn, rep.Witness, blocksA, replayTrials, seed)
+	rb, errB := interp.ReplayPath(prog, specs, rep.Fn, rep.Witness, blocksB, replayTrials, seed+1_000_003)
+	out := &ipp.ReplayResult{Attempts: ra.Attempts + rb.Attempts}
+	if errA != nil || errB != nil || !ra.Reproduced || !rb.Reproduced {
+		out.Verdict = ipp.ReplayNotReplayable
+		return out
+	}
+	out.DeltaA = ra.Outcome.DeltaSignature()
+	out.DeltaB = rb.Outcome.DeltaSignature()
+	if out.DeltaA != out.DeltaB {
+		out.Verdict = ipp.ReplayConfirmed
+	} else {
+		out.Verdict = ipp.ReplayDiverged
+	}
+	return out
+}
+
+func blockIndexes(pe ipp.PathEvidence) []int {
+	if len(pe.Blocks) == 0 {
+		return nil
+	}
+	out := make([]int, len(pe.Blocks))
+	for i, b := range pe.Blocks {
+		out[i] = b.Index
+	}
+	return out
+}
+
+// fnvHash seeds replay deterministically from the function name, so the
+// verdict does not depend on report order, worker count, or wall clock.
+func fnvHash(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}

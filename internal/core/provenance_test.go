@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/ipp"
+	"repro/internal/lower"
+	"repro/internal/spec"
+)
+
+// TestProvenanceEvidence runs the Figure 2 example with provenance on and
+// checks the whole evidence chain: both CFG paths with block positions,
+// the applied callee summary entries, the raw-vs-projected constraints,
+// the deciding-query reference, and a replay verdict.
+func TestProvenanceEvidence(t *testing.T) {
+	prog, err := lower.SourceString("fig1.c", figure1Src)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	specs := spec.LinuxDPM()
+	specs.Merge(spec.MustParse("inc_pmcount", incPMCountSpec))
+	res := Analyze(context.Background(), prog, specs, Options{Provenance: true})
+
+	if len(res.Reports) != 1 {
+		t.Fatalf("reports = %d, want 1", len(res.Reports))
+	}
+	ev := res.Reports[0].Evidence
+	if ev == nil {
+		t.Fatal("report has no Evidence with Options.Provenance set")
+	}
+	for side, pe := range map[string]ipp.PathEvidence{"A": ev.PathA, "B": ev.PathB} {
+		if len(pe.Blocks) == 0 {
+			t.Fatalf("path %s: no recorded blocks", side)
+		}
+		posSeen := false
+		for _, b := range pe.Blocks {
+			if b.Pos.IsValid() {
+				posSeen = true
+			}
+		}
+		if !posSeen {
+			t.Errorf("path %s: no block carries a source position", side)
+		}
+		if pe.RawCons == "" || pe.Cons == "" {
+			t.Errorf("path %s: missing constraint history (raw %q, projected %q)", side, pe.RawCons, pe.Cons)
+		}
+		if len(pe.Callees) == 0 {
+			t.Errorf("path %s: no applied callee entries recorded", side)
+		}
+		for _, app := range pe.Callees {
+			if app.Callee != "reg_read" && app.Callee != "inc_pmcount" {
+				t.Errorf("path %s: unexpected callee %q", side, app.Callee)
+			}
+			if app.Cons == "" {
+				t.Errorf("path %s: callee %s entry %d has no instantiated constraint", side, app.Callee, app.EntryIndex)
+			}
+		}
+	}
+	// The paths of an IPP differ by construction.
+	if ev.PathA.PathIndex == ev.PathB.PathIndex {
+		t.Errorf("both sides record path %d", ev.PathA.PathIndex)
+	}
+	if ev.Query.Index == 0 {
+		t.Errorf("deciding query ordinal not captured")
+	}
+	if ev.Replay == nil {
+		t.Fatal("replay post-pass did not run")
+	}
+	// foo's IPP is concretely reproducible: inc_pmcount's +1 lands on one
+	// path and not the other, under the witness arguments.
+	if ev.Replay.Verdict != ipp.ReplayConfirmed {
+		t.Errorf("replay verdict = %s (deltas %q vs %q, %d attempts), want %s",
+			ev.Replay.Verdict, ev.Replay.DeltaA, ev.Replay.DeltaB, ev.Replay.Attempts, ipp.ReplayConfirmed)
+	}
+}
+
+// TestProvenanceOffAllocFree is the hot-path guard for provenance
+// capture (the companion of TestObsOverheadAllocFree): with
+// Options.Provenance=false the pipeline must allocate exactly what it
+// allocated before the feature existed. In-tree that is pinned two ways:
+// the disabled run's allocation count is stable across measurements
+// (every provenance allocation is behind the Config.Provenance gate, so
+// none can leak into the default path nondeterministically), and
+// enabling provenance strictly increases allocations — i.e. the gate,
+// not the surrounding code, owns every capture-side allocation. A gate
+// regression (say, an unconditional apps/Paths append) shows up as the
+// two modes converging.
+func TestProvenanceOffAllocFree(t *testing.T) {
+	prog, err := lower.SourceString("giveup.c", giveUpSrc(4))
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	specs := spec.LinuxDPM()
+	ctx := context.Background()
+	run := func(prov bool) {
+		Analyze(ctx, prog, specs, Options{Workers: 1, NoCache: true, Provenance: prov})
+	}
+	off1 := testing.AllocsPerRun(10, func() { run(false) })
+	off2 := testing.AllocsPerRun(10, func() { run(false) })
+	on := testing.AllocsPerRun(10, func() { run(true) })
+	// Small slack absorbs runtime noise (map growth timing, GC assists).
+	if diff := off1 - off2; diff > 5 || diff < -5 {
+		t.Errorf("provenance-off allocations unstable: %.0f vs %.0f per run", off1, off2)
+	}
+	// giveUpSrc(4) reports 4 IPPs: with provenance on, every analyzed
+	// path retains its derivation and every report builds an Evidence and
+	// replays — far more than the slack above. If this margin collapses,
+	// capture allocations moved outside the gate.
+	if on < off1+20 {
+		t.Errorf("provenance on allocates %.0f/op vs %.0f/op off; capture is no longer gated", on, off1)
+	}
+}
+
+// TestProvenanceOffNoEvidence pins that the default configuration carries
+// no evidence: provenance is strictly opt-in.
+func TestProvenanceOffNoEvidence(t *testing.T) {
+	res := analyze(t, figure1Src, Options{})
+	for _, r := range res.Reports {
+		if r.Evidence != nil {
+			t.Errorf("report %s carries Evidence without Options.Provenance", r.Fn)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package pycgen
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ipp"
+	"repro/internal/spec"
+)
+
+// TestReplayDeterministicAcrossWorkersPythonC is the Python/C counterpart
+// of kernelgen's replay determinism differential: with provenance on,
+// every report over a randomized module carries a replay verdict, and
+// the per-report verdicts — in particular the confirmed-by-replay set —
+// are identical at Workers=1 and Workers=4.
+func TestReplayDeterministicAcrossWorkersPythonC(t *testing.T) {
+	specs := spec.PythonC()
+	for _, seed := range []int64{19, 404} {
+		m := Generate(Config{
+			Name: fmt.Sprintf("replaydiff%d", seed),
+			Seed: seed,
+			Mix:  Mix{Common: 2, RIDOnly: 2, CpyOnly: 2, Correct: 3},
+		})
+		prog := buildProgram(t, m)
+
+		seq := core.Analyze(context.Background(), prog, specs, core.Options{Workers: 1, Provenance: true})
+		par := core.Analyze(context.Background(), prog, specs, core.Options{Workers: 4, Provenance: true})
+
+		sv := verdictMap(t, seq)
+		pv := verdictMap(t, par)
+		for key, verdict := range sv {
+			if got, ok := pv[key]; !ok {
+				t.Errorf("seed %d: %s replayed at Workers=1 but absent at Workers=4", seed, key)
+			} else if got != verdict {
+				t.Errorf("seed %d: %s verdict %s at Workers=1 but %s at Workers=4", seed, key, verdict, got)
+			}
+		}
+		for key := range pv {
+			if _, ok := sv[key]; !ok {
+				t.Errorf("seed %d: %s replayed at Workers=4 but absent at Workers=1", seed, key)
+			}
+		}
+		if c1, c4 := confirmedKeys(sv), confirmedKeys(pv); fmt.Sprint(c1) != fmt.Sprint(c4) {
+			t.Errorf("seed %d: confirmed-by-replay sets differ:\n  Workers=1: %v\n  Workers=4: %v", seed, c1, c4)
+		}
+	}
+}
+
+func verdictMap(t *testing.T, res *core.Result) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, r := range res.Reports {
+		if r.Evidence == nil || r.Evidence.Replay == nil {
+			t.Fatalf("%s: report missing replay verdict with Provenance on", r.Fn)
+		}
+		key := r.Fn + "/" + r.Refcount.Key()
+		if prev, ok := out[key]; ok && prev != r.Evidence.Replay.Verdict {
+			t.Fatalf("%s: conflicting verdicts %s vs %s within one run", key, prev, r.Evidence.Replay.Verdict)
+		}
+		out[key] = r.Evidence.Replay.Verdict
+	}
+	return out
+}
+
+func confirmedKeys(v map[string]string) []string {
+	var out []string
+	for k, verdict := range v {
+		if verdict == ipp.ReplayConfirmed {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

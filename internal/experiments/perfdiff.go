@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ---------------------------------------------------------------------------
+// §6.5 snapshots: save one -perf run to JSON, diff a later run against it
+
+// PerfSnapshot is a serialized §6.5 scaling series, written by
+// `ridbench -perf -perf-json file` and consumed by
+// `ridbench -perf -compare file`. Durations are nanoseconds on the wire.
+type PerfSnapshot struct {
+	Workers int         `json:"workers"`
+	Points  []PerfPoint `json:"points"`
+}
+
+// WritePerfSnapshot serializes a scaling series.
+func WritePerfSnapshot(w io.Writer, workers int, points []PerfPoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(PerfSnapshot{Workers: workers, Points: points})
+}
+
+// ReadPerfSnapshot loads a serialized scaling series.
+func ReadPerfSnapshot(r io.Reader) (*PerfSnapshot, error) {
+	var s PerfSnapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("perf snapshot: %w", err)
+	}
+	if len(s.Points) == 0 {
+		return nil, fmt.Errorf("perf snapshot: no points")
+	}
+	return &s, nil
+}
+
+// DiffPerf renders a benchstat-style comparison of two scaling series:
+// points are matched by corpus size, and for each matched point the
+// top-level timings and every per-phase histogram row (total, p50, p95)
+// are shown old vs new with a signed delta. Phases present on only one
+// side are flagged rather than silently dropped.
+func DiffPerf(old, new *PerfSnapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§6.5 perf diff (old workers=%d, new workers=%d)\n", old.Workers, new.Workers)
+	if old.Workers != new.Workers {
+		b.WriteString("  warning: worker counts differ; deltas mix scaling and scheduling effects\n")
+	}
+	oldByFuncs := map[int]PerfPoint{}
+	for _, p := range old.Points {
+		oldByFuncs[p.Funcs] = p
+	}
+	matched := map[int]bool{}
+	for _, np := range new.Points {
+		op, ok := oldByFuncs[np.Funcs]
+		if !ok {
+			fmt.Fprintf(&b, "functions=%d: no matching point in old snapshot\n", np.Funcs)
+			continue
+		}
+		matched[np.Funcs] = true
+		fmt.Fprintf(&b, "functions=%d\n", np.Funcs)
+		fmt.Fprintf(&b, "  %-24s %12s %12s %9s\n", "metric", "old", "new", "delta")
+		row(&b, "classify", op.ClassifyTime, np.ClassifyTime)
+		row(&b, "analyze", op.AnalyzeTime, np.AnalyzeTime)
+		countRow(&b, "solver queries", op.Solver.Queries, np.Solver.Queries)
+		countRow(&b, "solver cache hits", op.Solver.CacheHits, np.Solver.CacheHits)
+		diffPhases(&b, op.Phases, np.Phases)
+	}
+	for _, op := range old.Points {
+		if !matched[op.Funcs] {
+			fmt.Fprintf(&b, "functions=%d: present in old snapshot only\n", op.Funcs)
+		}
+	}
+	return b.String()
+}
+
+func diffPhases(b *strings.Builder, old, new []obs.PhaseStats) {
+	oldByPhase := map[string]obs.PhaseStats{}
+	for _, ph := range old {
+		if ph.Count > 0 {
+			oldByPhase[ph.Phase] = ph
+		}
+	}
+	seen := map[string]bool{}
+	for _, np := range new {
+		if np.Count == 0 {
+			continue
+		}
+		seen[np.Phase] = true
+		op, ok := oldByPhase[np.Phase]
+		if !ok {
+			fmt.Fprintf(b, "  %-24s %12s %12s %9s\n",
+				"phase "+np.Phase+" total", "-", fmtDur(np.Total), "new")
+			continue
+		}
+		row(b, "phase "+np.Phase+" total", op.Total, np.Total)
+		row(b, "phase "+np.Phase+" p50", op.P50, np.P50)
+		row(b, "phase "+np.Phase+" p95", op.P95, np.P95)
+	}
+	var gone []string
+	for name := range oldByPhase {
+		if !seen[name] {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(b, "  %-24s %12s %12s %9s\n",
+			"phase "+name+" total", fmtDur(oldByPhase[name].Total), "-", "gone")
+	}
+}
+
+func row(b *strings.Builder, name string, old, new time.Duration) {
+	fmt.Fprintf(b, "  %-24s %12s %12s %9s\n", name, fmtDur(old), fmtDur(new), delta(float64(old), float64(new)))
+}
+
+func countRow(b *strings.Builder, name string, old, new int) {
+	fmt.Fprintf(b, "  %-24s %12d %12d %9s\n", name, old, new, delta(float64(old), float64(new)))
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+// delta formats the relative change new vs old, benchstat-style: signed
+// percentage, "~" when the change is under 1% (noise for wall-clock
+// histograms at these corpus sizes), and "?" when old is zero.
+func delta(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "~"
+		}
+		return "?"
+	}
+	pct := (new - old) / old * 100
+	if pct < 1 && pct > -1 {
+		return "~"
+	}
+	return fmt.Sprintf("%+.1f%%", pct)
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/solver"
+)
+
+func snapPoint(funcs int, classify, analyze time.Duration, phases ...obs.PhaseStats) PerfPoint {
+	return PerfPoint{
+		Funcs:        funcs,
+		ClassifyTime: classify,
+		AnalyzeTime:  analyze,
+		Solver:       solver.Stats{Queries: 100, CacheHits: 40},
+		Phases:       phases,
+	}
+}
+
+func TestPerfSnapshotRoundTrip(t *testing.T) {
+	points := []PerfPoint{
+		snapPoint(50, 2*time.Millisecond, 9*time.Millisecond,
+			obs.PhaseStats{Phase: "symexec", Count: 12, Total: 5 * time.Millisecond, P50: 300 * time.Microsecond, P95: time.Millisecond, Max: 2 * time.Millisecond}),
+	}
+	var buf bytes.Buffer
+	if err := WritePerfSnapshot(&buf, 4, points); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPerfSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workers != 4 || len(got.Points) != 1 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	p := got.Points[0]
+	if p.Funcs != 50 || p.ClassifyTime != 2*time.Millisecond || p.Solver.Queries != 100 {
+		t.Errorf("point fields lost: %+v", p)
+	}
+	if len(p.Phases) != 1 || p.Phases[0].Phase != "symexec" || p.Phases[0].P95 != time.Millisecond {
+		t.Errorf("phase histogram lost: %+v", p.Phases)
+	}
+}
+
+func TestPerfSnapshotRejectsEmpty(t *testing.T) {
+	if _, err := ReadPerfSnapshot(strings.NewReader(`{"workers":1,"points":[]}`)); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+	if _, err := ReadPerfSnapshot(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestDiffPerf(t *testing.T) {
+	old := &PerfSnapshot{Workers: 1, Points: []PerfPoint{
+		snapPoint(50, 2*time.Millisecond, 10*time.Millisecond,
+			obs.PhaseStats{Phase: "symexec", Count: 12, Total: 4 * time.Millisecond, P50: 200 * time.Microsecond, P95: 900 * time.Microsecond},
+			obs.PhaseStats{Phase: "solver", Count: 90, Total: 3 * time.Millisecond, P50: 20 * time.Microsecond, P95: 80 * time.Microsecond}),
+		snapPoint(500, 20*time.Millisecond, 100*time.Millisecond),
+	}}
+	cur := &PerfSnapshot{Workers: 1, Points: []PerfPoint{
+		snapPoint(50, 2*time.Millisecond, 5*time.Millisecond,
+			obs.PhaseStats{Phase: "symexec", Count: 12, Total: 6 * time.Millisecond, P50: 200 * time.Microsecond, P95: 900 * time.Microsecond},
+			obs.PhaseStats{Phase: "replay", Count: 3, Total: time.Millisecond, P50: 300 * time.Microsecond, P95: 500 * time.Microsecond}),
+		snapPoint(5000, 200*time.Millisecond, time.Second),
+	}}
+	out := DiffPerf(old, cur)
+
+	for _, want := range []string{
+		// analyze halved: -50%; classify unchanged: "~".
+		"analyze", "-50.0%",
+		// symexec total grew 4ms -> 6ms.
+		"phase symexec total", "+50.0%",
+		// replay exists only in the new run, solver only in the old.
+		"phase replay total", "new",
+		"phase solver total", "gone",
+		// unmatched corpus sizes are called out, not dropped.
+		"functions=5000: no matching point in old snapshot",
+		"functions=500: present in old snapshot only",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "classify") {
+		t.Fatalf("no classify row:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "classify") && !strings.Contains(line, "~") {
+			t.Errorf("unchanged classify not marked as noise: %q", line)
+		}
+	}
+}
+
+func TestDiffPerfWorkerMismatchWarns(t *testing.T) {
+	old := &PerfSnapshot{Workers: 1, Points: []PerfPoint{snapPoint(50, time.Millisecond, time.Millisecond)}}
+	cur := &PerfSnapshot{Workers: 4, Points: []PerfPoint{snapPoint(50, time.Millisecond, time.Millisecond)}}
+	if out := DiffPerf(old, cur); !strings.Contains(out, "worker counts differ") {
+		t.Errorf("no mismatch warning:\n%s", out)
+	}
+}

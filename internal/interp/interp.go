@@ -43,6 +43,11 @@ type Interp struct {
 	heap   map[int64]map[string]int64 // object id → field → value
 	nextID int64
 	counts map[string]int64 // refcount key → current value
+
+	// Block trajectory of the top-level frame, recorded when traceOn is
+	// set (witness replay matches it against a recorded cfg.Path).
+	traceOn bool
+	trace   []int
 }
 
 // New returns an interpreter; seed fixes all non-determinism.
@@ -167,6 +172,9 @@ func (ip *Interp) run(fnName string, args []int64, depth int) (ret int64, hasRet
 	}
 	block := 0
 	for {
+		if depth == 0 && ip.traceOn {
+			ip.trace = append(ip.trace, block)
+		}
 		blk := fn.Blocks[block]
 		for _, in := range blk.Instrs {
 			steps++
@@ -474,6 +482,13 @@ func FindWitness(prog *ir.Program, specs *spec.Specs, fn string, ptrParams []boo
 	}
 	return nil, nil
 }
+
+// DeltaSignature canonicalizes the outcome's refcount delta multiset,
+// ignoring object addresses (which differ across interpreter instances):
+// two outcomes with equal signatures applied the same net changes to the
+// same field paths. It is the comparison FindWitness uses and the one
+// witness replay uses to decide confirmed-by-replay vs replay-diverged.
+func (o Outcome) DeltaSignature() string { return normalizeDeltas(o) }
 
 // normalizeDeltas canonicalizes delta multisets ignoring object addresses.
 func normalizeDeltas(o Outcome) string {

@@ -1,0 +1,85 @@
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ir"
+	"repro/internal/spec"
+)
+
+// ReplayOutcome is the result of steering the interpreter down one
+// recorded CFG path under a witness assignment.
+type ReplayOutcome struct {
+	// Reproduced reports that some run followed exactly the recorded
+	// block sequence (and returned the witness's [0] value, when the
+	// witness constrains the return).
+	Reproduced bool
+	// Outcome is the matching run's observable result (zero value when
+	// not reproduced).
+	Outcome Outcome
+	// Attempts is the number of interpreter runs spent (≤ trials).
+	Attempts int
+}
+
+// ReplayPath drives fn down the recorded block sequence under the
+// witness assignment: arguments named in the witness (keys "[param]")
+// take their witness values; the rest are drawn from the havoc range,
+// re-drawn each attempt. Because extern callees execute a randomly
+// chosen summary entry, steering is stochastic — up to trials seeds are
+// tried (deterministically derived from seed) until one run's top-frame
+// block trajectory equals blocks and, when the witness binds "[0]", the
+// run returns that value. Refcount deltas of the matching run are
+// measured from an empty store.
+func ReplayPath(prog *ir.Program, specs *spec.Specs, fn string, witness map[string]int64, blocks []int, trials int, seed int64) (ReplayOutcome, error) {
+	f := prog.Funcs[fn]
+	if f == nil {
+		return ReplayOutcome{}, fmt.Errorf("function %s not defined", fn)
+	}
+	if trials <= 0 {
+		trials = 64
+	}
+	var ro ReplayOutcome
+	for trial := 0; trial < trials; trial++ {
+		ip := New(prog, specs, seed+int64(trial)*7919, Config{})
+		ip.traceOn = true
+		args := make([]int64, len(f.Params))
+		argRng := rand.New(rand.NewSource(seed + int64(trial)*104729))
+		for i, p := range f.Params {
+			if v, ok := witness["["+p+"]"]; ok {
+				args[i] = v
+			} else {
+				// Unconstrained by the witness: small positive scalars,
+				// like FindWitness, so loop bounds admit an iteration.
+				args[i] = 1 + argRng.Int63n(3)
+			}
+		}
+		out, err := ip.Call(fn, args)
+		if err != nil {
+			return ReplayOutcome{}, err
+		}
+		ro.Attempts = trial + 1
+		if out.Trapped || !sameBlocks(ip.trace, blocks) {
+			continue
+		}
+		if want, ok := witness["[0]"]; ok && out.HasRet && out.Ret != want {
+			continue
+		}
+		ro.Reproduced = true
+		ro.Outcome = out
+		return ro, nil
+	}
+	return ro, nil
+}
+
+func sameBlocks(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

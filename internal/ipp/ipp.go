@@ -36,6 +36,12 @@ type Report struct {
 	// return value under which both paths are feasible — direct evidence
 	// of the runtime indistinguishability the IPP definition requires.
 	Witness map[string]int64
+	// Evidence, when non-nil, is the recorded derivation of the pair
+	// (Options.Provenance): CFG paths, constraint history, applied
+	// callee entries, the deciding solver query, and — once core's
+	// post-pass has run — the witness-replay verdict. Reports from the
+	// same pair share one Evidence object.
+	Evidence *Evidence
 }
 
 // Key identifies the report for deduplication: one report per function and
@@ -88,6 +94,11 @@ type Options struct {
 	// survived bucketing and the bounds pre-filter) and ipp_confirmed
 	// (reports emitted after deduplication).
 	Obs *obs.Obs
+
+	// Provenance attaches an Evidence record to every report. Requires
+	// the symexec pass to have run with Config.Provenance (otherwise
+	// the evidence carries only projected constraints and no paths).
+	Provenance bool
 }
 
 // Check runs the consistency check over the per-path entries of one
@@ -169,6 +180,12 @@ func CheckWith(ctx context.Context, res symexec.Result, slv *solver.Solver, opts
 				continue
 			}
 			inconsistent = true
+			var ev *Evidence
+			if opts.Provenance {
+				// Capture the query ordinal before Model issues
+				// further queries for the witness search.
+				ev = buildEvidence(fn, res, k, cand, queryRef(opts.Obs))
+			}
 			witness, _ := slv.Model(k.Cons.AndSet(cand.Cons))
 			for _, rc := range k.DifferingRefcounts(cand.Entry) {
 				rep := &Report{
@@ -183,6 +200,7 @@ func CheckWith(ctx context.Context, res symexec.Result, slv *solver.Solver, opts
 					DeltaA:   k.Changes[rc.Key()].Delta,
 					DeltaB:   cand.Changes[rc.Key()].Delta,
 					Witness:  witness,
+					Evidence: ev,
 				}
 				if !seen[rep.Key()] {
 					seen[rep.Key()] = true

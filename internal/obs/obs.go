@@ -33,6 +33,7 @@ const (
 	PhaseExec                   // Step II symbolic execution
 	PhaseIPP                    // Step III pairwise consistency check
 	PhaseSolver                 // one satisfiability query
+	PhaseReplay                 // one witness replay of a reported IPP
 	numPhases
 )
 
@@ -43,6 +44,7 @@ var phaseNames = [numPhases]string{
 	PhaseExec:      "exec",
 	PhaseIPP:       "ipp",
 	PhaseSolver:    "solver",
+	PhaseReplay:    "replay",
 }
 
 // String names the phase as it appears in trace and metrics output.
@@ -100,6 +102,28 @@ func (o *Obs) Registry() *Registry {
 		return nil
 	}
 	return o.reg
+}
+
+// Seqer is implemented by tracers that expose a strictly-increasing event
+// sequence number (JSONLTracer does). Provenance capture uses it to
+// cross-link solver queries in Evidence records to trace lines.
+type Seqer interface {
+	Seq() int64
+}
+
+// TraceSeq returns the attached tracer's current sequence number — the seq
+// of the most recently emitted span — or 0 when no tracer is attached or
+// the tracer does not number its events. Under concurrent workers the
+// returned value is a lower bound on the seq of the next span, which is
+// enough to locate the relevant window of a JSONL trace.
+func (o *Obs) TraceSeq() int64 {
+	if o == nil || o.tracer == nil {
+		return 0
+	}
+	if s, ok := o.tracer.(Seqer); ok {
+		return s.Seq()
+	}
+	return 0
 }
 
 // EnsureRegistry returns o if it already carries a registry, or a derived
@@ -223,4 +247,12 @@ func (t *JSONLTracer) Err() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.err
+}
+
+// Seq returns the sequence number of the most recently emitted span (0
+// before the first span). It implements Seqer for Evidence cross-linking.
+func (t *JSONLTracer) Seq() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
 }

@@ -16,34 +16,40 @@ type Metric uint8
 // The counter taxonomy. Names (see Metric.Name) are the wire format of
 // `rid -metrics` and /debug/vars and are append-only.
 const (
-	MFuncsAnalyzed   Metric = iota // functions summarized (Step II ran)
-	MPathsEnumerated               // entry-to-exit paths produced by Step I
-	MPathsTruncated                // functions whose enumeration hit MaxPaths
-	MSubcasesForked                // states forked on callee summary entries
-	MSummaryEntries                // finalized per-path summary entries
-	MSolverQueries                 // satisfiability queries issued
-	MSolverCacheHits               // queries answered from the shared cache
-	MSolverSat                     // SAT verdicts (give-ups included)
-	MSolverUnsat                   // UNSAT verdicts
-	MSolverGaveUp                  // queries over budget, answered SAT
-	MIPPCandidates                 // Step III pairs that reached the solver
-	MIPPConfirmed                  // inconsistent path pair reports emitted
+	MFuncsAnalyzed    Metric = iota // functions summarized (Step II ran)
+	MPathsEnumerated                // entry-to-exit paths produced by Step I
+	MPathsTruncated                 // functions whose enumeration hit MaxPaths
+	MSubcasesForked                 // states forked on callee summary entries
+	MSummaryEntries                 // finalized per-path summary entries
+	MSolverQueries                  // satisfiability queries issued
+	MSolverCacheHits                // queries answered from the shared cache
+	MSolverSat                      // SAT verdicts (give-ups included)
+	MSolverUnsat                    // UNSAT verdicts
+	MSolverGaveUp                   // queries over budget, answered SAT
+	MIPPCandidates                  // Step III pairs that reached the solver
+	MIPPConfirmed                   // inconsistent path pair reports emitted
+	MReplayConfirmed                // reports whose witness replay confirmed the IPP
+	MReplayDiverged                 // reports whose replay contradicted the static claim
+	MReplayUnreplayed               // reports whose recorded paths were not reproduced
 	numMetrics
 )
 
 var metricNames = [numMetrics]string{
-	MFuncsAnalyzed:   "funcs_analyzed",
-	MPathsEnumerated: "paths_enumerated",
-	MPathsTruncated:  "paths_truncated",
-	MSubcasesForked:  "subcases_forked",
-	MSummaryEntries:  "summary_entries",
-	MSolverQueries:   "solver_queries",
-	MSolverCacheHits: "solver_cache_hits",
-	MSolverSat:       "solver_sat",
-	MSolverUnsat:     "solver_unsat",
-	MSolverGaveUp:    "solver_gave_up",
-	MIPPCandidates:   "ipp_candidates",
-	MIPPConfirmed:    "ipp_confirmed",
+	MFuncsAnalyzed:    "funcs_analyzed",
+	MPathsEnumerated:  "paths_enumerated",
+	MPathsTruncated:   "paths_truncated",
+	MSubcasesForked:   "subcases_forked",
+	MSummaryEntries:   "summary_entries",
+	MSolverQueries:    "solver_queries",
+	MSolverCacheHits:  "solver_cache_hits",
+	MSolverSat:        "solver_sat",
+	MSolverUnsat:      "solver_unsat",
+	MSolverGaveUp:     "solver_gave_up",
+	MIPPCandidates:    "ipp_candidates",
+	MIPPConfirmed:     "ipp_confirmed",
+	MReplayConfirmed:  "replay_confirmed",
+	MReplayDiverged:   "replay_diverged",
+	MReplayUnreplayed: "replay_unreplayed",
 }
 
 // Name returns the stable metric name used in -metrics and /debug/vars.

@@ -1,0 +1,121 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/ipp"
+)
+
+// WriteExplain renders the full provenance of every report to w as text:
+// the inconsistency and its witness, the replay verdict, the deciding
+// solver query, and — per path — the constraint before and after the
+// existential projection of locals, the applied callee summary entries,
+// and the CFG blocks with source positions and instructions. Reports are
+// emitted in deterministic (function, refcount) order.
+//
+// Reports analyzed without provenance fall back to the Figure-2 detail
+// plus a note; `rid explain` always enables provenance, so this is only
+// reachable through the library API.
+func WriteExplain(w io.Writer, reports []*ipp.Report) error {
+	sorted := make([]*ipp.Report, len(reports))
+	copy(sorted, reports)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Fn != sorted[j].Fn {
+			return sorted[i].Fn < sorted[j].Fn
+		}
+		return sorted[i].Refcount.Key() < sorted[j].Refcount.Key()
+	})
+	for i, r := range sorted {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := explainOne(w, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func explainOne(w io.Writer, r *ipp.Report) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "function %s (%s)\n", r.Fn, r.Pos)
+	fmt.Fprintf(&b, "  refcount: %s\n", r.Refcount)
+	fmt.Fprintf(&b, "  inconsistency: path %d changes %+d, path %d changes %+d\n",
+		r.PathA, r.DeltaA, r.PathB, r.DeltaB)
+	if len(r.Witness) > 0 {
+		keys := make([]string, 0, len(r.Witness))
+		for k := range r.Witness {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("  witness: ")
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s = %d", k, r.Witness[k])
+		}
+		b.WriteString("\n")
+	}
+	ev := r.Evidence
+	if ev == nil {
+		b.WriteString("  (no provenance recorded; enable Options.Provenance)\n")
+		for _, line := range strings.Split(strings.TrimRight(r.Detail(), "\n"), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if ev.Replay != nil {
+		fmt.Fprintf(&b, "  replay: %s\n", ev.Replay)
+	}
+	if ev.Query.Index > 0 {
+		fmt.Fprintf(&b, "  deciding query: solver query #%d", ev.Query.Index)
+		if ev.Query.TraceSeq > 0 {
+			fmt.Fprintf(&b, " (trace seq %d)", ev.Query.TraceSeq)
+		}
+		b.WriteString("\n")
+	}
+	explainPath(&b, "A", r.DeltaA, ev.PathA)
+	explainPath(&b, "B", r.DeltaB, ev.PathB)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func explainPath(b *strings.Builder, side string, delta int, pe ipp.PathEvidence) {
+	fmt.Fprintf(b, "  path %s = path %d (delta %+d):\n", side, pe.PathIndex, delta)
+	if pe.RawCons != "" && pe.RawCons != pe.Cons {
+		fmt.Fprintf(b, "    constraint (before projection): %s\n", pe.RawCons)
+	}
+	if pe.Cons != "" {
+		fmt.Fprintf(b, "    constraint: %s\n", pe.Cons)
+	}
+	if len(pe.Callees) > 0 {
+		b.WriteString("    callee entries applied:\n")
+		for _, app := range pe.Callees {
+			fmt.Fprintf(b, "      %s entry %d", app.Callee, app.EntryIndex)
+			if app.Pos.IsValid() {
+				fmt.Fprintf(b, " at %s", app.Pos)
+			}
+			fmt.Fprintf(b, ": %s\n", app.Cons)
+		}
+	}
+	if len(pe.Blocks) > 0 {
+		b.WriteString("    blocks:\n")
+		for _, blk := range pe.Blocks {
+			fmt.Fprintf(b, "      b%d", blk.Index)
+			if blk.Pos.IsValid() {
+				fmt.Fprintf(b, " (%s)", blk.Pos)
+			}
+			b.WriteString("\n")
+			for _, in := range blk.Instrs {
+				fmt.Fprintf(b, "        %s\n", in)
+			}
+		}
+	}
+}

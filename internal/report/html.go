@@ -1,0 +1,151 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/ipp"
+)
+
+// WriteExplainHTML renders the reports' provenance as one self-contained
+// HTML document (inline CSS, no external resources) — the `rid explain
+// -html` output. dot, when non-nil, supplies a Graphviz source per report
+// with the two paths overlaid (cfg.DotPaths); it is embedded in a
+// <details> block so `dot -Tsvg` can be run on it directly.
+func WriteExplainHTML(w io.Writer, reports []*ipp.Report, dot func(*ipp.Report) string) error {
+	sorted := make([]*ipp.Report, len(reports))
+	copy(sorted, reports)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Fn != sorted[j].Fn {
+			return sorted[i].Fn < sorted[j].Fn
+		}
+		return sorted[i].Refcount.Key() < sorted[j].Refcount.Key()
+	})
+
+	var b strings.Builder
+	b.WriteString(htmlHeader)
+	fmt.Fprintf(&b, "<p class=count>%d report(s)</p>\n", len(sorted))
+	for i, r := range sorted {
+		htmlReport(&b, i+1, r, dot)
+	}
+	b.WriteString("</body>\n</html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+const htmlHeader = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>rid evidence report</title>
+<style>
+body { font-family: sans-serif; margin: 2em auto; max-width: 72em; color: #1b1f24; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+code, pre { font-family: ui-monospace, monospace; font-size: 0.92em; }
+pre { background: #f6f8fa; padding: 0.8em; border-radius: 6px; overflow-x: auto; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+td, th { border: 1px solid #d0d7de; padding: 0.3em 0.7em; text-align: left; vertical-align: top; }
+.verdict { display: inline-block; padding: 0.1em 0.6em; border-radius: 1em; font-size: 0.85em; }
+.confirmed-by-replay { background: #d5f5d5; color: #1a5e1a; }
+.replay-diverged { background: #fff3cd; color: #6d5200; }
+.not-replayable { background: #eceff1; color: #455a64; }
+.path-a { border-left: 4px solid #1f6feb; padding-left: 0.8em; }
+.path-b { border-left: 4px solid #d9480f; padding-left: 0.8em; }
+details { margin: 0.6em 0; } summary { cursor: pointer; }
+</style>
+</head>
+<body>
+<h1>rid evidence report</h1>
+`
+
+func htmlReport(b *strings.Builder, n int, r *ipp.Report, dot func(*ipp.Report) string) {
+	esc := html.EscapeString
+	fmt.Fprintf(b, "<h2>%d. <code>%s</code> — inconsistent path pair on <code>%s</code></h2>\n",
+		n, esc(r.Fn), esc(r.Refcount.Key()))
+	fmt.Fprintf(b, "<p><code>%s</code>: path %d changes <b>%+d</b>, path %d changes <b>%+d</b>.",
+		esc(fmt.Sprint(r.Pos)), r.PathA, r.DeltaA, r.PathB, r.DeltaB)
+	ev := r.Evidence
+	if ev != nil && ev.Replay != nil {
+		fmt.Fprintf(b, " <span class=\"verdict %s\">%s</span>", esc(ev.Replay.Verdict), esc(ev.Replay.Verdict))
+	}
+	b.WriteString("</p>\n")
+	if len(r.Witness) > 0 {
+		keys := make([]string, 0, len(r.Witness))
+		for k := range r.Witness {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("<p>witness: ")
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(b, "<code>%s = %d</code>", esc(k), r.Witness[k])
+		}
+		b.WriteString("</p>\n")
+	}
+	if ev == nil {
+		fmt.Fprintf(b, "<pre>%s</pre>\n", esc(r.Detail()))
+		return
+	}
+	if ev.Replay != nil && (ev.Replay.DeltaA != "" || ev.Replay.DeltaB != "") {
+		fmt.Fprintf(b, "<p>replayed deltas: path A <code>%s</code>, path B <code>%s</code> (%d attempts)</p>\n",
+			esc(ev.Replay.DeltaA), esc(ev.Replay.DeltaB), ev.Replay.Attempts)
+	}
+	if ev.Query.Index > 0 {
+		fmt.Fprintf(b, "<p>deciding solver query #%d", ev.Query.Index)
+		if ev.Query.TraceSeq > 0 {
+			fmt.Fprintf(b, " (trace seq %d)", ev.Query.TraceSeq)
+		}
+		b.WriteString("</p>\n")
+	}
+	htmlPath(b, "a", fmt.Sprintf("Path A = path %d (delta %+d)", ev.PathA.PathIndex, r.DeltaA), ev.PathA)
+	htmlPath(b, "b", fmt.Sprintf("Path B = path %d (delta %+d)", ev.PathB.PathIndex, r.DeltaB), ev.PathB)
+	if dot != nil {
+		if d := dot(r); d != "" {
+			b.WriteString("<details><summary>CFG with both paths overlaid (Graphviz source; render with <code>dot -Tsvg</code>)</summary>\n")
+			fmt.Fprintf(b, "<pre>%s</pre></details>\n", html.EscapeString(d))
+		}
+	}
+}
+
+func htmlPath(b *strings.Builder, side, title string, pe ipp.PathEvidence) {
+	esc := html.EscapeString
+	fmt.Fprintf(b, "<div class=\"path-%s\">\n<h3>%s</h3>\n", side, esc(title))
+	if pe.RawCons != "" && pe.RawCons != pe.Cons {
+		fmt.Fprintf(b, "<p>constraint before projection: <code>%s</code></p>\n", esc(pe.RawCons))
+	}
+	if pe.Cons != "" {
+		fmt.Fprintf(b, "<p>constraint: <code>%s</code></p>\n", esc(pe.Cons))
+	}
+	if len(pe.Callees) > 0 {
+		b.WriteString("<table><tr><th>callee</th><th>entry</th><th>at</th><th>instantiated constraint</th></tr>\n")
+		for _, app := range pe.Callees {
+			pos := ""
+			if app.Pos.IsValid() {
+				pos = fmt.Sprint(app.Pos)
+			}
+			fmt.Fprintf(b, "<tr><td><code>%s</code></td><td>%d</td><td>%s</td><td><code>%s</code></td></tr>\n",
+				esc(app.Callee), app.EntryIndex, esc(pos), esc(app.Cons))
+		}
+		b.WriteString("</table>\n")
+	}
+	if len(pe.Blocks) > 0 {
+		var pb strings.Builder
+		for _, blk := range pe.Blocks {
+			fmt.Fprintf(&pb, "b%d", blk.Index)
+			if blk.Pos.IsValid() {
+				fmt.Fprintf(&pb, "  (%s)", blk.Pos)
+			}
+			pb.WriteString("\n")
+			for _, in := range blk.Instrs {
+				fmt.Fprintf(&pb, "    %s\n", in)
+			}
+		}
+		fmt.Fprintf(b, "<pre>%s</pre>\n", esc(pb.String()))
+	}
+	b.WriteString("</div>\n")
+}

@@ -201,10 +201,30 @@ type sarifResult struct {
 	Level     string          `json:"level"`
 	Message   sarifMessage    `json:"message"`
 	Locations []sarifLocation `json:"locations,omitempty"`
+	CodeFlows []sarifCodeFlow `json:"codeFlows,omitempty"`
 }
 
 type sarifLocation struct {
 	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          *sarifMessage `json:"message,omitempty"`
+}
+
+// codeFlows/threadFlows carry the two recorded paths of a report when the
+// run captured provenance: one threadFlow per path, one location per CFG
+// block that has a source position, the block's instructions as the
+// location message. GitHub code scanning renders these as step-through
+// path listings.
+type sarifCodeFlow struct {
+	Message     sarifMessage      `json:"message"`
+	ThreadFlows []sarifThreadFlow `json:"threadFlows"`
+}
+
+type sarifThreadFlow struct {
+	Locations []sarifThreadFlowLocation `json:"locations"`
+}
+
+type sarifThreadFlowLocation struct {
+	Location sarifLocation `json:"location"`
 }
 
 type sarifPhysical struct {
@@ -248,6 +268,9 @@ func writeSARIF(w io.Writer, reports []*ipp.Report) error {
 				Region:           sarifRegion{StartLine: r.Pos.Line},
 			}}}
 		}
+		if cf, ok := sarifFlows(r); ok {
+			res.CodeFlows = []sarifCodeFlow{cf}
+		}
 		run.Results = append(run.Results, res)
 	}
 	log := sarifLog{
@@ -258,4 +281,49 @@ func writeSARIF(w io.Writer, reports []*ipp.Report) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(log)
+}
+
+// sarifFlows converts a report's Evidence into one codeFlow with two
+// threadFlows (path A, then path B). Blocks without a source position
+// are skipped — SARIF thread flow locations need a physicalLocation to
+// render; ok is false when the report carries no renderable step.
+func sarifFlows(r *ipp.Report) (sarifCodeFlow, bool) {
+	ev := r.Evidence
+	if ev == nil {
+		return sarifCodeFlow{}, false
+	}
+	flow := func(side string, pe ipp.PathEvidence) (sarifThreadFlow, bool) {
+		var tf sarifThreadFlow
+		for _, blk := range pe.Blocks {
+			if !blk.Pos.IsValid() || blk.Pos.File == "" {
+				continue
+			}
+			msg := fmt.Sprintf("path %s (path %d), block b%d", side, pe.PathIndex, blk.Index)
+			if len(blk.Instrs) > 0 {
+				msg += ": " + strings.Join(blk.Instrs, "; ")
+			}
+			tf.Locations = append(tf.Locations, sarifThreadFlowLocation{Location: sarifLocation{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: blk.Pos.File},
+					Region:           sarifRegion{StartLine: blk.Pos.Line},
+				},
+				Message: &sarifMessage{Text: msg},
+			}})
+		}
+		return tf, len(tf.Locations) > 0
+	}
+	fa, okA := flow("A", ev.PathA)
+	fb, okB := flow("B", ev.PathB)
+	if !okA || !okB {
+		return sarifCodeFlow{}, false
+	}
+	msg := fmt.Sprintf("two caller-indistinguishable paths of %s change %s by %+d and %+d",
+		r.Fn, r.Refcount.Key(), r.DeltaA, r.DeltaB)
+	if ev.Replay != nil {
+		msg += " [" + ev.Replay.Verdict + "]"
+	}
+	return sarifCodeFlow{
+		Message:     sarifMessage{Text: msg},
+		ThreadFlows: []sarifThreadFlow{fa, fb},
+	}, true
 }

@@ -1,0 +1,232 @@
+package report
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ipp"
+	"repro/internal/lower"
+	"repro/internal/spec"
+)
+
+// sampleReportsProv is sampleReports with provenance capture on, so the
+// reports carry Evidence and the SARIF output gains codeFlows.
+func sampleReportsProv(t *testing.T) []*ipp.Report {
+	t.Helper()
+	src := `
+int zz_op(struct device *dev) {
+    int ret;
+    ret = pm_runtime_get_sync(dev);
+    if (ret < 0)
+        return ret;
+    ret = do_transfer(dev);
+    pm_runtime_put(dev);
+    return ret;
+}
+`
+	prog, err := lower.SourceString("drv.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Analyze(context.Background(), prog, spec.LinuxDPM(), core.Options{Provenance: true})
+	if len(res.Reports) != 1 {
+		t.Fatalf("reports: %d", len(res.Reports))
+	}
+	return res.Reports
+}
+
+// validateSARIF is a strict JSON-schema-shaped structural check of the
+// emitted log, modeled on the required/optional property sets of the
+// SARIF 2.1.0 schema for the object kinds rid emits. It rejects unknown
+// keys, so any field-name drift (e.g. informationURI for informationUri)
+// fails here rather than in a consumer.
+func validateSARIF(t *testing.T, data []byte) map[string]any {
+	t.Helper()
+	var log map[string]any
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF does not parse: %v", err)
+	}
+	checkKeys(t, "log", log, []string{"$schema", "version", "runs"}, nil)
+	if v, _ := log["version"].(string); v != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", v)
+	}
+	if s, _ := log["$schema"].(string); s == "" {
+		t.Error("$schema missing")
+	}
+	for i, rv := range log["runs"].([]any) {
+		run := asObj(t, fmt.Sprintf("runs[%d]", i), rv)
+		checkKeys(t, "run", run, []string{"tool", "results"}, nil)
+		tool := asObj(t, "tool", run["tool"])
+		checkKeys(t, "tool", tool, []string{"driver"}, nil)
+		driver := asObj(t, "driver", tool["driver"])
+		checkKeys(t, "driver", driver, []string{"name"}, []string{"informationUri", "rules"})
+		ruleIDs := map[string]bool{}
+		if rules, ok := driver["rules"].([]any); ok {
+			for _, rv := range rules {
+				rule := asObj(t, "rule", rv)
+				checkKeys(t, "rule", rule, []string{"id"}, []string{"shortDescription"})
+				ruleIDs[rule["id"].(string)] = true
+				if sd, ok := rule["shortDescription"]; ok {
+					checkKeys(t, "shortDescription", asObj(t, "shortDescription", sd), []string{"text"}, nil)
+				}
+			}
+		}
+		results, ok := run["results"].([]any)
+		if !ok {
+			t.Fatalf("run.results missing or not an array")
+		}
+		for j, resv := range results {
+			res := asObj(t, fmt.Sprintf("results[%d]", j), resv)
+			checkKeys(t, "result", res, []string{"ruleId", "level", "message"},
+				[]string{"locations", "codeFlows"})
+			if !ruleIDs[res["ruleId"].(string)] {
+				t.Errorf("result references undeclared rule %v", res["ruleId"])
+			}
+			switch res["level"] {
+			case "none", "note", "warning", "error":
+			default:
+				t.Errorf("result.level = %v not a SARIF level", res["level"])
+			}
+			validateMessage(t, res["message"])
+			if locs, ok := res["locations"].([]any); ok {
+				for _, lv := range locs {
+					validateLocation(t, lv)
+				}
+			}
+			if flows, ok := res["codeFlows"].([]any); ok {
+				for _, fv := range flows {
+					flow := asObj(t, "codeFlow", fv)
+					checkKeys(t, "codeFlow", flow, []string{"threadFlows"}, []string{"message"})
+					if m, ok := flow["message"]; ok {
+						validateMessage(t, m)
+					}
+					tfs := flow["threadFlows"].([]any)
+					if len(tfs) == 0 {
+						t.Error("codeFlow.threadFlows must be non-empty")
+					}
+					for _, tfv := range tfs {
+						tf := asObj(t, "threadFlow", tfv)
+						checkKeys(t, "threadFlow", tf, []string{"locations"}, nil)
+						tfls := tf["locations"].([]any)
+						if len(tfls) == 0 {
+							t.Error("threadFlow.locations must be non-empty")
+						}
+						for _, tflv := range tfls {
+							tfl := asObj(t, "threadFlowLocation", tflv)
+							checkKeys(t, "threadFlowLocation", tfl, []string{"location"}, nil)
+							validateLocation(t, tfl["location"])
+						}
+					}
+				}
+			}
+		}
+	}
+	return log
+}
+
+func validateLocation(t *testing.T, v any) {
+	t.Helper()
+	loc := asObj(t, "location", v)
+	checkKeys(t, "location", loc, []string{"physicalLocation"}, []string{"message"})
+	if m, ok := loc["message"]; ok {
+		validateMessage(t, m)
+	}
+	phys := asObj(t, "physicalLocation", loc["physicalLocation"])
+	checkKeys(t, "physicalLocation", phys, []string{"artifactLocation", "region"}, nil)
+	art := asObj(t, "artifactLocation", phys["artifactLocation"])
+	checkKeys(t, "artifactLocation", art, []string{"uri"}, nil)
+	if u, _ := art["uri"].(string); u == "" {
+		t.Error("artifactLocation.uri empty")
+	}
+	region := asObj(t, "region", phys["region"])
+	checkKeys(t, "region", region, []string{"startLine"}, nil)
+	if n, _ := region["startLine"].(float64); n < 1 {
+		t.Errorf("region.startLine = %v, want >= 1", region["startLine"])
+	}
+}
+
+func validateMessage(t *testing.T, v any) {
+	t.Helper()
+	msg := asObj(t, "message", v)
+	checkKeys(t, "message", msg, []string{"text"}, nil)
+	if s, _ := msg["text"].(string); s == "" {
+		t.Error("message.text empty")
+	}
+}
+
+func asObj(t *testing.T, what string, v any) map[string]any {
+	t.Helper()
+	m, ok := v.(map[string]any)
+	if !ok {
+		t.Fatalf("%s: not an object: %T", what, v)
+	}
+	return m
+}
+
+// checkKeys requires every key in required, and rejects keys outside
+// required ∪ optional.
+func checkKeys(t *testing.T, what string, obj map[string]any, required, optional []string) {
+	t.Helper()
+	allowed := map[string]bool{}
+	for _, k := range required {
+		if _, ok := obj[k]; !ok {
+			t.Errorf("%s: required key %q missing", what, k)
+		}
+		allowed[k] = true
+	}
+	for _, k := range optional {
+		allowed[k] = true
+	}
+	for k := range obj {
+		if !allowed[k] {
+			t.Errorf("%s: unexpected key %q (field-name drift?)", what, k)
+		}
+	}
+}
+
+// TestSARIFStructuralWithoutCodeFlows validates the default-path output
+// (no provenance → no codeFlows) against the structural schema check.
+func TestSARIFStructuralWithoutCodeFlows(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, SARIF, sampleReports(t), false); err != nil {
+		t.Fatal(err)
+	}
+	log := validateSARIF(t, buf.Bytes())
+	run := log["runs"].([]any)[0].(map[string]any)
+	for _, rv := range run["results"].([]any) {
+		if _, ok := rv.(map[string]any)["codeFlows"]; ok {
+			t.Error("codeFlows emitted without provenance")
+		}
+	}
+}
+
+// TestSARIFStructuralWithCodeFlows validates the provenance-enriched
+// output: every result carries one codeFlow with exactly two threadFlows
+// (path A, path B), and the whole log still passes the structural check.
+func TestSARIFStructuralWithCodeFlows(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, SARIF, sampleReportsProv(t), false); err != nil {
+		t.Fatal(err)
+	}
+	log := validateSARIF(t, buf.Bytes())
+	run := log["runs"].([]any)[0].(map[string]any)
+	results := run["results"].([]any)
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	for i, rv := range results {
+		res := rv.(map[string]any)
+		flows, ok := res["codeFlows"].([]any)
+		if !ok || len(flows) != 1 {
+			t.Fatalf("results[%d]: want exactly one codeFlow, got %v", i, res["codeFlows"])
+		}
+		tfs := flows[0].(map[string]any)["threadFlows"].([]any)
+		if len(tfs) != 2 {
+			t.Errorf("results[%d]: want 2 threadFlows (path A, path B), got %d", i, len(tfs))
+		}
+	}
+}

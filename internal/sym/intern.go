@@ -44,12 +44,12 @@ func InterningEnabled() bool { return !interningOff.Load() }
 // nodeKey identifies an expression up to structural equality, given that
 // all children are interned: child identity is their interned ID.
 type nodeKey struct {
-	kind    Kind
-	num     int64
-	name    string
-	pred    ir.Pred
-	base    uint64 // Base.id for KField
-	a, b    uint64 // A.id, B.id for KCond
+	kind Kind
+	num  int64
+	name string
+	pred ir.Pred
+	base uint64 // Base.id for KField
+	a, b uint64 // A.id, B.id for KCond
 }
 
 const internShardCount = 64

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/cfg"
+	"repro/internal/frontend/token"
 	"repro/internal/ir"
 	"repro/internal/obs"
 	"repro/internal/solver"
@@ -59,6 +60,39 @@ type Config struct {
 	// counters (paths enumerated, subcases forked, summary entries). All
 	// hooks are nil-safe, so the zero Config observes nothing at no cost.
 	Obs *obs.Obs
+
+	// Provenance retains the derivation of every finalized entry: the
+	// enumerated paths (Result.Paths), each callee summary entry applied
+	// during Algorithm-1 forking, and the entry constraint before and after
+	// the existential projection of locals (PathEntry.Prov). Off by
+	// default; the disabled path performs no extra work and no extra
+	// allocations (pinned by TestProvenanceOffAllocFree in package core).
+	Provenance bool
+}
+
+// CalleeApp records one callee summary entry applied while forking on a
+// call instruction (Algorithm 1, line 5): which callee, which of its
+// entries, and the instantiated constraint that was folded into the path.
+type CalleeApp struct {
+	Callee     string
+	EntryIndex int       // index into the callee summary's entry list
+	Cons       string    // instantiated entry constraint (formals replaced)
+	Pos        token.Pos // call site
+}
+
+// EntryProv is the recorded derivation of one finalized summary entry —
+// the evidence Step III needs to explain a report without re-running the
+// analysis.
+type EntryProv struct {
+	// RawCons is the full path constraint at the return, return-value
+	// binding included, before locals are existentially projected.
+	RawCons string
+	// Cons is the exported constraint after projection (what the summary
+	// entry carries).
+	Cons string
+	// Apps lists the callee summary entries applied along the path, in
+	// application order.
+	Apps []CalleeApp
 }
 
 // DefaultConfig returns the paper's evaluation configuration. It is the
@@ -81,12 +115,18 @@ func (c Config) withDefaults() Config {
 type PathEntry struct {
 	*summary.Entry
 	PathIndex int
+	// Prov carries the entry's derivation when Config.Provenance is set;
+	// nil otherwise.
+	Prov *EntryProv
 }
 
 // Result is the outcome of summarizing one function.
 type Result struct {
-	Fn        *ir.Func
-	Entries   []PathEntry
+	Fn      *ir.Func
+	Entries []PathEntry
+	// Paths holds the enumerated paths (indexed by PathEntry.PathIndex)
+	// when Config.Provenance is set; nil otherwise.
+	Paths     []cfg.Path
 	NumPaths  int
 	Truncated bool // any budget or the deadline was hit (default entry needed)
 
@@ -112,6 +152,9 @@ type state struct {
 	ret     *sym.Expr
 	hasRet  bool
 	dead    bool
+	// apps records the callee summary entries applied on this path, in
+	// order. Only populated under Config.Provenance; nil otherwise.
+	apps []CalleeApp
 	// cons caches the constraint Set built from conds (Sets are immutable,
 	// so clones share it). Maintained incrementally by addCond; invalidated
 	// when a re-executed branch replaces its condition.
@@ -128,6 +171,10 @@ func (st *state) clone() *state {
 		hasRet:    st.hasRet,
 		cons:      st.cons,
 		consValid: st.consValid,
+	}
+	if st.apps != nil {
+		n.apps = make([]CalleeApp, len(st.apps))
+		copy(n.apps, st.apps)
 	}
 	copy(n.conds, st.conds)
 	for k, v := range st.changes {
@@ -267,8 +314,13 @@ func (ex *Executor) Summarize(ctx context.Context, fn *ir.Func) Result {
 		Canceled:       enum.Canceled,
 	}
 
+	if ex.cfg.Provenance {
+		res.Paths = enum.Paths
+	}
+
 	type pathOut struct {
 		entries   []*summary.Entry
+		provs     []*EntryProv
 		truncated bool
 		canceled  bool
 	}
@@ -283,7 +335,7 @@ func (ex *Executor) Summarize(ctx context.Context, fn *ir.Func) Result {
 				res.Canceled = true
 				break
 			}
-			outs[i].entries, outs[i].truncated, outs[i].canceled = pr.execPath(ctx, fn, p)
+			outs[i].entries, outs[i].provs, outs[i].truncated, outs[i].canceled = pr.execPath(ctx, fn, p)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -305,7 +357,7 @@ func (ex *Executor) Summarize(ctx context.Context, fn *ir.Func) Result {
 						outs[i].canceled = true
 						continue
 					}
-					outs[i].entries, outs[i].truncated, outs[i].canceled = pr.execPath(ctx, fn, enum.Paths[i])
+					outs[i].entries, outs[i].provs, outs[i].truncated, outs[i].canceled = pr.execPath(ctx, fn, enum.Paths[i])
 				}
 			}(forks[w])
 		}
@@ -326,8 +378,12 @@ func (ex *Executor) Summarize(ctx context.Context, fn *ir.Func) Result {
 		if o.canceled {
 			res.Canceled = true
 		}
-		for _, e := range o.entries {
-			res.Entries = append(res.Entries, PathEntry{Entry: e, PathIndex: i})
+		for j, e := range o.entries {
+			pe := PathEntry{Entry: e, PathIndex: i}
+			if o.provs != nil {
+				pe.Prov = o.provs[j]
+			}
+			res.Entries = append(res.Entries, pe)
 		}
 	}
 	if res.TruncatedSubcases || res.Canceled {
@@ -339,9 +395,10 @@ func (ex *Executor) Summarize(ctx context.Context, fn *ir.Func) Result {
 }
 
 // execPath symbolically executes one path and returns its summary
-// entries, plus whether the sub-case budget truncated the state set and
+// entries (with a parallel provenance slice when capture is enabled, nil
+// otherwise), plus whether the sub-case budget truncated the state set and
 // whether the context expired mid-path.
-func (pr *pathRun) execPath(ctx context.Context, fn *ir.Func, path cfg.Path) ([]*summary.Entry, bool, bool) {
+func (pr *pathRun) execPath(ctx context.Context, fn *ir.Func, path cfg.Path) ([]*summary.Entry, []*EntryProv, bool, bool) {
 	init := &state{
 		changes: make(map[string]summary.Change),
 		vmap:    make(map[string]*sym.Expr, len(fn.Params)),
@@ -399,16 +456,25 @@ func (pr *pathRun) execPath(ctx context.Context, fn *ir.Func, path cfg.Path) ([]
 	}
 
 	var entries []*summary.Entry
+	var provs []*EntryProv
 	for _, st := range finished {
-		if e := pr.finalize(fn, st); e != nil {
-			entries = append(entries, e)
+		e, prov := pr.finalize(fn, st)
+		if e == nil {
+			continue
+		}
+		entries = append(entries, e)
+		if pr.cfg.Provenance {
+			provs = append(provs, prov)
 		}
 	}
 	if len(entries) > pr.cfg.MaxSubcases {
 		entries = entries[:pr.cfg.MaxSubcases]
 		truncated = true
+		if provs != nil {
+			provs = provs[:pr.cfg.MaxSubcases]
+		}
 	}
-	return entries, truncated, canceled
+	return entries, provs, truncated, canceled
 }
 
 // step executes one instruction on st, returning the successor states
@@ -488,6 +554,14 @@ func (pr *pathRun) call(fn *ir.Func, st *state, in *ir.Instr) []*state {
 			ns = st.clone()
 			pr.cfg.Obs.Count(obs.MSubcasesForked, 1)
 		}
+		if pr.cfg.Provenance {
+			ns.apps = append(ns.apps, CalleeApp{
+				Callee:     in.Fn,
+				EntryIndex: idx,
+				Cons:       inst.Cons.String(),
+				Pos:        in.Pos,
+			})
+		}
 		ok := true
 		for _, c := range inst.Cons.Conds() {
 			if !ns.addCond(c, nil) {
@@ -549,8 +623,10 @@ func (pr *pathRun) eval(st *state, v ir.Value) *sym.Expr {
 // finalize turns a finished state into a summary entry: bind [0] to the
 // returned expression, project local conditions, rewrite refcount keys and
 // the return expression through the projection pins, and drop entries that
-// are unsatisfiable or whose refcounts remain unobservable.
-func (pr *pathRun) finalize(fn *ir.Func, st *state) *summary.Entry {
+// are unsatisfiable or whose refcounts remain unobservable. Under
+// Config.Provenance the returned EntryProv records the derivation (raw and
+// projected constraints, applied callee entries); it is nil otherwise.
+func (pr *pathRun) finalize(fn *ir.Func, st *state) (*summary.Entry, *EntryProv) {
 	cons := st.consSet()
 	retExpr := st.ret
 	if retExpr != nil {
@@ -562,7 +638,12 @@ func (pr *pathRun) finalize(fn *ir.Func, st *state) *summary.Entry {
 	// $c < 0 ∧ $c > 0 after the local was overwritten), and projecting
 	// first would silently weaken an unsatisfiable system into a live one.
 	if cons.HasFalse() || !pr.slv.Sat(cons) {
-		return nil
+		return nil, nil
+	}
+
+	var prov *EntryProv
+	if pr.cfg.Provenance {
+		prov = &EntryProv{RawCons: cons.String(), Apps: st.apps}
 	}
 
 	var pins map[string]*sym.Expr
@@ -571,6 +652,9 @@ func (pr *pathRun) finalize(fn *ir.Func, st *state) *summary.Entry {
 	}
 
 	e := summary.NewEntry(cons, nil)
+	if prov != nil {
+		prov.Cons = cons.String()
+	}
 	if retExpr != nil {
 		r := retExpr
 		if pins != nil {
@@ -593,5 +677,5 @@ func (pr *pathRun) finalize(fn *ir.Func, st *state) *summary.Entry {
 		// ipp.Check, since callers can neither observe nor balance them.
 		e.AddChange(rc, ch.Delta)
 	}
-	return e
+	return e, prov
 }

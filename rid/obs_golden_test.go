@@ -14,7 +14,7 @@ import (
 // Consumers are told they can parse this with line-oriented tools, so the
 // key order and the absence of extra fields are part of the contract.
 var traceLine = regexp.MustCompile(
-	`^\{"seq":(\d+),"phase":"(run|classify|enumerate|exec|ipp|solver)","fn":"([^"]*)","start_us":\d+,"dur_us":\d+\}$`)
+	`^\{"seq":(\d+),"phase":"(run|classify|enumerate|exec|ipp|solver|replay)","fn":"([^"]*)","start_us":\d+,"dur_us":\d+\}$`)
 
 func runTraced(t *testing.T, src string) (string, *Result) {
 	t.Helper()
@@ -102,9 +102,10 @@ var metricNames = []string{
 	"subcases_forked", "summary_entries", "solver_queries",
 	"solver_cache_hits", "solver_sat", "solver_unsat", "solver_gave_up",
 	"ipp_candidates", "ipp_confirmed",
+	"replay_confirmed", "replay_diverged", "replay_unreplayed",
 }
 
-var phaseNames = []string{"run", "classify", "enumerate", "exec", "ipp", "solver"}
+var phaseNames = []string{"run", "classify", "enumerate", "exec", "ipp", "solver", "replay"}
 
 // TestMetricsGoldenText pins the text metrics layout: one counter line per
 // metric in fixed order, then one phase line per phase in fixed order,

@@ -112,6 +112,15 @@ type Options struct {
 	// TraceWriter. Off by default: queries can be sub-microsecond, where
 	// the clock reads themselves are measurable.
 	QueryTiming bool
+	// Provenance records, per bug, the full derivation (Bug.Provenance,
+	// Result.WriteExplain/WriteExplainHTML): both CFG paths with source
+	// positions, the constraint before and after the projection of
+	// locals, each callee summary entry applied, and the deciding solver
+	// query — then replays the witness concretely down both paths and
+	// annotates the verdict (confirmed-by-replay / replay-diverged /
+	// not-replayable). Off by default; the disabled path does no extra
+	// work and no extra allocations.
+	Provenance bool
 }
 
 // Diagnostic is one degradation event of a run: the analysis kept going
@@ -142,6 +151,9 @@ type Bug struct {
 	DeltaA   int
 	DeltaB   int
 	Evidence string // two-entry detail in the layout of the paper's Fig. 2
+	// Provenance is the bug's structured derivation record, non-nil only
+	// when the run had Options.Provenance set.
+	Provenance *Evidence
 }
 
 // String formats the bug as a one-line diagnostic.
@@ -180,6 +192,7 @@ type Result struct {
 	Diagnostics []Diagnostic
 
 	db      *summary.DB
+	prog    *ir.Program
 	reports []*ipp.Report
 	metrics obs.Snapshot
 }
@@ -334,6 +347,7 @@ func (a *Analyzer) RunContext(ctx context.Context) (*Result, error) {
 			MaxConstraints: a.opts.SolverMaxConstraints,
 			MaxSplits:      a.opts.SolverMaxSplits,
 		},
+		Provenance: a.opts.Provenance,
 	}
 	// Unset fields default individually inside core (paper's §6.1 values).
 	opts.Exec.MaxPaths = a.opts.MaxPaths
@@ -374,6 +388,7 @@ func (a *Analyzer) RunContext(ctx context.Context) (*Result, error) {
 		FuncsTimedOut:   res.Stats.FuncsTimedOut,
 		FuncsPanicked:   res.Stats.FuncsPanicked,
 		db:              res.DB,
+		prog:            a.prog,
 		reports:         res.Reports,
 		metrics:         a.reg.Snapshot(),
 	}
@@ -429,13 +444,14 @@ func (r *Result) WriteDiagnostics(w io.Writer, format string) error {
 
 func toBug(r *ipp.Report) Bug {
 	return Bug{
-		Function: r.Fn,
-		File:     r.Pos.File,
-		Line:     r.Pos.Line,
-		Refcount: r.Refcount.Key(),
-		DeltaA:   r.DeltaA,
-		DeltaB:   r.DeltaB,
-		Evidence: r.Detail(),
+		Function:   r.Fn,
+		File:       r.Pos.File,
+		Line:       r.Pos.Line,
+		Refcount:   r.Refcount.Key(),
+		DeltaA:     r.DeltaA,
+		DeltaB:     r.DeltaB,
+		Evidence:   r.Detail(),
+		Provenance: fromEvidence(r.Evidence),
 	}
 }
 

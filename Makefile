@@ -15,11 +15,12 @@ test: vet
 race:
 	$(GO) test -race ./internal/...
 
-# Short fuzzing pass over the three fuzz targets; CI runs the same budget.
+# Short fuzzing pass over the four fuzz targets; CI runs the same budget.
 fuzz-smoke:
 	$(GO) test ./internal/frontend/lexer -fuzz=FuzzLexer -fuzztime=20s
 	$(GO) test ./internal/frontend/parser -fuzz=FuzzParser -fuzztime=20s
 	$(GO) test ./internal/solver -fuzz=FuzzSolver -fuzztime=20s
+	$(GO) test ./internal/store -fuzz=FuzzStoreLoad -fuzztime=20s
 
 # §6.5 scaling benches with allocation stats; raw JSON lands in
 # BENCH_section65.json for before/after comparisons.

@@ -23,6 +23,11 @@
 // function, and both degrade gracefully — partial results are printed and
 // -diag lists exactly what was skipped or truncated. Interrupting with
 // ^C likewise cancels the run and prints what was found so far.
+//
+// Repeated runs over a mostly-unchanged tree can reuse results:
+// -cache-dir names a persistent summary store, and warm runs skip every
+// function whose content digest (its own IR plus its callees', see
+// internal/store) is unchanged, with byte-identical output.
 package main
 
 import (
@@ -68,6 +73,7 @@ func main() {
 		format   = flag.String("format", "text", "report format: text, json or sarif")
 		suppress = flag.String("suppress", "", "comma-separated function names whose reports are discarded")
 		trace    = flag.String("trace", "", "write a JSONL span log of every pipeline phase to this file")
+		cacheDir = flag.String("cache-dir", "", "persistent summary store directory: warm runs skip unchanged functions (see README)")
 		metrics  = flag.Bool("metrics", false, "print the metrics registry (counters and phase histograms) after the run")
 		pprofSrv = flag.String("pprof", "", "serve /debug/pprof/ and /debug/vars on this address (e.g. localhost:6060) for the duration of the run")
 	)
@@ -120,6 +126,7 @@ func main() {
 			MaxCat2Conds: *cat2,
 			FuncTimeout:  *funcTO,
 			SolverLimits: solver.Limits{MaxConstraints: *maxCons, MaxSplits: *maxSplit},
+			CacheDir:     *cacheDir,
 		}
 		copts.Exec.MaxPaths = *maxPaths
 		copts.Exec.MaxSubcases = *maxSubs
@@ -149,6 +156,7 @@ func main() {
 		SolverMaxConstraints: *maxCons,
 		SolverMaxSplits:      *maxSplit,
 		QueryTiming:          *metrics,
+		CacheDir:             *cacheDir,
 	}
 	if traceFile != nil {
 		opts.TraceWriter = traceFile

@@ -10,6 +10,7 @@
 //	ridbench -perf           # §6.5 scaling series
 //	ridbench -perf -perf-json perf.json   # ...and save the series
 //	ridbench -perf -compare perf.json     # ...and diff against a saved series
+//	ridbench -perf -cache-dir dir         # cold vs warm runs with the persistent summary store
 //	ridbench -show-specs     # the predefined summaries (Figure 7)
 package main
 
@@ -35,6 +36,7 @@ func main() {
 		misuse    = flag.Bool("misuse", false, "§6.3: pm_runtime_get misuse census")
 		perf      = flag.Bool("perf", false, "§6.5: performance scaling")
 		perfJSON  = flag.String("perf-json", "", "write the -perf series to this file as JSON")
+		cacheDir  = flag.String("cache-dir", "", "with -perf: measure cold vs warm runs against this persistent summary store")
 		compare   = flag.String("compare", "", "diff the -perf series against a snapshot written by -perf-json")
 		ablations = flag.Bool("ablations", false, "design-decision ablations (DESIGN.md §5)")
 		showSpecs = flag.Bool("show-specs", false, "print the predefined summaries (Figure 7)")
@@ -96,7 +98,16 @@ func main() {
 		check(err)
 		fmt.Println(r.Format())
 	}
-	if *perf {
+	if *perf && *cacheDir != "" {
+		// Cold/warm mode: each scale is analyzed twice against the store;
+		// the warm run must be byte-identical and mostly store hits.
+		if *perfJSON != "" || *compare != "" {
+			fmt.Fprintln(os.Stderr, "ridbench: -perf-json/-compare apply to the plain -perf series and are ignored with -cache-dir")
+		}
+		pts, err := experiments.PerfCached(ctx, []int{1, 2, 4}, *workers, *cacheDir)
+		check(err)
+		fmt.Println(experiments.FormatPerfCached(pts, *workers))
+	} else if *perf {
 		pts, err := experiments.Perf(ctx, []int{1, 2, 4}, *workers)
 		check(err)
 		fmt.Println(experiments.FormatPerf(pts, *workers))

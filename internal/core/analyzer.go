@@ -57,6 +57,17 @@ type Options struct {
 	// Stats.Solver is read back from it, so solver totals are exact under
 	// any worker count and at any snapshot instant.
 	Obs *obs.Obs
+	// CacheDir, when non-empty, enables the persistent summary store: a
+	// disk-backed, content-addressed cache of per-function outcomes keyed
+	// by Merkle-style digests over each function's canonical IR and its
+	// callees' digests (internal/store). Functions whose digest matches a
+	// stored entry skip Steps I–III and replay the stored summary,
+	// reports, and deterministic diagnostics; everything else is analyzed
+	// cold and saved back. Unreadable or version-skewed entries fall back
+	// to cold analysis with a cache-invalid diagnostic. Ignored when
+	// Provenance is set: evidence is never serialized, so `rid explain`
+	// always re-derives.
+	CacheDir string
 	// Provenance records, per report, the full derivation as an
 	// ipp.Evidence object (CFG paths with positions, constraint history,
 	// applied callee entries, the deciding solver query) and then runs
@@ -197,11 +208,20 @@ func analyzeWithDB(ctx context.Context, prog *ir.Program, specs *spec.Specs, db 
 	res.Stats.FuncsTotal = len(g.Nodes)
 	res.Stats.ClassifyTime = classifyTime
 
+	// The persistent summary store replays whole per-function outcomes, so
+	// it engages after classification (always cheap, always fresh) and
+	// before the summarization sweep. Provenance runs bypass it: evidence
+	// is never serialized, and explain must observe a real derivation.
+	var cache *cacheState
+	if opts.CacheDir != "" && !opts.Provenance {
+		cache = openCache(opts, g, db, res)
+	}
+
 	t1 := time.Now()
 	if opts.Workers <= 1 {
-		analyzeSequential(ctx, prog, g, db, toAnalyze, opts, res)
+		analyzeSequential(ctx, prog, g, db, toAnalyze, cache, opts, res)
 	} else {
-		analyzeParallel(ctx, prog, g, db, toAnalyze, opts, res)
+		analyzeParallel(ctx, prog, g, db, toAnalyze, cache, opts, res)
 	}
 	res.Stats.AnalyzeTime = time.Since(t1)
 
@@ -360,7 +380,7 @@ func (res *Result) absorb(out funcOutcome) {
 	}
 }
 
-func analyzeSequential(ctx context.Context, prog *ir.Program, g *callgraph.Graph, db *summary.DB, toAnalyze func(string) bool, opts Options, res *Result) {
+func analyzeSequential(ctx context.Context, prog *ir.Program, g *callgraph.Graph, db *summary.DB, toAnalyze func(string) bool, cache *cacheState, opts Options, res *Result) {
 	slv := solver.NewWithLimits(opts.SolverLimits)
 	slv.SetObs(opts.Obs)
 	if opts.NoCache {
@@ -373,10 +393,26 @@ func analyzeSequential(ctx context.Context, prog *ir.Program, g *callgraph.Graph
 		if !toAnalyze(fn) {
 			continue
 		}
+		if cache != nil {
+			out, hit, diag := cache.load(fn)
+			if diag != nil {
+				res.Diagnostics = append(res.Diagnostics, *diag)
+			}
+			if hit {
+				db.Put(out.sum)
+				res.absorb(out)
+				continue
+			}
+		}
 		slv.SetFunction(fn)
 		out := analyzeOne(ctx, prog.Funcs[fn], db, slv, opts)
 		db.Put(out.sum)
 		res.absorb(out)
+		if cache != nil {
+			if diag := cache.save(fn, out); diag != nil {
+				res.Diagnostics = append(res.Diagnostics, *diag)
+			}
+		}
 		if out.canceled {
 			break
 		}
@@ -386,7 +422,7 @@ func analyzeSequential(ctx context.Context, prog *ir.Program, g *callgraph.Graph
 // analyzeParallel schedules SCCs across workers once their callee SCCs are
 // done (§5.3: "Multiple SCCs can be analyzed in parallel as long as the
 // SCCs they depend on have been analyzed").
-func analyzeParallel(ctx context.Context, prog *ir.Program, g *callgraph.Graph, db *summary.DB, toAnalyze func(string) bool, opts Options, res *Result) {
+func analyzeParallel(ctx context.Context, prog *ir.Program, g *callgraph.Graph, db *summary.DB, toAnalyze func(string) bool, cache *cacheState, opts Options, res *Result) {
 	sccs := g.SCCs()
 	n := len(sccs)
 	// Dependency counts over the SCC DAG.
@@ -429,9 +465,9 @@ func analyzeParallel(ctx context.Context, prog *ir.Program, g *callgraph.Graph, 
 	// One cache for the whole run: every SCC worker (and the path workers
 	// forked from it) shares solved sub-results, so a constraint set solved
 	// anywhere in the sweep is a hit everywhere else.
-	var cache *solver.Cache
+	var scache *solver.Cache
 	if !opts.NoCache {
-		cache = solver.NewCache()
+		scache = solver.NewCache()
 	}
 
 	workers := opts.Workers
@@ -439,7 +475,7 @@ func analyzeParallel(ctx context.Context, prog *ir.Program, g *callgraph.Graph, 
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer done.Done()
-			slv := solver.NewWithCache(opts.SolverLimits, cache)
+			slv := solver.NewWithCache(opts.SolverLimits, scache)
 			slv.SetObs(opts.Obs)
 			for i := range ready {
 				// After cancellation, keep draining the ready queue and
@@ -451,12 +487,38 @@ func analyzeParallel(ctx context.Context, prog *ir.Program, g *callgraph.Graph, 
 						if !toAnalyze(fn) {
 							continue
 						}
+						// Loads and misses interleave in the same sorted
+						// within-SCC member order a cold run uses, so each
+						// member sees the same sibling summaries in db
+						// either way.
+						if cache != nil {
+							out, hit, diag := cache.load(fn)
+							if diag != nil {
+								mu.Lock()
+								res.Diagnostics = append(res.Diagnostics, *diag)
+								mu.Unlock()
+							}
+							if hit {
+								db.Put(out.sum)
+								mu.Lock()
+								res.absorb(out)
+								mu.Unlock()
+								continue
+							}
+						}
 						slv.SetFunction(fn)
 						out := analyzeOne(ctx, prog.Funcs[fn], db, slv, opts)
 						db.Put(out.sum)
 						mu.Lock()
 						res.absorb(out)
 						mu.Unlock()
+						if cache != nil {
+							if diag := cache.save(fn, out); diag != nil {
+								mu.Lock()
+								res.Diagnostics = append(res.Diagnostics, *diag)
+								mu.Unlock()
+							}
+						}
 						if out.canceled {
 							break
 						}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/callgraph"
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/summary"
+)
+
+// cacheState binds an open persistent summary store to one analyzeWithDB
+// call: the per-function content digests computed for this program plus a
+// latch that keeps one disk problem from flooding the diagnostics.
+type cacheState struct {
+	store    *store.Store
+	digests  map[string]store.Digest
+	saveFail atomic.Bool
+}
+
+// openCache opens opts.CacheDir and computes the program's digests. On
+// failure it appends a run-level cache-invalid diagnostic to res and
+// returns nil — the run proceeds cold, it never dies over the cache.
+func openCache(opts Options, g *callgraph.Graph, db *summary.DB, res *Result) *cacheState {
+	fp := cacheFingerprint(opts)
+	st, err := store.Open(opts.CacheDir, fp, opts.Obs)
+	if err != nil {
+		res.Diagnostics = append(res.Diagnostics, Diagnostic{
+			Kind:  DegradeCacheInvalid,
+			Cause: fmt.Sprintf("summary store disabled for this run: %v", err),
+		})
+		return nil
+	}
+	sp := opts.Obs.Start(obs.PhaseCacheIO, "")
+	digests := store.Digests(g, db, fp)
+	sp.End()
+	return &cacheState{store: st, digests: digests}
+}
+
+// cacheFingerprint projects the result-determining options into the
+// store's Fingerprint. opts must already be withDefaults()-normalized, so
+// every field here holds its effective (not zero) value.
+func cacheFingerprint(opts Options) store.Fingerprint {
+	lim := opts.SolverLimits.Normalized()
+	return store.Fingerprint{
+		MaxPaths:             opts.Exec.MaxPaths,
+		MaxSubcases:          opts.Exec.MaxSubcases,
+		NoPrune:              opts.Exec.NoPrune,
+		KeepLocalConds:       opts.Exec.KeepLocalConds,
+		MaxCat2Conds:         opts.MaxCat2Conds,
+		AnalyzeAll:           opts.AnalyzeAll,
+		NoBucketing:          opts.NoBucketing,
+		SolverMaxConstraints: lim.MaxConstraints,
+		SolverMaxSplits:      lim.MaxSplits,
+	}
+}
+
+// load looks fn up in the store. hit means out replays a previous run's
+// outcome verbatim (including its deterministic diagnostics). A non-nil
+// diag reports an invalid entry; the caller appends it and analyzes cold.
+func (c *cacheState) load(fn string) (out funcOutcome, hit bool, diag *Diagnostic) {
+	d, ok := c.digests[fn]
+	if !ok {
+		return out, false, nil
+	}
+	e, err := c.store.Load(fn, d)
+	if err != nil {
+		return out, false, &Diagnostic{Fn: fn, Kind: DegradeCacheInvalid,
+			Cause: fmt.Sprintf("stored entry unusable, analyzed cold: %v", err)}
+	}
+	if e == nil {
+		return out, false, nil
+	}
+	out.sum = e.Summary
+	out.reports = e.Reports
+	out.paths = e.Paths
+	for _, dg := range e.Diags {
+		k, ok := ParseDegradeKind(dg.Kind)
+		if !ok {
+			// A kind this build doesn't know means the entry came from an
+			// incompatible writer despite the version check; don't trust
+			// the rest of it either.
+			return funcOutcome{}, false, &Diagnostic{Fn: fn, Kind: DegradeCacheInvalid,
+				Cause: fmt.Sprintf("stored entry has unknown diagnostic kind %q, analyzed cold", dg.Kind)}
+		}
+		out.diags = append(out.diags, Diagnostic{Fn: fn, Kind: k, Cause: dg.Cause})
+		if k == DegradePathBudget || k == DegradeSubcaseBudget {
+			out.trunc = true
+		}
+	}
+	return out, true, nil
+}
+
+// save persists one freshly computed outcome. Outcomes shaped by
+// wall-clock events — timeouts, recovered panics, cancellation — are
+// never stored: replaying them would pin a transient degradation into
+// every future run. Budget truncations and solver give-ups ARE stored;
+// they are deterministic given the fingerprinted options. A non-nil diag
+// reports the run's first write failure (later ones are suppressed).
+func (c *cacheState) save(fn string, out funcOutcome) *Diagnostic {
+	if out.timedOut || out.panicked || out.canceled || out.sum == nil {
+		return nil
+	}
+	e := &store.Entry{Fn: fn, Summary: out.sum, Reports: out.reports, Paths: out.paths}
+	for _, dg := range out.diags {
+		e.Diags = append(e.Diags, store.Diag{Kind: dg.Kind.String(), Cause: dg.Cause})
+	}
+	if err := c.store.Save(fn, c.digests[fn], e); err != nil {
+		if c.saveFail.CompareAndSwap(false, true) {
+			return &Diagnostic{Fn: fn, Kind: DegradeCacheInvalid,
+				Cause: fmt.Sprintf("store write failed (further write failures suppressed): %v", err)}
+		}
+	}
+	return nil
+}

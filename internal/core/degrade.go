@@ -30,6 +30,11 @@ const (
 	// DegradeCanceled: the run's context was canceled; remaining
 	// functions were skipped and partial results returned.
 	DegradeCanceled
+	// DegradeCacheInvalid: a persistent summary-store entry (or the store
+	// itself) was unreadable — corrupt, truncated, version-skewed, or
+	// fingerprint-mismatched — and the affected function was analyzed
+	// cold. Results are unaffected; only warm-start time was lost.
+	DegradeCacheInvalid
 )
 
 // String names the kind for diagnostics output.
@@ -47,8 +52,22 @@ func (k DegradeKind) String() string {
 		return "panic"
 	case DegradeCanceled:
 		return "canceled"
+	case DegradeCacheInvalid:
+		return "cache-invalid"
 	}
 	return fmt.Sprintf("DegradeKind(%d)", int(k))
+}
+
+// ParseDegradeKind maps a DegradeKind.String() form back to the kind. The
+// persistent summary store serializes diagnostics by their string names,
+// so loading an entry round-trips through this.
+func ParseDegradeKind(s string) (DegradeKind, bool) {
+	for k := DegradePathBudget; k <= DegradeCacheInvalid; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
 }
 
 // Diagnostic records one degradation event. Fn is empty for run-level

@@ -8,6 +8,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -466,6 +467,107 @@ func FormatPerf(points []PerfPoint, workers int) string {
 				ph.P95.Round(time.Microsecond),
 				ph.Max.Round(time.Microsecond))
 		}
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Persistent summary store: cold vs warm timing
+
+// CachedPerfPoint is one corpus-size cold/warm measurement against a
+// persistent summary store (ridbench -perf -cache-dir).
+type CachedPerfPoint struct {
+	Funcs     int
+	Cold      time.Duration // AnalyzeTime of the store-populating run
+	Warm      time.Duration // AnalyzeTime of the rerun over the same corpus
+	Hits      int64         // warm-run store hits
+	Misses    int64         // warm-run store misses
+	Evictions int64         // warm-run store evictions
+	Identical bool          // warm output byte-identical to cold output
+	CacheIO   obs.PhaseStats
+}
+
+// PerfCached runs each corpus scale twice against a persistent summary
+// store rooted at dir (one subdirectory per scale, so entries of different
+// corpus sizes never collide): a cold run that populates the store and a
+// warm run that should serve almost every function from it. The warm run's
+// reports and diagnostics are compared byte-for-byte against the cold
+// run's.
+func PerfCached(ctx context.Context, scales []int, workers int, dir string) ([]CachedPerfPoint, error) {
+	var out []CachedPerfPoint
+	for _, s := range scales {
+		c := kernelgen.Generate(kernelgen.Config{
+			Seed: int64(100 + s), Mix: scaleMix(kernelgen.PaperMix(), s),
+			SimpleHelpers: 10 * s, ComplexHelpers: 8 * s, OtherFuncs: 200 * s,
+		})
+		prog, err := BuildProgram(c.Files)
+		if err != nil {
+			return nil, err
+		}
+		sub := filepath.Join(dir, fmt.Sprintf("scale%d", s))
+		run := func() (*core.Result, obs.Snapshot) {
+			reg := obs.NewRegistry()
+			res := core.Analyze(ctx, prog, spec.LinuxDPM(),
+				core.Options{Workers: workers, Obs: obs.New(nil, reg), CacheDir: sub})
+			return res, reg.Snapshot()
+		}
+		cold, _ := run()
+		warm, snap := run()
+		out = append(out, CachedPerfPoint{
+			Funcs:     cold.Stats.FuncsTotal,
+			Cold:      cold.Stats.AnalyzeTime,
+			Warm:      warm.Stats.AnalyzeTime,
+			Hits:      snap.Counter(obs.MStoreHits),
+			Misses:    snap.Counter(obs.MStoreMisses),
+			Evictions: snap.Counter(obs.MStoreEvictions),
+			Identical: renderOutcome(cold) == renderOutcome(warm),
+			CacheIO:   snap.Phase(obs.PhaseCacheIO),
+		})
+	}
+	return out, nil
+}
+
+// renderOutcome flattens a result's externally visible outcome — sorted
+// reports with full two-entry detail, plus diagnostics — into one
+// comparable string.
+func renderOutcome(res *core.Result) string {
+	var b strings.Builder
+	for _, r := range res.ReportsByFunction() {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+		b.WriteString(r.Detail())
+		b.WriteByte('\n')
+	}
+	for _, d := range res.Diagnostics {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatPerfCached renders the cold/warm series.
+func FormatPerfCached(points []CachedPerfPoint, workers int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "persistent summary store: cold vs warm analysis (workers=%d)\n", workers)
+	fmt.Fprintf(&b, "%10s %14s %14s %8s %8s %8s %8s %10s\n",
+		"functions", "cold", "warm", "speedup", "hits", "misses", "evict", "identical")
+	for _, p := range points {
+		speedup := "-"
+		if p.Warm > 0 {
+			speedup = fmt.Sprintf("%.1fx", float64(p.Cold)/float64(p.Warm))
+		}
+		fmt.Fprintf(&b, "%10d %14s %14s %8s %8d %8d %8d %10t\n",
+			p.Funcs, p.Cold.Round(time.Microsecond), p.Warm.Round(time.Microsecond),
+			speedup, p.Hits, p.Misses, p.Evictions, p.Identical)
+	}
+	b.WriteString("warm-run cacheio histogram (digest + load + save spans):\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "  functions=%-8d count=%-8d total=%-12s p50=%-10s p95=%-10s max=%s\n",
+			p.Funcs, p.CacheIO.Count,
+			p.CacheIO.Total.Round(time.Microsecond),
+			p.CacheIO.P50.Round(time.Microsecond),
+			p.CacheIO.P95.Round(time.Microsecond),
+			p.CacheIO.Max.Round(time.Microsecond))
 	}
 	return b.String()
 }

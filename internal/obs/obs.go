@@ -34,6 +34,7 @@ const (
 	PhaseIPP                    // Step III pairwise consistency check
 	PhaseSolver                 // one satisfiability query
 	PhaseReplay                 // one witness replay of a reported IPP
+	PhaseCacheIO                // one persistent summary-store operation (digest/load/save)
 	numPhases
 )
 
@@ -45,6 +46,7 @@ var phaseNames = [numPhases]string{
 	PhaseIPP:       "ipp",
 	PhaseSolver:    "solver",
 	PhaseReplay:    "replay",
+	PhaseCacheIO:   "cacheio",
 }
 
 // String names the phase as it appears in trace and metrics output.

@@ -31,6 +31,9 @@ const (
 	MReplayConfirmed                // reports whose witness replay confirmed the IPP
 	MReplayDiverged                 // reports whose replay contradicted the static claim
 	MReplayUnreplayed               // reports whose recorded paths were not reproduced
+	MStoreHits                      // functions served from the persistent summary store
+	MStoreMisses                    // functions analyzed cold (absent or stale store entry)
+	MStoreEvictions                 // stale store entries replaced by a fresh write
 	numMetrics
 )
 
@@ -50,6 +53,9 @@ var metricNames = [numMetrics]string{
 	MReplayConfirmed:  "replay_confirmed",
 	MReplayDiverged:   "replay_diverged",
 	MReplayUnreplayed: "replay_unreplayed",
+	MStoreHits:        "store_hits",
+	MStoreMisses:      "store_misses",
+	MStoreEvictions:   "store_evictions",
 }
 
 // Name returns the stable metric name used in -metrics and /debug/vars.

@@ -38,6 +38,21 @@ const (
 	defaultMaxSplits      = 12
 )
 
+// Normalized returns the limits with zero fields replaced by the solver's
+// defaults — the effective per-query bounds a Solver built from l would
+// use. Callers that fingerprint a configuration (the persistent summary
+// store) normalize first, so an explicit default and an unset field hash
+// identically.
+func (l Limits) Normalized() Limits {
+	if l.MaxConstraints == 0 {
+		l.MaxConstraints = defaultMaxConstraints
+	}
+	if l.MaxSplits == 0 {
+		l.MaxSplits = defaultMaxSplits
+	}
+	return l
+}
+
 // Stats counts solver activity; useful in benchmarks and ablations.
 type Stats struct {
 	Queries   int
@@ -92,13 +107,7 @@ func NewWithLimits(l Limits) *Solver {
 // shared cache. A nil cache disables memoization. Solvers sharing a cache
 // must use identical limits, so cached verdicts are interchangeable.
 func NewWithCache(l Limits, c *Cache) *Solver {
-	if l.MaxConstraints == 0 {
-		l.MaxConstraints = defaultMaxConstraints
-	}
-	if l.MaxSplits == 0 {
-		l.MaxSplits = defaultMaxSplits
-	}
-	return &Solver{limits: l, cache: c}
+	return &Solver{limits: l.Normalized(), cache: c}
 }
 
 // Fork returns a new solver sharing s's limits, cache, and observer, with

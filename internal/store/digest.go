@@ -1,0 +1,139 @@
+// Merkle-style content addressing for function summaries.
+//
+// A function's analysis outcome (summary, reports, deterministic
+// diagnostics) is fully determined by three inputs: the analysis options,
+// the function's own IR, and the summaries of its callees — which, for
+// defined callees, are in turn determined by the same three inputs over
+// their own call cones. The store therefore keys each function by a digest
+// computed bottom-up over the SCC condensation of the call graph:
+//
+//	digest(SCC) = H(format version, options fingerprint,
+//	                digests of callee SCCs,
+//	                canonical IR of every member (sorted),
+//	                name + predefined/db summary of every undefined callee)
+//
+// All members of an SCC share one combined digest: mutual recursion means
+// any member's edit can change every member's summary. Editing a function
+// changes its SCC's digest and, transitively, the digest of every SCC that
+// can reach it — exactly the cone the edit can affect — while every other
+// entry keeps its digest and stays valid.
+//
+// The canonical IR serialization includes source positions (file, line,
+// column) because reports carry them: a body moved to a different line
+// must produce a fresh entry or the replayed report would point at the old
+// location.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/callgraph"
+	"repro/internal/ir"
+	"repro/internal/summary"
+)
+
+// FormatVersion is the on-disk format version. Bump it whenever the entry
+// encoding, the digest recipe, or the semantics of any analysis stage
+// change in a way that makes old entries unsound to replay.
+const FormatVersion = 1
+
+// Digest is a SHA-256 content address.
+type Digest [sha256.Size]byte
+
+// String renders the digest as lowercase hex.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// IsZero reports whether d is the zero digest (no digest computed).
+func (d Digest) IsZero() bool { return d == Digest{} }
+
+// Fingerprint captures every analysis option that can change a function's
+// summary, reports, or deterministic diagnostics. Two runs with equal
+// fingerprints and equal per-function digests compute identical outcomes,
+// so entries are interchangeable between them. Wall-clock options
+// (FuncTimeout), scheduling options (Workers, PathWorkers), and
+// memoization toggles (solver cache) are deliberately absent: they cannot
+// change results, only how long they take.
+type Fingerprint struct {
+	MaxPaths             int
+	MaxSubcases          int
+	NoPrune              bool
+	KeepLocalConds       bool
+	MaxCat2Conds         int
+	AnalyzeAll           bool
+	NoBucketing          bool
+	SolverMaxConstraints int // normalized: zero never appears here
+	SolverMaxSplits      int
+}
+
+// Hash returns the fingerprint's digest, which seeds every SCC digest and
+// is recorded in every entry header.
+func (f Fingerprint) Hash() Digest {
+	h := sha256.New()
+	fmt.Fprintf(h, "rid-fingerprint v%d maxpaths=%d maxsub=%d noprune=%t keeplocals=%t cat2=%d all=%t nobucket=%t maxcons=%d maxsplits=%d",
+		FormatVersion, f.MaxPaths, f.MaxSubcases, f.NoPrune, f.KeepLocalConds,
+		f.MaxCat2Conds, f.AnalyzeAll, f.NoBucketing, f.SolverMaxConstraints, f.SolverMaxSplits)
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// Digests computes the content digest of every defined function in g,
+// bottom-up over the SCC condensation. db supplies the summaries of
+// undefined callees (predefined API specs, or summaries carried over from
+// earlier multi-file groups); defined callees contribute through their own
+// SCC digests instead, so a summary never needs to exist before its digest
+// does.
+func Digests(g *callgraph.Graph, db *summary.DB, fp Fingerprint) map[string]Digest {
+	fph := fp.Hash()
+	sccs := g.SCCs()
+	sccDigest := make([]Digest, len(sccs))
+	for i, members := range sccs {
+		h := sha256.New()
+		fmt.Fprintf(h, "rid-store v%d\x00", FormatVersion)
+		h.Write(fph[:])
+		// Callee SCCs precede i in SCCs() order, so their digests exist.
+		for _, dep := range g.SCCSuccs(i) {
+			h.Write(sccDigest[dep][:])
+		}
+		for _, m := range members {
+			writeCanonFunc(h, g.Prog.Funcs[m])
+			for _, callee := range g.All[m] {
+				if _, defined := g.Prog.Funcs[callee]; defined {
+					continue
+				}
+				fmt.Fprintf(h, "extern\x00%s\x00", callee)
+				if s := db.Get(callee); s != nil {
+					fmt.Fprintf(h, "pre=%t def=%t %s", s.Predefined, s.HasDefault, s)
+				} else {
+					io.WriteString(h, "unknown")
+				}
+				io.WriteString(h, "\x00")
+			}
+		}
+		h.Sum(sccDigest[i][:0])
+	}
+	out := make(map[string]Digest, len(g.Nodes))
+	for _, fn := range g.Nodes {
+		out[fn] = sccDigest[g.SCCOf(fn)]
+	}
+	return out
+}
+
+// writeCanonFunc serializes everything about a function that the analysis
+// or its reports can observe: signature, source location, and every
+// instruction with its position.
+func writeCanonFunc(w io.Writer, f *ir.Func) {
+	fmt.Fprintf(w, "func %s(%s) ret=%t conds=%d src=%s @%s:%d:%d\n",
+		f.Name, strings.Join(f.Params, ","), f.HasRet, f.NumConds,
+		f.SrcFile, f.Pos.File, f.Pos.Line, f.Pos.Column)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(w, "b%d:\n", b.Index)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(w, "%s @%s:%d:%d\n", in, in.Pos.File, in.Pos.Line, in.Pos.Column)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzStoreLoad drives ParseEntry — the full on-disk decode surface:
+// header parse, version check, checksum verification and payload decode —
+// with arbitrary bytes. The contract is an entry or an error, never a
+// panic, and any entry that decodes must satisfy the store's structural
+// invariants and survive a re-encode/re-decode round trip unchanged.
+func FuzzStoreLoad(f *testing.F) {
+	valid, err := encodeEntry(testEntry("drv_probe"), Fingerprint{MaxPaths: 64}.Hash(), Digest{7})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                                      // truncated payload
+	f.Add(bytes.Replace(valid, []byte("RIDSUM 1 "), []byte("RIDSUM 2 "), 1)) // version skew
+	f.Add([]byte("RIDSUM 1\n"))                                      // short header
+	f.Add([]byte("not a store entry at all"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := ParseEntry(data)
+		if err != nil {
+			if e != nil {
+				t.Fatal("ParseEntry returned both an entry and an error")
+			}
+			return
+		}
+		if e.Fn == "" || e.Summary == nil || e.Summary.Fn != e.Fn {
+			t.Fatalf("decoded entry violates invariants: %+v", e)
+		}
+		for i, r := range e.Reports {
+			if r == nil || r.Refcount == nil || r.EntryA == nil || r.EntryB == nil {
+				t.Fatalf("decoded report %d is structurally incomplete: %+v", i, r)
+			}
+		}
+		// Round trip: re-encoding the decoded entry and decoding again must
+		// be lossless (the canonical bytes are a fixed point).
+		re, err := encodeEntry(e, Digest{}, Digest{})
+		if err != nil {
+			t.Fatalf("re-encode of decoded entry failed: %v", err)
+		}
+		e2, err := ParseEntry(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if e2.Fn != e.Fn || e2.Paths != e.Paths ||
+			len(e2.Reports) != len(e.Reports) || len(e2.Diags) != len(e.Diags) ||
+			e2.Summary.String() != e.Summary.String() {
+			t.Fatalf("round trip not lossless:\n  %+v\n  %+v", e, e2)
+		}
+	})
+}

@@ -163,16 +163,82 @@ func entryFromDTO(d *entryDTO) (*Entry, error) {
 	return e, nil
 }
 
+// MarshalExpr encodes one symbolic expression in the structural wire
+// format of DB.Save (nil encodes as JSON null). The persistent summary
+// store uses it for report refcount expressions.
+func MarshalExpr(e *sym.Expr) ([]byte, error) {
+	return json.Marshal(exprToDTO(e))
+}
+
+// UnmarshalExpr decodes an expression written by MarshalExpr. The result
+// is rebuilt through the sym constructors, so it is hash-consed: loading
+// restores the pointer-equality invariants of interned expressions.
+func UnmarshalExpr(data []byte) (*sym.Expr, error) {
+	var d *exprDTO
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, err
+	}
+	return exprFromDTO(d)
+}
+
+// MarshalEntry encodes one summary entry in the DB.Save wire format.
+func MarshalEntry(e *Entry) ([]byte, error) {
+	return json.Marshal(entryToDTO(e))
+}
+
+// UnmarshalEntry decodes an entry written by MarshalEntry, re-interning
+// every expression it contains.
+func UnmarshalEntry(data []byte) (*Entry, error) {
+	var d entryDTO
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, err
+	}
+	return entryFromDTO(&d)
+}
+
+// MarshalSummary encodes one function summary in the DB.Save wire format.
+func MarshalSummary(s *Summary) ([]byte, error) {
+	return json.Marshal(summaryToDTO(s))
+}
+
+// UnmarshalSummary decodes a summary written by MarshalSummary,
+// re-interning every expression it contains.
+func UnmarshalSummary(data []byte) (*Summary, error) {
+	var d summaryDTO
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, err
+	}
+	return summaryFromDTO(&d)
+}
+
+func summaryToDTO(s *Summary) *summaryDTO {
+	sd := &summaryDTO{Fn: s.Fn, Params: s.Params, HasDefault: s.HasDefault, Predefined: s.Predefined}
+	for _, e := range s.Entries {
+		sd.Entries = append(sd.Entries, entryToDTO(e))
+	}
+	return sd
+}
+
+func summaryFromDTO(sd *summaryDTO) (*Summary, error) {
+	s := New(sd.Fn)
+	s.Params = sd.Params
+	s.HasDefault = sd.HasDefault
+	s.Predefined = sd.Predefined
+	for _, ed := range sd.Entries {
+		e, err := entryFromDTO(ed)
+		if err != nil {
+			return nil, fmt.Errorf("summary %s: %w", sd.Fn, err)
+		}
+		s.Entries = append(s.Entries, e)
+	}
+	return s, nil
+}
+
 // Save writes the database as JSON.
 func (db *DB) Save(w io.Writer) error {
 	dto := dbDTO{}
 	for _, name := range db.Names() {
-		s := db.m[name]
-		sd := &summaryDTO{Fn: s.Fn, Params: s.Params, HasDefault: s.HasDefault, Predefined: s.Predefined}
-		for _, e := range s.Entries {
-			sd.Entries = append(sd.Entries, entryToDTO(e))
-		}
-		dto.Summaries = append(dto.Summaries, sd)
+		dto.Summaries = append(dto.Summaries, summaryToDTO(db.Get(name)))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -186,16 +252,9 @@ func (db *DB) Load(r io.Reader) error {
 		return fmt.Errorf("decode summary database: %w", err)
 	}
 	for _, sd := range dto.Summaries {
-		s := New(sd.Fn)
-		s.Params = sd.Params
-		s.HasDefault = sd.HasDefault
-		s.Predefined = sd.Predefined
-		for _, ed := range sd.Entries {
-			e, err := entryFromDTO(ed)
-			if err != nil {
-				return fmt.Errorf("summary %s: %w", sd.Fn, err)
-			}
-			s.Entries = append(s.Entries, e)
+		s, err := summaryFromDTO(sd)
+		if err != nil {
+			return err
 		}
 		db.Put(s)
 	}

@@ -92,6 +92,75 @@ func TestPropertyDifferingMatchesSame(t *testing.T) {
 	}
 }
 
+// genSummary wraps random entries in a summary with random flags.
+func genSummary(rng *rand.Rand) *Summary {
+	s := New("f")
+	s.Params = []string{"a", "b", "dev"}
+	for i := rng.Intn(4); i > 0; i-- {
+		s.Entries = append(s.Entries, genEntry(rng))
+	}
+	s.HasDefault = rng.Intn(2) == 0
+	s.Predefined = rng.Intn(2) == 0
+	return s
+}
+
+// Property: Marshal/Unmarshal round-trips a summary exactly — rendering,
+// per-entry change signatures and SameChanges relations all survive, and
+// decoded expressions are re-interned into the shared hash-cons table
+// (pointer-equal to freshly built ones).
+func TestPropertyMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for i := 0; i < 300; i++ {
+		s := genSummary(rng)
+		data, err := MarshalSummary(s)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		got, err := UnmarshalSummary(data)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if got.String() != s.String() {
+			t.Fatalf("round trip changed rendering:\n  %s\n  %s", s, got)
+		}
+		if got.Fn != s.Fn || got.HasDefault != s.HasDefault || got.Predefined != s.Predefined {
+			t.Fatalf("round trip changed flags: %+v vs %+v", s, got)
+		}
+		if len(got.Entries) != len(s.Entries) {
+			t.Fatalf("round trip changed entry count: %d vs %d", len(s.Entries), len(got.Entries))
+		}
+		for j, e := range s.Entries {
+			g := got.Entries[j]
+			if g.ChangesSignature() != e.ChangesSignature() {
+				t.Fatalf("entry %d signature changed: %q vs %q", j, e.ChangesSignature(), g.ChangesSignature())
+			}
+			if !g.SameChanges(e) || !e.SameChanges(g) {
+				t.Fatalf("entry %d lost change equality:\n  %s\n  %s", j, e, g)
+			}
+			for _, c := range g.SortedChanges() {
+				if c.RC != UnmarshalInterned(t, c.RC) {
+					t.Fatalf("entry %d refcount %s not re-interned", j, c.RC)
+				}
+			}
+		}
+	}
+}
+
+// UnmarshalInterned re-marshals and decodes one expression, returning the
+// decoded pointer; with hash-consing it must be the identical pointer.
+func UnmarshalInterned(t *testing.T, e *sym.Expr) *sym.Expr {
+	t.Helper()
+	data, err := MarshalExpr(e)
+	if err != nil {
+		t.Fatalf("marshal expr: %v", err)
+	}
+	got, err := UnmarshalExpr(data)
+	if err != nil {
+		t.Fatalf("unmarshal expr: %v", err)
+	}
+	return got
+}
+
 // Property: instantiation distributes over SameChanges — entries with the
 // same changes still have the same changes after any substitution.
 func TestPropertyInstantiatePreservesSameChanges(t *testing.T) {

@@ -103,9 +103,10 @@ var metricNames = []string{
 	"solver_cache_hits", "solver_sat", "solver_unsat", "solver_gave_up",
 	"ipp_candidates", "ipp_confirmed",
 	"replay_confirmed", "replay_diverged", "replay_unreplayed",
+	"store_hits", "store_misses", "store_evictions",
 }
 
-var phaseNames = []string{"run", "classify", "enumerate", "exec", "ipp", "solver", "replay"}
+var phaseNames = []string{"run", "classify", "enumerate", "exec", "ipp", "solver", "replay", "cacheio"}
 
 // TestMetricsGoldenText pins the text metrics layout: one counter line per
 // metric in fixed order, then one phase line per phase in fixed order,

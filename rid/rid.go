@@ -112,6 +112,14 @@ type Options struct {
 	// TraceWriter. Off by default: queries can be sub-microsecond, where
 	// the clock reads themselves are measurable.
 	QueryTiming bool
+	// CacheDir, when non-empty, enables the persistent summary store (see
+	// cmd/rid's -cache-dir flag): per-function analysis outcomes are
+	// cached on disk keyed by content digests of each function's IR and
+	// its callees, so a warm run re-analyzes only what changed. Results
+	// are byte-identical to a cold run; corrupt or version-skewed entries
+	// fall back to cold analysis with a "cache-invalid" Diagnostic.
+	// Ignored when Provenance is set — explain always re-derives.
+	CacheDir string
 	// Provenance records, per bug, the full derivation (Bug.Provenance,
 	// Result.WriteExplain/WriteExplainHTML): both CFG paths with source
 	// positions, the constraint before and after the projection of
@@ -126,7 +134,7 @@ type Options struct {
 // Diagnostic is one degradation event of a run: the analysis kept going
 // but gave up precision or work somewhere, and this records exactly
 // where. Kind is one of "path-budget", "subcase-budget", "solver-give-up",
-// "timeout", "panic" or "canceled".
+// "timeout", "panic", "canceled" or "cache-invalid".
 type Diagnostic struct {
 	Function string // empty for run-level events (cancellation)
 	Kind     string
@@ -348,6 +356,7 @@ func (a *Analyzer) RunContext(ctx context.Context) (*Result, error) {
 			MaxSplits:      a.opts.SolverMaxSplits,
 		},
 		Provenance: a.opts.Provenance,
+		CacheDir:   a.opts.CacheDir,
 	}
 	// Unset fields default individually inside core (paper's §6.1 values).
 	opts.Exec.MaxPaths = a.opts.MaxPaths

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke bench bench-all vet fmt cover examples experiments clean
+.PHONY: all build test race fuzz-smoke bench bench-sweep bench-all vet fmt cover examples experiments clean
 
 all: build vet test
 
@@ -22,10 +22,15 @@ fuzz-smoke:
 	$(GO) test ./internal/solver -fuzz=FuzzSolver -fuzztime=20s
 	$(GO) test ./internal/store -fuzz=FuzzStoreLoad -fuzztime=20s
 
-# §6.5 scaling benches with allocation stats; raw JSON lands in
-# BENCH_section65.json for before/after comparisons.
+# §6.5 scaling benches with allocation stats; raw go-test JSON lands in
+# bench.out.json (scratch) for before/after comparisons.
 bench:
-	$(GO) test -run '^$$' -bench 'Section65' -benchmem -json . | tee BENCH_section65.json
+	$(GO) test -run '^$$' -bench 'Section65' -benchmem -json . | tee bench.out.json
+
+# Regenerate the checked-in §6.5 worker-sweep trajectory point. The numbers
+# are machine-dependent; refresh on a quiet multi-core box.
+bench-sweep:
+	$(GO) run ./cmd/ridbench -perf -workers 1,2,4,8 -perf-json BENCH_section65.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...

@@ -280,6 +280,12 @@ func benchScale(b *testing.B, scale, workers int) {
 	}
 	b.ReportMetric(float64(res.Stats.FuncsTotal), "functions")
 	b.ReportMetric(float64(res.Stats.FuncsAnalyzed), "analyzed")
+	// Throughput: Step I paths enumerated per wall-clock second. The path
+	// count is fixed per corpus (scheduling never changes it — see the
+	// determinism tests), so this is the honest cross-workers comparison.
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(res.Stats.PathsEnumerated)*float64(b.N)/sec, "paths/sec")
+	}
 }
 
 func BenchmarkSection65Scaling(b *testing.B) {

@@ -59,7 +59,7 @@ func main() {
 		maxPaths = flag.Int("max-paths", 100, "maximum paths enumerated per function")
 		maxSubs  = flag.Int("max-subcases", 10, "maximum summary entries per path")
 		cat2     = flag.Int("cat2-conds", 3, "category-2 complexity gate (conditional branches)")
-		workers  = flag.Int("workers", 1, "parallel SCC workers (-1 = all cores)")
+		workers  = flag.Int("workers", 1, "scheduler workers (negative = all cores)")
 		deadline = flag.Duration("deadline", 0, "overall run deadline (0 = none); partial results are printed")
 		funcTO   = flag.Duration("func-timeout", 0, "per-function wall-clock budget (0 = none)")
 		maxCons  = flag.Int("solver-max-constraints", 0, "solver give-up threshold in inequalities per query (0 = default)")
@@ -247,7 +247,7 @@ func runExplain(args []string) {
 		dir      = fs.String("dir", "", "analyze every *.c file under this directory")
 		fnFilter = fs.String("fn", "", "explain only bugs in this comma-separated function list")
 		htmlOut  = fs.String("html", "", "also write a self-contained HTML evidence page to this file")
-		workers  = fs.Int("workers", 1, "parallel SCC workers (-1 = all cores)")
+		workers  = fs.Int("workers", 1, "scheduler workers (negative = all cores)")
 		trace    = fs.String("trace", "", "write a JSONL span log to this file (evidence query refs gain trace seq numbers)")
 	)
 	fs.Parse(args) //nolint:errcheck // ExitOnError

@@ -11,6 +11,7 @@
 //	ridbench -perf -perf-json perf.json   # ...and save the series
 //	ridbench -perf -compare perf.json     # ...and diff against a saved series
 //	ridbench -perf -cache-dir dir         # cold vs warm runs with the persistent summary store
+//	ridbench -perf -workers 1,2,4,8       # worker sweep: one snapshot per setting + scaling efficiency
 //	ridbench -show-specs     # the predefined summaries (Figure 7)
 package main
 
@@ -20,6 +21,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
@@ -27,25 +30,73 @@ import (
 	"repro/internal/summary"
 )
 
+// parseWorkers parses the -workers flag: a comma-separated list of worker
+// counts. One value selects that setting for every experiment; several
+// values turn -perf into a sweep (one snapshot per setting). Zero is
+// rejected (the analyzer treats negatives as "all cores", but 0 workers is
+// always a typo).
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n == 0 {
+			return nil, fmt.Errorf("bad -workers value %q (want a comma list of non-zero counts, negative = all cores)", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -workers list")
+	}
+	return out, nil
+}
+
+// parseScales parses the -perf-scales flag: a comma list of positive
+// corpus scale factors for the §6.5 series.
+func parseScales(s string) ([]int, error) {
+	scales, err := parseWorkers(s)
+	if err != nil {
+		return nil, fmt.Errorf("bad -perf-scales: %v", err)
+	}
+	for _, n := range scales {
+		if n < 0 {
+			return nil, fmt.Errorf("bad -perf-scales value %d (scales must be positive)", n)
+		}
+	}
+	return scales, nil
+}
+
 func main() {
 	var (
-		all       = flag.Bool("all", false, "run every experiment")
-		table1    = flag.Bool("table1", false, "Table 1: function classification")
-		table2    = flag.Bool("table2", false, "Table 2: RID vs Cpychecker")
-		dpm       = flag.Bool("dpm", false, "§6.2: DPM bug reports vs confirmed")
-		misuse    = flag.Bool("misuse", false, "§6.3: pm_runtime_get misuse census")
-		perf      = flag.Bool("perf", false, "§6.5: performance scaling")
-		perfJSON  = flag.String("perf-json", "", "write the -perf series to this file as JSON")
-		cacheDir  = flag.String("cache-dir", "", "with -perf: measure cold vs warm runs against this persistent summary store")
-		compare   = flag.String("compare", "", "diff the -perf series against a snapshot written by -perf-json")
-		ablations = flag.Bool("ablations", false, "design-decision ablations (DESIGN.md §5)")
-		showSpecs = flag.Bool("show-specs", false, "print the predefined summaries (Figure 7)")
-		workers   = flag.Int("workers", 1, "parallel SCC workers (-1 = all cores)")
-		seed      = flag.Int64("seed", 317, "corpus seed")
-		deadline  = flag.Duration("deadline", 0, "overall deadline for the experiment run (0 = none)")
-		pprofSrv  = flag.String("pprof", "", "serve /debug/pprof/ and /debug/vars on this address for the duration of the run")
+		all         = flag.Bool("all", false, "run every experiment")
+		table1      = flag.Bool("table1", false, "Table 1: function classification")
+		table2      = flag.Bool("table2", false, "Table 2: RID vs Cpychecker")
+		dpm         = flag.Bool("dpm", false, "§6.2: DPM bug reports vs confirmed")
+		misuse      = flag.Bool("misuse", false, "§6.3: pm_runtime_get misuse census")
+		perf        = flag.Bool("perf", false, "§6.5: performance scaling")
+		perfJSON    = flag.String("perf-json", "", "write the -perf series to this file as JSON")
+		cacheDir    = flag.String("cache-dir", "", "with -perf: measure cold vs warm runs against this persistent summary store")
+		compare     = flag.String("compare", "", "diff the -perf series against a snapshot written by -perf-json")
+		ablations   = flag.Bool("ablations", false, "design-decision ablations (DESIGN.md §5)")
+		showSpecs   = flag.Bool("show-specs", false, "print the predefined summaries (Figure 7)")
+		workersFlag = flag.String("workers", "1", "scheduler workers: one count, or a comma list (e.g. 1,2,4,8) to sweep -perf across settings; any negative value = all cores")
+		minScaling  = flag.Float64("min-scaling", 0, "with a -workers sweep: exit non-zero unless the largest setting's analyze-time speedup over the first is at least this (0 = no gate)")
+		perfScales  = flag.String("perf-scales", "1,2,4", "corpus scale factors for the -perf series (comma list)")
+		seed        = flag.Int64("seed", 317, "corpus seed")
+		deadline    = flag.Duration("deadline", 0, "overall deadline for the experiment run (0 = none)")
+		pprofSrv    = flag.String("pprof", "", "serve /debug/pprof/ and /debug/vars on this address for the duration of the run")
 	)
 	flag.Parse()
+
+	workerList, err := parseWorkers(*workersFlag)
+	check(err)
+	// Non-perf experiments run at a single setting: the first in the list.
+	workers := &workerList[0]
+	scales, err := parseScales(*perfScales)
+	check(err)
 
 	if *pprofSrv != "" {
 		stopSrv, addr, err := obs.Serve(*pprofSrv, nil)
@@ -63,8 +114,11 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *deadline)
 		defer cancel()
 	}
-	if *perfJSON != "" || *compare != "" {
+	if *perfJSON != "" || *compare != "" || *minScaling > 0 {
 		*perf = true
+	}
+	if *minScaling > 0 && len(workerList) < 2 {
+		check(fmt.Errorf("-min-scaling needs a -workers sweep with at least two settings"))
 	}
 	any := *table1 || *table2 || *dpm || *misuse || *perf || *showSpecs || *ablations
 	if *all || !any {
@@ -98,17 +152,45 @@ func main() {
 		check(err)
 		fmt.Println(r.Format())
 	}
-	if *perf && *cacheDir != "" {
+	if *perf && len(workerList) > 1 {
+		// Sweep mode: the full §6.5 series once per worker setting, plus a
+		// scaling-efficiency table; -perf-json saves the whole sweep.
+		if *cacheDir != "" || *compare != "" {
+			fmt.Fprintln(os.Stderr, "ridbench: -cache-dir/-compare apply to a single -workers setting and are ignored in a sweep")
+		}
+		sweep, err := experiments.RunPerfSweep(ctx, scales, workerList)
+		check(err)
+		fmt.Println(experiments.FormatPerfSweep(sweep))
+		if *perfJSON != "" {
+			f, err := os.Create(*perfJSON)
+			check(err)
+			check(experiments.WritePerfSweep(f, sweep))
+			check(f.Close())
+			fmt.Fprintf(os.Stderr, "ridbench: perf sweep written to %s\n", *perfJSON)
+		}
+		if *minScaling > 0 {
+			top := workerList[len(workerList)-1]
+			sp, ok := sweep.Speedup(top)
+			if !ok {
+				check(fmt.Errorf("scaling gate: no timing for workers=%d", top))
+			}
+			if sp < *minScaling {
+				check(fmt.Errorf("scaling gate: workers=%d speedup %.2fx over workers=%d is below the required %.2fx",
+					top, sp, workerList[0], *minScaling))
+			}
+			fmt.Fprintf(os.Stderr, "ridbench: scaling gate passed: workers=%d speedup %.2fx >= %.2fx\n", top, sp, *minScaling)
+		}
+	} else if *perf && *cacheDir != "" {
 		// Cold/warm mode: each scale is analyzed twice against the store;
 		// the warm run must be byte-identical and mostly store hits.
 		if *perfJSON != "" || *compare != "" {
 			fmt.Fprintln(os.Stderr, "ridbench: -perf-json/-compare apply to the plain -perf series and are ignored with -cache-dir")
 		}
-		pts, err := experiments.PerfCached(ctx, []int{1, 2, 4}, *workers, *cacheDir)
+		pts, err := experiments.PerfCached(ctx, scales, *workers, *cacheDir)
 		check(err)
 		fmt.Println(experiments.FormatPerfCached(pts, *workers))
 	} else if *perf {
-		pts, err := experiments.Perf(ctx, []int{1, 2, 4}, *workers)
+		pts, err := experiments.Perf(ctx, scales, *workers)
 		check(err)
 		fmt.Println(experiments.FormatPerf(pts, *workers))
 		if *perfJSON != "" {

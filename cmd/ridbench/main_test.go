@@ -30,6 +30,41 @@ func TestBenchMisuseAndTable2(t *testing.T) {
 	}
 }
 
+func TestParseWorkers(t *testing.T) {
+	good := []struct {
+		in   string
+		want []int
+	}{
+		{"1", []int{1}},
+		{"-1", []int{-1}},
+		{"1,2,4,8", []int{1, 2, 4, 8}},
+		{" 1, 4 ", []int{1, 4}},
+		{"1,,4", []int{1, 4}},
+	}
+	for _, c := range good {
+		got, err := parseWorkers(c.in)
+		if err != nil {
+			t.Errorf("parseWorkers(%q): %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseWorkers(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseWorkers(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+	for _, in := range []string{"", ",", "x", "1,x", "0", "1,0,4"} {
+		if got, err := parseWorkers(in); err == nil {
+			t.Errorf("parseWorkers(%q) = %v, want error", in, got)
+		}
+	}
+}
+
 func TestBenchShowSpecs(t *testing.T) {
 	bin := filepath.Join(t.TempDir(), "ridbench")
 	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {

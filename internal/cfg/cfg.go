@@ -16,40 +16,71 @@ type Graph struct {
 	Fn    *ir.Func
 	Succ  [][]int
 	Pred  [][]int
-	back  map[[2]int]bool // edges (from, to) that close a loop
-	reach []bool
+	back  map[[2]int]bool // edges (from, to) that close a loop; nil when loop-free
+	reach []uint8         // DFS state: 0 unvisited (unreachable), 2 done (reachable)
 }
 
-// New builds the CFG for fn.
+// New builds the CFG for fn. Successor and predecessor lists are carved
+// out of two shared backing arrays sized by a counting pass, so graph
+// construction costs a fixed number of allocations regardless of block
+// count — this runs once per (function, path-enumeration) and showed up
+// in allocation profiles when it allocated per block.
 func New(fn *ir.Func) *Graph {
 	n := len(fn.Blocks)
 	g := &Graph{
 		Fn:   fn,
 		Succ: make([][]int, n),
 		Pred: make([][]int, n),
-		back: make(map[[2]int]bool),
+	}
+	// Pass 1: count edges and per-block indegrees.
+	total := 0
+	indeg := make([]int, n)
+	for _, b := range fn.Blocks {
+		k := b.NumSuccs()
+		total += k
+		var two [2]int
+		for _, s := range b.AppendSuccs(two[:0]) {
+			indeg[s]++
+		}
+	}
+	// Pass 2: carve Succ lists out of one backing array.
+	succBack := make([]int, 0, total)
+	for _, b := range fn.Blocks {
+		lo := len(succBack)
+		succBack = b.AppendSuccs(succBack)
+		g.Succ[b.Index] = succBack[lo:len(succBack):len(succBack)]
+	}
+	// Pass 3: carve Pred lists at their final sizes and fill.
+	predBack := make([]int, total)
+	off := 0
+	for i := 0; i < n; i++ {
+		g.Pred[i] = predBack[off : off : off+indeg[i]]
+		off += indeg[i]
 	}
 	for _, b := range fn.Blocks {
-		g.Succ[b.Index] = b.Succs()
 		for _, s := range g.Succ[b.Index] {
 			g.Pred[s] = append(g.Pred[s], b.Index)
 		}
 	}
 	g.findBackEdges()
-	g.findReachable()
 	return g
 }
 
 // findBackEdges marks edges whose target is on the current DFS stack.
+// The DFS visits exactly the blocks reachable from the entry, so its
+// final visitation state doubles as the reachability set — no separate
+// traversal or bitmap.
 func (g *Graph) findBackEdges() {
 	n := len(g.Succ)
-	state := make([]int, n) // 0 unvisited, 1 on stack, 2 done
+	g.reach = make([]uint8, n) // 0 unvisited, 1 on stack, 2 done
+	state := g.reach
 	// Iterative DFS to avoid recursion limits on generated functions.
+	// Each node is pushed at most once, so the stack never exceeds n.
 	type frame struct {
 		node int
 		next int
 	}
-	var stack []frame
+	stack := make([]frame, 0, n)
 	push := func(v int) {
 		state[v] = 1
 		stack = append(stack, frame{v, 0})
@@ -64,6 +95,9 @@ func (g *Graph) findBackEdges() {
 			case 0:
 				push(s)
 			case 1:
+				if g.back == nil {
+					g.back = make(map[[2]int]bool) // most functions are loop-free
+				}
 				g.back[[2]int{f.node, s}] = true
 			}
 			continue
@@ -73,33 +107,17 @@ func (g *Graph) findBackEdges() {
 	}
 }
 
-func (g *Graph) findReachable() {
-	g.reach = make([]bool, len(g.Succ))
-	work := []int{0}
-	g.reach[0] = true
-	for len(work) > 0 {
-		v := work[len(work)-1]
-		work = work[:len(work)-1]
-		for _, s := range g.Succ[v] {
-			if !g.reach[s] {
-				g.reach[s] = true
-				work = append(work, s)
-			}
-		}
-	}
-}
-
 // IsBackEdge reports whether from→to closes a loop.
 func (g *Graph) IsBackEdge(from, to int) bool { return g.back[[2]int{from, to}] }
 
 // Reachable reports whether block b is reachable from the entry.
-func (g *Graph) Reachable(b int) bool { return g.reach[b] }
+func (g *Graph) Reachable(b int) bool { return g.reach[b] == 2 }
 
 // NumReachable returns the number of reachable blocks.
 func (g *Graph) NumReachable() int {
 	n := 0
 	for _, r := range g.reach {
-		if r {
+		if r == 2 {
 			n++
 		}
 	}
@@ -166,7 +184,10 @@ func (g *Graph) EnumerateCtx(ctx context.Context, maxPaths int) EnumerateResult 
 	// DFS with explicit stack of (block, taken-back-edges) is awkward to
 	// copy cheaply; use recursion with shared state and an on-path slice.
 	var cur []int
-	usedBack := make(map[[2]int]int)
+	var usedBack map[[2]int]int // lazily allocated: most functions are loop-free
+	if len(g.back) > 0 {
+		usedBack = make(map[[2]int]int, len(g.back))
+	}
 	var walk func(b int)
 	walk = func(b int) {
 		if res.Canceled {

@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/callgraph"
@@ -33,9 +32,20 @@ import (
 // evaluation settings.
 type Options struct {
 	Exec         symexec.Config
-	MaxCat2Conds int  // §5.2 complexity gate; default 3
-	Workers      int  // parallel SCC workers; default 1, <0 means GOMAXPROCS
-	NoCache      bool // disable solver memoization (ablation)
+	MaxCat2Conds int // §5.2 complexity gate; default 3
+	// Workers is the number of scheduler workers: default 1 (sequential);
+	// any negative value means runtime.GOMAXPROCS(0). With Workers > 1 the
+	// two-level work-stealing scheduler runs: SCCs are distributed in
+	// reverse topological order and, within a function, per-path tasks are
+	// stolen between workers. Output is byte-identical at any setting.
+	Workers int
+	// StealSeed seeds the per-worker victim-selection RNG of the
+	// work-stealing scheduler. Any seed produces identical reports,
+	// diagnostics, and stats — the determinism property test sweeps seeds
+	// to prove it; the knob exists for that test and for reproducing a
+	// particular steal interleaving. 0 is fine.
+	StealSeed int64
+	NoCache   bool // disable solver memoization (ablation)
 	// NoBucketing disables Step III's changes-signature bucketing and the
 	// syntactic contradiction pre-filter (ablation).
 	NoBucketing bool
@@ -221,7 +231,7 @@ func analyzeWithDB(ctx context.Context, prog *ir.Program, specs *spec.Specs, db 
 	if opts.Workers <= 1 {
 		analyzeSequential(ctx, prog, g, db, toAnalyze, cache, opts, res)
 	} else {
-		analyzeParallel(ctx, prog, g, db, toAnalyze, cache, opts, res)
+		analyzeSteal(ctx, prog, g, db, toAnalyze, cache, opts, res)
 	}
 	res.Stats.AnalyzeTime = time.Since(t1)
 
@@ -417,116 +427,4 @@ func analyzeSequential(ctx context.Context, prog *ir.Program, g *callgraph.Graph
 			break
 		}
 	}
-}
-
-// analyzeParallel schedules SCCs across workers once their callee SCCs are
-// done (§5.3: "Multiple SCCs can be analyzed in parallel as long as the
-// SCCs they depend on have been analyzed").
-func analyzeParallel(ctx context.Context, prog *ir.Program, g *callgraph.Graph, db *summary.DB, toAnalyze func(string) bool, cache *cacheState, opts Options, res *Result) {
-	sccs := g.SCCs()
-	n := len(sccs)
-	// Dependency counts over the SCC DAG.
-	waiting := make([]int, n)
-	dependents := make([][]int, n)
-	for i := 0; i < n; i++ {
-		for _, dep := range g.SCCSuccs(i) {
-			waiting[i]++
-			dependents[dep] = append(dependents[dep], i)
-		}
-	}
-
-	var (
-		mu      sync.Mutex
-		ready   = make(chan int, n)
-		done    sync.WaitGroup
-		pending = n
-	)
-	for i := 0; i < n; i++ {
-		if waiting[i] == 0 {
-			ready <- i
-		}
-	}
-
-	complete := func(i int) {
-		mu.Lock()
-		defer mu.Unlock()
-		for _, d := range dependents[i] {
-			waiting[d]--
-			if waiting[d] == 0 {
-				ready <- d
-			}
-		}
-		pending--
-		if pending == 0 {
-			close(ready)
-		}
-	}
-
-	// One cache for the whole run: every SCC worker (and the path workers
-	// forked from it) shares solved sub-results, so a constraint set solved
-	// anywhere in the sweep is a hit everywhere else.
-	var scache *solver.Cache
-	if !opts.NoCache {
-		scache = solver.NewCache()
-	}
-
-	workers := opts.Workers
-	done.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer done.Done()
-			slv := solver.NewWithCache(opts.SolverLimits, scache)
-			slv.SetObs(opts.Obs)
-			for i := range ready {
-				// After cancellation, keep draining the ready queue and
-				// completing SCCs (without analyzing) so every dependent
-				// unblocks and the channel is closed — a prompt return,
-				// never a deadlock.
-				if ctx.Err() == nil {
-					for _, fn := range sccs[i] {
-						if !toAnalyze(fn) {
-							continue
-						}
-						// Loads and misses interleave in the same sorted
-						// within-SCC member order a cold run uses, so each
-						// member sees the same sibling summaries in db
-						// either way.
-						if cache != nil {
-							out, hit, diag := cache.load(fn)
-							if diag != nil {
-								mu.Lock()
-								res.Diagnostics = append(res.Diagnostics, *diag)
-								mu.Unlock()
-							}
-							if hit {
-								db.Put(out.sum)
-								mu.Lock()
-								res.absorb(out)
-								mu.Unlock()
-								continue
-							}
-						}
-						slv.SetFunction(fn)
-						out := analyzeOne(ctx, prog.Funcs[fn], db, slv, opts)
-						db.Put(out.sum)
-						mu.Lock()
-						res.absorb(out)
-						mu.Unlock()
-						if cache != nil {
-							if diag := cache.save(fn, out); diag != nil {
-								mu.Lock()
-								res.Diagnostics = append(res.Diagnostics, *diag)
-								mu.Unlock()
-							}
-						}
-						if out.canceled {
-							break
-						}
-					}
-				}
-				complete(i)
-			}
-		}()
-	}
-	done.Wait()
 }

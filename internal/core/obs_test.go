@@ -168,8 +168,10 @@ func TestObsOverheadAllocFree(t *testing.T) {
 	baseline := testing.AllocsPerRun(10, func() { run(nil) })
 	// The nil-obs run allocates its own private registry inside Analyze, so
 	// the instrumented run should be at or below baseline; a small slack
-	// absorbs runtime noise (map growth timing, GC assists).
-	if withObs > baseline+5 {
+	// absorbs runtime noise (map growth timing, GC assists). Under the race
+	// detector sync.Pool drops puts at random, so per-run alloc counts are
+	// nondeterministic and only the non-race build can compare them.
+	if !raceEnabled && withObs > baseline+5 {
 		t.Errorf("observed run allocates %.0f/op vs %.0f/op baseline; hooks are allocating",
 			withObs, baseline)
 	}

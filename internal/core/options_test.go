@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"repro/internal/lower"
@@ -19,6 +20,25 @@ func TestOptionsDefaults(t *testing.T) {
 	}
 	if w := (Options{Workers: -1}).withDefaults().Workers; w < 1 {
 		t.Errorf("all-cores workers: %d", w)
+	}
+}
+
+// TestWorkersClamp pins the documented -workers contract end to end:
+// 0 defaults to 1 (sequential), positive values pass through, and any
+// negative value — not just -1 — means runtime.GOMAXPROCS(0).
+func TestWorkersClamp(t *testing.T) {
+	cores := runtime.GOMAXPROCS(0)
+	cases := []struct{ in, want int }{
+		{0, 1},
+		{1, 1},
+		{6, 6},
+		{-1, cores},
+		{-8, cores},
+	}
+	for _, c := range cases {
+		if got := (Options{Workers: c.in}).withDefaults().Workers; got != c.want {
+			t.Errorf("Workers=%d clamps to %d, want %d", c.in, got, c.want)
+		}
 	}
 }
 

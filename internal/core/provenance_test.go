@@ -100,7 +100,10 @@ func TestProvenanceOffAllocFree(t *testing.T) {
 	off2 := testing.AllocsPerRun(10, func() { run(false) })
 	on := testing.AllocsPerRun(10, func() { run(true) })
 	// Small slack absorbs runtime noise (map growth timing, GC assists).
-	if diff := off1 - off2; diff > 5 || diff < -5 {
+	// Under the race detector sync.Pool drops puts at random, so the
+	// pooled path-state counts are nondeterministic and the stability
+	// check is meaningless; the gating check below still holds.
+	if diff := off1 - off2; !raceEnabled && (diff > 5 || diff < -5) {
 		t.Errorf("provenance-off allocations unstable: %.0f vs %.0f per run", off1, off2)
 	}
 	// giveUpSrc(4) reports 4 IPPs: with provenance on, every analyzed

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Under race, sync.Pool deliberately drops puts at random to
+// diversify interleavings, so pooled hot paths have nondeterministic
+// allocation counts and exact-count assertions must be skipped.
+const raceEnabled = true

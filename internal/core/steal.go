@@ -1,0 +1,495 @@
+// Two-level work-stealing scheduler (§5.3 refined): the outer level keeps
+// the SCC DAG discipline of analyzeParallel — an SCC becomes ready only
+// when every callee SCC has completed — but the inner unit of scheduled
+// work is one enumerated path of one function, not a whole function. The
+// worker that takes an SCC ("owner") runs Step I, publishes the path
+// tasks to its own deque, and any idle worker steals from the top while
+// the owner drains from the bottom. Steps I and III stay on the owner, so
+// per-function state (cache load/save interleaving, summary DB ordering
+// within an SCC) is exactly what the sequential scheduler produces.
+//
+// Determinism: task results land in per-index slots and Job.Finish merges
+// them in path order; per-task solver give-ups are accumulated into the
+// function's job and the panic cause is chosen by minimum task index, so
+// reports, diagnostics, and stats are byte-identical at any Workers
+// setting and under any steal interleaving (Options.StealSeed exists so
+// the property test can drive many interleavings).
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/callgraph"
+	"repro/internal/ipp"
+	"repro/internal/ir"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/solver"
+	"repro/internal/summary"
+	"repro/internal/symexec"
+)
+
+// pathTask is the unit of stealable work: execute path idx of fj's job.
+type pathTask struct {
+	fj     *funcJob
+	idx    int
+	queued obs.Span // opened at enqueue, ended when execution starts
+}
+
+// funcJob tracks one function's in-flight path tasks across workers.
+type funcJob struct {
+	fn        string
+	job       *symexec.Job
+	remaining atomic.Int64  // open tasks; the closer of the last one closes done
+	done      chan struct{} // closed when every task has finished
+	gaveUp    atomic.Int64  // summed per-task solver give-up deltas
+
+	mu         sync.Mutex
+	panicked   bool
+	panicIdx   int // minimum panicking task index (-1: Step I itself)
+	panicCause string
+}
+
+// notePanic records a recovered task panic. When several tasks panic, the
+// one with the minimum index wins, which is the panic a sequential run
+// would have surfaced — so the DegradePanic cause is schedule-independent.
+func (fj *funcJob) notePanic(idx int, r any) {
+	fj.mu.Lock()
+	if !fj.panicked || idx < fj.panicIdx {
+		fj.panicked = true
+		fj.panicIdx = idx
+		fj.panicCause = fmt.Sprintf("recovered panic: %v", r)
+	}
+	fj.mu.Unlock()
+}
+
+func (fj *funcJob) panicCauseMin() (string, bool) {
+	fj.mu.Lock()
+	defer fj.mu.Unlock()
+	return fj.panicCause, fj.panicked
+}
+
+// stealWorker is one worker's private state: its solver (shared query
+// cache, private counters), its seeded victim-selection RNG, and its
+// utilization record.
+type stealWorker struct {
+	id  int
+	slv *solver.Solver
+	rng *sched.RNG
+	wc  *obs.WorkerCounters
+}
+
+// stealRun is the shared state of one scheduling run.
+type stealRun struct {
+	ctx       context.Context
+	prog      *ir.Program
+	db        *summary.DB
+	toAnalyze func(string) bool
+	cache     *cacheState
+	opts      Options
+	res       *Result
+
+	sccs [][]string
+
+	mu         sync.Mutex // guards waiting/dependents/ready/pending and res
+	waiting    []int
+	dependents [][]int
+	ready      []int
+	pending    int
+
+	deques []sched.Deque[pathTask]
+
+	// Eventcount parking: publishers bump events and broadcast; a worker
+	// that found nothing re-checks events against the value it read before
+	// hunting and sleeps only if nothing was published in between.
+	events   atomic.Int64
+	allDone  atomic.Bool
+	parkMu   sync.Mutex
+	parkCond *sync.Cond
+}
+
+// analyzeSteal runs the two-level work-stealing scheduler. It replaces
+// the function-granularity analyzeParallel: same SCC DAG, same shared
+// solver cache, same cancellation drain, but Workers > 1 now helps inside
+// a single expensive function instead of idling beside it.
+func analyzeSteal(ctx context.Context, prog *ir.Program, g *callgraph.Graph, db *summary.DB, toAnalyze func(string) bool, cache *cacheState, opts Options, res *Result) {
+	sccs := g.SCCs()
+	n := len(sccs)
+	s := &stealRun{
+		ctx: ctx, prog: prog, db: db, toAnalyze: toAnalyze,
+		cache: cache, opts: opts, res: res,
+		sccs: sccs, pending: n,
+	}
+	s.parkCond = sync.NewCond(&s.parkMu)
+	s.waiting = make([]int, n)
+	s.dependents = make([][]int, n)
+	for i := 0; i < n; i++ {
+		for _, dep := range g.SCCSuccs(i) {
+			s.waiting[i]++
+			s.dependents[dep] = append(s.dependents[dep], i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if s.waiting[i] == 0 {
+			s.ready = append(s.ready, i)
+		}
+	}
+	if n == 0 {
+		s.allDone.Store(true)
+	}
+
+	// One cache for the whole run: every worker shares solved sub-results,
+	// so a constraint set solved anywhere in the sweep is a hit everywhere
+	// else. (nil under NoCache: queries always run.)
+	var scache *solver.Cache
+	if !opts.NoCache {
+		scache = solver.NewCache()
+	}
+
+	workers := opts.Workers
+	s.deques = make([]sched.Deque[pathTask], workers)
+	reg := opts.Obs.Registry()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func(id int) {
+			defer wg.Done()
+			w := &stealWorker{
+				id:  id,
+				slv: solver.NewWithCache(opts.SolverLimits, scache),
+				rng: sched.NewRNG(uint64(opts.StealSeed) ^ (uint64(id)+1)*0x9e3779b97f4a7c15),
+				wc:  reg.Worker(id),
+			}
+			w.slv.SetObs(opts.Obs)
+			s.worker(w)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// worker is the scheduling loop: own deque first (depth-first on the
+// function this worker is driving), then a ready SCC (widen parallelism),
+// then a steal (help someone else's function), then park.
+func (s *stealRun) worker(w *stealWorker) {
+	for {
+		if t, ok := s.deques[w.id].PopBottom(); ok {
+			s.runTask(t, w, false)
+			continue
+		}
+		ev := s.events.Load()
+		if i, ok := s.takeSCC(); ok {
+			s.driveSCC(i, w)
+			continue
+		}
+		hunt := s.opts.Obs.Start(obs.PhaseSteal, "")
+		if t, ok := s.trySteal(w); ok {
+			hunt.End()
+			s.runTask(t, w, true)
+			continue
+		}
+		// Failed hunt: the span is dropped — PhaseSteal records only
+		// successful steals.
+		if s.allDone.Load() {
+			return
+		}
+		s.park(ev)
+	}
+}
+
+// takeSCC pops a ready SCC, if any.
+func (s *stealRun) takeSCC() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.ready) == 0 {
+		return 0, false
+	}
+	i := s.ready[len(s.ready)-1]
+	s.ready = s.ready[:len(s.ready)-1]
+	return i, true
+}
+
+// complete marks SCC i done, readies its dependents, and wakes hunters.
+func (s *stealRun) complete(i int) {
+	s.mu.Lock()
+	for _, d := range s.dependents[i] {
+		s.waiting[d]--
+		if s.waiting[d] == 0 {
+			s.ready = append(s.ready, d)
+		}
+	}
+	s.pending--
+	last := s.pending == 0
+	s.mu.Unlock()
+	if last {
+		s.allDone.Store(true)
+	}
+	s.publish()
+}
+
+// trySteal scans the other deques from a seeded random start and takes
+// the oldest task of the first non-empty one.
+func (s *stealRun) trySteal(w *stealWorker) (pathTask, bool) {
+	n := len(s.deques)
+	start := w.rng.Intn(n)
+	for k := 0; k < n; k++ {
+		v := start + k
+		if v >= n {
+			v -= n
+		}
+		if v == w.id {
+			continue
+		}
+		if t, ok := s.deques[v].StealTop(); ok {
+			return t, true
+		}
+	}
+	return pathTask{}, false
+}
+
+// publish signals that new work may exist (task pushed, SCC readied, or
+// the run finished).
+func (s *stealRun) publish() {
+	s.events.Add(1)
+	s.parkMu.Lock()
+	s.parkCond.Broadcast()
+	s.parkMu.Unlock()
+}
+
+// park sleeps until something is published after the caller read seen.
+func (s *stealRun) park(seen int64) {
+	s.parkMu.Lock()
+	for s.events.Load() == seen && !s.allDone.Load() {
+		s.parkCond.Wait()
+	}
+	s.parkMu.Unlock()
+}
+
+// runTask executes one path task on w's solver, with per-task panic
+// recovery and give-up attribution to the task's function.
+func (s *stealRun) runTask(t pathTask, w *stealWorker, stolen bool) {
+	t.queued.End()
+	fj := t.fj
+	start := time.Now()
+	w.slv.SetFunction(fj.fn)
+	g0 := w.slv.Stats().GaveUp
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				fj.notePanic(t.idx, r)
+			}
+		}()
+		fj.job.RunTask(t.idx, w.slv)
+	}()
+	fj.gaveUp.Add(int64(w.slv.Stats().GaveUp - g0))
+	s.opts.Obs.Count(obs.MTasksExecuted, 1)
+	if stolen {
+		s.opts.Obs.Count(obs.MTasksStolen, 1)
+	}
+	w.wc.AddTask(stolen, time.Since(start))
+	if fj.remaining.Add(-1) == 0 {
+		close(fj.done)
+	}
+}
+
+// driveSCC analyzes the members of SCC i in order (the same sorted order
+// the sequential scheduler uses, preserving cache load/save interleaving
+// and sibling-summary visibility), then completes the SCC. After
+// cancellation it still completes, so dependents unblock and the run
+// drains promptly.
+func (s *stealRun) driveSCC(i int, w *stealWorker) {
+	if s.ctx.Err() == nil {
+		for _, fn := range s.sccs[i] {
+			if !s.toAnalyze(fn) {
+				continue
+			}
+			if s.cache != nil {
+				out, hit, diag := s.cache.load(fn)
+				if diag != nil {
+					s.mu.Lock()
+					s.res.Diagnostics = append(s.res.Diagnostics, *diag)
+					s.mu.Unlock()
+				}
+				if hit {
+					s.db.Put(out.sum)
+					s.mu.Lock()
+					s.res.absorb(out)
+					s.mu.Unlock()
+					continue
+				}
+			}
+			out := s.analyzeOneStealing(s.prog.Funcs[fn], w)
+			s.db.Put(out.sum)
+			s.mu.Lock()
+			s.res.absorb(out)
+			s.mu.Unlock()
+			if s.cache != nil {
+				if diag := s.cache.save(fn, out); diag != nil {
+					s.mu.Lock()
+					s.res.Diagnostics = append(s.res.Diagnostics, *diag)
+					s.mu.Unlock()
+				}
+			}
+			if out.canceled {
+				break
+			}
+		}
+	}
+	s.complete(i)
+}
+
+// analyzeOneStealing is analyzeOne restructured over the Job seam: the
+// owner enumerates (Step I), fans the paths out as stealable tasks (Step
+// II), helps the rest of the run while stolen tasks drain, then merges
+// and checks (Step III) on its own solver. Outcome fields, diagnostic
+// causes, and give-up totals match analyzeOne byte for byte.
+func (s *stealRun) analyzeOneStealing(fn *ir.Func, w *stealWorker) funcOutcome {
+	opts := s.opts
+	var out funcOutcome
+	fctx := s.ctx
+	if opts.FuncTimeout > 0 {
+		var cancel context.CancelFunc
+		fctx, cancel = context.WithTimeout(s.ctx, opts.FuncTimeout)
+		defer cancel()
+	}
+
+	fj := &funcJob{fn: fn.Name, done: make(chan struct{})}
+	w.slv.SetFunction(fn.Name)
+
+	// Step I on the owner; a panic here (e.g. from an OnFunction hook) is
+	// recorded as index -1 so it outranks any task panic, exactly as it
+	// preempts them in a sequential run.
+	tPrep := time.Now()
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				fj.notePanic(-1, r)
+			}
+		}()
+		ex := symexec.New(s.db, w.slv, opts.Exec)
+		fj.job = ex.Prepare(fctx, fn)
+	}()
+	w.wc.AddBusy(time.Since(tPrep))
+
+	if fj.job != nil {
+		if n := fj.job.NumTasks(); n > 0 {
+			fj.remaining.Store(int64(n))
+			if n > 1 {
+				// Push tasks n-1..1 (reverse, so the owner's LIFO pops
+				// ascending) and run task 0 inline; thieves steal from the
+				// top, i.e. the highest indices — the ones the owner would
+				// reach last.
+				for i := n - 1; i >= 1; i-- {
+					s.deques[w.id].PushBottom(pathTask{
+						fj: fj, idx: i,
+						queued: opts.Obs.Start(obs.PhaseQueue, fn.Name),
+					})
+				}
+				s.publish()
+			}
+			s.runTask(pathTask{fj: fj, idx: 0}, w, false)
+			for {
+				t, ok := s.deques[w.id].PopBottom()
+				if !ok {
+					break
+				}
+				s.runTask(t, w, false)
+			}
+			// Stolen tasks may still be in flight. Help other functions
+			// while waiting rather than idling; when no work is available
+			// anywhere, block until the last task closes done.
+			for fj.remaining.Load() > 0 {
+				if t, ok := s.trySteal(w); ok {
+					s.runTask(t, w, true)
+					continue
+				}
+				<-fj.done
+			}
+		}
+	}
+
+	if cause, panicked := fj.panicCauseMin(); panicked {
+		out.panicked = true
+		out.sum = summary.Default(fn.Name)
+		out.diags = append(out.diags, Diagnostic{
+			Fn:    fn.Name,
+			Kind:  DegradePanic,
+			Cause: cause,
+		})
+		return out
+	}
+
+	// Step III on the owner's solver. Stolen tasks may have relabeled it.
+	tCheck := time.Now()
+	w.slv.SetFunction(fn.Name)
+	g0 := w.slv.Stats().GaveUp
+	var sres symexec.Result
+	stepPanicked := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				stepPanicked = true
+				out.panicked = true
+				out.reports = nil
+				out.paths = 0
+				out.sum = summary.Default(fn.Name)
+				out.diags = append(out.diags[:0], Diagnostic{
+					Fn:    fn.Name,
+					Kind:  DegradePanic,
+					Cause: fmt.Sprintf("recovered panic: %v", r),
+				})
+			}
+		}()
+		sres = fj.job.Finish()
+		out.reports, out.sum = ipp.CheckWith(fctx, sres, w.slv, ipp.Options{NoBucketing: opts.NoBucketing, Obs: opts.Obs, Provenance: opts.Provenance})
+		out.paths = sres.NumPaths
+	}()
+	w.wc.AddBusy(time.Since(tCheck))
+	if stepPanicked {
+		return out
+	}
+
+	if s.ctx.Err() != nil {
+		// The whole run is being canceled; the run-level diagnostic is
+		// recorded once by analyzeWithDB.
+		out.canceled = true
+	} else if fctx.Err() != nil {
+		out.timedOut = true
+		out.diags = append(out.diags, Diagnostic{
+			Fn:    fn.Name,
+			Kind:  DegradeTimeout,
+			Cause: fmt.Sprintf("function budget %v exceeded after %d paths; default entry added", opts.FuncTimeout, sres.NumPaths),
+		})
+	}
+	if sres.TruncatedPaths {
+		out.trunc = true
+		out.diags = append(out.diags, Diagnostic{
+			Fn:    fn.Name,
+			Kind:  DegradePathBudget,
+			Cause: fmt.Sprintf("path enumeration truncated at MaxPaths=%d", opts.Exec.MaxPaths),
+		})
+	}
+	if sres.TruncatedSubcases {
+		out.trunc = true
+		out.diags = append(out.diags, Diagnostic{
+			Fn:    fn.Name,
+			Kind:  DegradeSubcaseBudget,
+			Cause: fmt.Sprintf("sub-case set truncated at MaxSubcases=%d", opts.Exec.MaxSubcases),
+		})
+	}
+	// A function's give-up total is the sum of its tasks' deltas (each
+	// measured on whichever solver ran the task) plus the owner's Step III
+	// delta. The cache replays give-ups on hits, so the total is the same
+	// one analyzeOne computes on a single solver.
+	if d := fj.gaveUp.Load() + int64(w.slv.Stats().GaveUp-g0); d > 0 {
+		out.diags = append(out.diags, Diagnostic{
+			Fn:    fn.Name,
+			Kind:  DegradeSolverGiveUp,
+			Cause: fmt.Sprintf("%d solver queries exceeded limits and answered SAT conservatively", d),
+		})
+	}
+	return out
+}

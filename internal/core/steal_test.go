@@ -1,0 +1,104 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus/kernelgen"
+	"repro/internal/obs"
+	"repro/internal/solver"
+	"repro/internal/spec"
+	"repro/internal/symexec"
+)
+
+// renderOutcome flattens everything the scheduler determinism contract
+// covers to one canonical byte string: rendered reports (with witnesses),
+// sorted diagnostics, degradation counters, and the solver totals. Any
+// schedule-dependence anywhere in the pipeline shows up as a byte diff.
+func renderOutcome(res *Result) string {
+	var b strings.Builder
+	b.WriteString(renderReports(res))
+	for _, d := range res.Diagnostics {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	st := res.Stats
+	fmt.Fprintf(&b, "analyzed=%d paths=%d trunc=%d timeout=%d panic=%d\n",
+		st.FuncsAnalyzed, st.PathsEnumerated, st.FuncsTruncated, st.FuncsTimedOut, st.FuncsPanicked)
+	fmt.Fprintf(&b, "solver=%+v\n", st.Solver)
+	return b.String()
+}
+
+// TestStealDeterminismProperty is the scheduler's determinism property
+// test: the work-stealing scheduler, driven through many injected steal
+// orders (StealSeed seeds the victim-selection RNG) and worker counts,
+// must produce byte-identical reports, diagnostics, and stats to the
+// sequential scheduler. NoCache keeps the solver verdict counters
+// schedule-independent (with a shared cache, which worker populates an
+// entry first legitimately shifts the CacheHits/Sat/Unsat split), so the
+// oracle can cover the full stats, not just reports. Budgets are set
+// tight enough that truncation and give-up diagnostics — the outputs most
+// exposed to per-task accounting bugs — actually occur.
+func TestStealDeterminismProperty(t *testing.T) {
+	c := kernelgen.Generate(kernelgen.Config{
+		Seed: 23, Mix: kernelgen.PaperMix(),
+		SimpleHelpers: 8, ComplexHelpers: 8, OtherFuncs: 30,
+	})
+	prog := buildCorpus(t, c.Files)
+
+	opts := func(workers int, seed int64) Options {
+		return Options{
+			Workers:      workers,
+			StealSeed:    seed,
+			NoCache:      true,
+			Exec:         symexec.Config{MaxPaths: 6, MaxSubcases: 4},
+			SolverLimits: solver.Limits{MaxSplits: 2},
+		}
+	}
+	want := renderOutcome(Analyze(context.Background(), prog, spec.LinuxDPM(), opts(1, 0)))
+	if !strings.Contains(want, "truncated") {
+		t.Fatal("corpus produced no truncation diagnostics; oracle too weak")
+	}
+
+	for _, workers := range []int{2, 4, 8} {
+		for seed := int64(0); seed < 4; seed++ {
+			got := renderOutcome(Analyze(context.Background(), prog, spec.LinuxDPM(), opts(workers, seed)))
+			if got != want {
+				t.Fatalf("workers=%d seed=%d diverged from sequential\n--- got ---\n%s\n--- want ---\n%s",
+					workers, seed, got, want)
+			}
+		}
+	}
+}
+
+// TestStealSchedulerCountsTasks pins that the scheduler feeds the
+// observability layer: a parallel run must count every executed path task
+// and register per-worker utilization records.
+func TestStealSchedulerCountsTasks(t *testing.T) {
+	c := kernelgen.Generate(kernelgen.Config{
+		Seed: 23, Mix: kernelgen.PaperMix(),
+		SimpleHelpers: 8, ComplexHelpers: 8, OtherFuncs: 30,
+	})
+	prog := buildCorpus(t, c.Files)
+
+	reg := obs.NewRegistry()
+	res := Analyze(context.Background(), prog, spec.LinuxDPM(), Options{Workers: 4, Obs: obs.New(nil, reg)})
+	if res.Stats.PathsEnumerated == 0 {
+		t.Fatal("corpus enumerated no paths")
+	}
+	// Every enumerated path of every cold-analyzed function is exactly one
+	// task.
+	if got := reg.Counter(obs.MTasksExecuted); got != int64(res.Stats.PathsEnumerated) {
+		t.Errorf("tasks_executed = %d, want %d (one per enumerated path)", got, res.Stats.PathsEnumerated)
+	}
+	if reg.NumWorkers() != 4 {
+		t.Errorf("registered worker records = %d, want 4", reg.NumWorkers())
+	}
+	// tasks_stolen is schedule-dependent (may legitimately be zero on a
+	// fast corpus), but can never exceed tasks_executed.
+	if stolen, tasks := reg.Counter(obs.MTasksStolen), reg.Counter(obs.MTasksExecuted); stolen > tasks {
+		t.Errorf("tasks_stolen = %d exceeds tasks_executed = %d", stolen, tasks)
+	}
+}

@@ -385,6 +385,7 @@ func (r *Table2Result) Format() string {
 // PerfPoint is one corpus-size measurement.
 type PerfPoint struct {
 	Funcs        int
+	Paths        int // paths enumerated by Step I (fixed per corpus, so paths/sec is comparable)
 	ClassifyTime time.Duration
 	AnalyzeTime  time.Duration
 	Solver       solver.Stats // aggregated across all workers
@@ -413,6 +414,7 @@ func Perf(ctx context.Context, scales []int, workers int) ([]PerfPoint, error) {
 		res := core.Analyze(ctx, prog, spec.LinuxDPM(), core.Options{Workers: workers, Obs: o})
 		out = append(out, PerfPoint{
 			Funcs:        res.Stats.FuncsTotal,
+			Paths:        res.Stats.PathsEnumerated,
 			ClassifyTime: res.Stats.ClassifyTime,
 			AnalyzeTime:  res.Stats.AnalyzeTime,
 			Solver:       res.Stats.Solver,

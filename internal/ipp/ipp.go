@@ -138,7 +138,7 @@ func CheckWith(ctx context.Context, res symexec.Result, slv *solver.Solver, opts
 	sum.Params = fn.Params
 
 	var reports []*Report
-	seen := make(map[string]bool) // report dedup per (fn, refcount)
+	var seen map[string]bool // report dedup per (fn, refcount); lazy — most functions report nothing
 	var kept []symexec.PathEntry
 
 	// Per-entry precomputation, indexed in parallel with res.Entries /
@@ -161,6 +161,14 @@ func CheckWith(ctx context.Context, res symexec.Result, slv *solver.Solver, opts
 			break
 		}
 		inconsistent := false
+		// The candidate's constraints are the fixed side of every pair in
+		// this sweep, so the queries run as one batch: the conjunction key
+		// is assembled in a reused buffer, the shared cache is probed once
+		// per distinct kept-constraint (entries inside a signature bucket
+		// often repeat constraint sets), and the conjunction Set is only
+		// materialized on a cache miss. Verdicts and counters are identical
+		// to the unbatched slv.Sat(k.Cons ∧ cand.Cons).
+		pairs := slv.Pairs(cand.Cons)
 		for ki, k := range kept {
 			if opts.NoBucketing {
 				if k.SameChanges(cand.Entry) {
@@ -176,7 +184,7 @@ func CheckWith(ctx context.Context, res symexec.Result, slv *solver.Solver, opts
 			}
 			// Different changes: IPP iff constraints are co-satisfiable.
 			opts.Obs.Count(obs.MIPPCandidates, 1)
-			if !slv.Sat(k.Cons.AndSet(cand.Cons)) {
+			if !pairs.Sat(k.Cons) {
 				continue
 			}
 			inconsistent = true
@@ -203,6 +211,9 @@ func CheckWith(ctx context.Context, res symexec.Result, slv *solver.Solver, opts
 					Evidence: ev,
 				}
 				if !seen[rep.Key()] {
+					if seen == nil {
+						seen = make(map[string]bool, 4)
+					}
 					seen[rep.Key()] = true
 					reports = append(reports, rep)
 					opts.Obs.Count(obs.MIPPConfirmed, 1)

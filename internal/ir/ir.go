@@ -281,20 +281,46 @@ func (b *Block) Terminator() *Instr {
 
 // Succs returns the indices of the successor blocks.
 func (b *Block) Succs() []int {
+	return b.AppendSuccs(nil)
+}
+
+// AppendSuccs appends the successor block indices to dst and returns the
+// extended slice. Callers building whole-function CFGs use this with a
+// shared backing array so successor lists cost one allocation per
+// function instead of one per block.
+func (b *Block) AppendSuccs(dst []int) []int {
 	t := b.Terminator()
 	if t == nil {
-		return nil
+		return dst
 	}
 	switch t.Op {
 	case OpBranch:
-		return []int{t.Target}
+		return append(dst, t.Target)
 	case OpBranchCond:
 		if t.True == t.False {
-			return []int{t.True}
+			return append(dst, t.True)
 		}
-		return []int{t.True, t.False}
+		return append(dst, t.True, t.False)
 	}
-	return nil
+	return dst
+}
+
+// NumSuccs returns the number of successor blocks without allocating.
+func (b *Block) NumSuccs() int {
+	t := b.Terminator()
+	if t == nil {
+		return 0
+	}
+	switch t.Op {
+	case OpBranch:
+		return 1
+	case OpBranchCond:
+		if t.True == t.False {
+			return 1
+		}
+		return 2
+	}
+	return 0
 }
 
 // Func is a function in the abstract program. Block 0 is the entry.

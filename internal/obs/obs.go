@@ -35,6 +35,8 @@ const (
 	PhaseSolver                 // one satisfiability query
 	PhaseReplay                 // one witness replay of a reported IPP
 	PhaseCacheIO                // one persistent summary-store operation (digest/load/save)
+	PhaseSteal                  // one successful steal: time spent hunting before acquiring a task
+	PhaseQueue                  // one task's wait from enqueue to execution start
 	numPhases
 )
 
@@ -47,6 +49,8 @@ var phaseNames = [numPhases]string{
 	PhaseSolver:    "solver",
 	PhaseReplay:    "replay",
 	PhaseCacheIO:   "cacheio",
+	PhaseSteal:     "steal",
+	PhaseQueue:     "queue",
 }
 
 // String names the phase as it appears in trace and metrics output.

@@ -3,6 +3,7 @@ package obs
 import (
 	"math"
 	"math/bits"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -34,6 +35,8 @@ const (
 	MStoreHits                      // functions served from the persistent summary store
 	MStoreMisses                    // functions analyzed cold (absent or stale store entry)
 	MStoreEvictions                 // stale store entries replaced by a fresh write
+	MTasksExecuted                  // path-level scheduler tasks executed (any worker)
+	MTasksStolen                    // tasks executed by a worker other than the enqueuer
 	numMetrics
 )
 
@@ -56,6 +59,8 @@ var metricNames = [numMetrics]string{
 	MStoreHits:        "store_hits",
 	MStoreMisses:      "store_misses",
 	MStoreEvictions:   "store_evictions",
+	MTasksExecuted:    "tasks_executed",
+	MTasksStolen:      "tasks_stolen",
 }
 
 // Name returns the stable metric name used in -metrics and /debug/vars.
@@ -150,14 +155,63 @@ func (h *hist) quantile(q float64) time.Duration {
 	return time.Duration(h.max.Load())
 }
 
+// WorkerCounters is the utilization record of one scheduler worker:
+// tasks executed, tasks stolen from another worker's deque, and total
+// busy time. All fields are atomics so workers update without locks; the
+// struct is padded so neighboring workers never share a cache line.
+type WorkerCounters struct {
+	tasks  atomic.Int64
+	stolen atomic.Int64
+	busyNS atomic.Int64
+	_      [40]byte
+}
+
+// AddTask records one executed task: stolen marks cross-worker execution,
+// d is the wall-clock the task occupied the worker.
+func (w *WorkerCounters) AddTask(stolen bool, d time.Duration) {
+	w.tasks.Add(1)
+	if stolen {
+		w.stolen.Add(1)
+	}
+	w.busyNS.Add(int64(d))
+}
+
+// AddBusy adds non-task scheduler work (function prepare/merge/check time
+// spent by the driving worker) to the busy total.
+func (w *WorkerCounters) AddBusy(d time.Duration) { w.busyNS.Add(int64(d)) }
+
 // Registry is the shared metrics store: a fixed set of padded atomic
-// counters plus one duration histogram per phase. One Registry serves an
-// entire run (all SCC and path workers) and may outlive it — cmd/rid
-// keeps a single registry across -separate file groups, and ServeDebug
-// exposes it live.
+// counters plus one duration histogram per phase, and — once a parallel
+// scheduler registers — one utilization record per worker. One Registry
+// serves an entire run (all SCC and path workers) and may outlive it —
+// cmd/rid keeps a single registry across -separate file groups, and
+// ServeDebug exposes it live.
 type Registry struct {
 	counters [numMetrics]counter
 	phases   [numPhases]hist
+
+	workersMu sync.Mutex
+	workers   []*WorkerCounters
+}
+
+// Worker returns the utilization record for worker i, growing the table
+// on first use. Safe for concurrent registration; the returned pointer is
+// stable for the registry's lifetime.
+func (r *Registry) Worker(i int) *WorkerCounters {
+	r.workersMu.Lock()
+	for len(r.workers) <= i {
+		r.workers = append(r.workers, &WorkerCounters{})
+	}
+	w := r.workers[i]
+	r.workersMu.Unlock()
+	return w
+}
+
+// NumWorkers returns how many workers have registered utilization records.
+func (r *Registry) NumWorkers() int {
+	r.workersMu.Lock()
+	defer r.workersMu.Unlock()
+	return len(r.workers)
 }
 
 // NewRegistry returns an empty registry.
@@ -197,11 +251,22 @@ type PhaseStats struct {
 	Max   time.Duration `json:"max_ns"`
 }
 
+// WorkerStats is one worker's utilization reading in a snapshot.
+type WorkerStats struct {
+	Worker int           `json:"worker"`
+	Tasks  int64         `json:"tasks"`
+	Stolen int64         `json:"stolen"`
+	Busy   time.Duration `json:"busy_ns"`
+}
+
 // Snapshot is a point-in-time copy of the registry, in fixed metric and
 // phase order (deterministic output shape regardless of activity).
+// Workers is present only when a parallel scheduler registered
+// utilization records, so single-worker output is unchanged.
 type Snapshot struct {
 	Counters []CounterValue `json:"counters"`
 	Phases   []PhaseStats   `json:"phases"`
+	Workers  []WorkerStats  `json:"workers,omitempty"`
 }
 
 // Snapshot copies the registry. Concurrent-safe; the copy is not atomic
@@ -225,6 +290,16 @@ func (r *Registry) Snapshot() Snapshot {
 			Max:   time.Duration(h.max.Load()),
 		}
 	}
+	r.workersMu.Lock()
+	for i, w := range r.workers {
+		s.Workers = append(s.Workers, WorkerStats{
+			Worker: i,
+			Tasks:  w.tasks.Load(),
+			Stolen: w.stolen.Load(),
+			Busy:   time.Duration(w.busyNS.Load()),
+		})
+	}
+	r.workersMu.Unlock()
 	return s
 }
 

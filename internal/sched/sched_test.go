@@ -1,0 +1,172 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDequeOwnerLIFO(t *testing.T) {
+	var d Deque[int]
+	for i := 1; i <= 5; i++ {
+		d.PushBottom(i)
+	}
+	for want := 5; want >= 1; want-- {
+		v, ok := d.PopBottom()
+		if !ok || v != want {
+			t.Fatalf("PopBottom = %d,%v; want %d,true", v, ok, want)
+		}
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("PopBottom on empty deque returned ok")
+	}
+}
+
+func TestDequeThiefFIFO(t *testing.T) {
+	var d Deque[int]
+	for i := 1; i <= 5; i++ {
+		d.PushBottom(i)
+	}
+	for want := 1; want <= 5; want++ {
+		v, ok := d.StealTop()
+		if !ok || v != want {
+			t.Fatalf("StealTop = %d,%v; want %d,true", v, ok, want)
+		}
+	}
+	if _, ok := d.StealTop(); ok {
+		t.Fatal("StealTop on empty deque returned ok")
+	}
+}
+
+// TestDequeMixedEnds interleaves owner pops and thief steals: the thief
+// always gets the oldest remaining element, the owner the newest, and
+// every element comes out exactly once.
+func TestDequeMixedEnds(t *testing.T) {
+	var d Deque[int]
+	for i := 1; i <= 6; i++ {
+		d.PushBottom(i)
+	}
+	got := map[int]string{}
+	for i := 0; i < 3; i++ {
+		v, _ := d.StealTop()
+		got[v] = "stolen"
+		w, _ := d.PopBottom()
+		got[w] = "popped"
+	}
+	want := map[int]string{1: "stolen", 2: "stolen", 3: "stolen", 6: "popped", 5: "popped", 4: "popped"}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("element %d: got %q, want %q (all: %v)", k, got[k], v, got)
+		}
+	}
+	if d.Len() != 0 {
+		t.Errorf("deque not drained: Len=%d", d.Len())
+	}
+}
+
+// TestDequeStorageReuse checks that draining resets the ring so the
+// backing array is reused instead of growing without bound.
+func TestDequeStorageReuse(t *testing.T) {
+	var d Deque[int]
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 8; i++ {
+			d.PushBottom(i)
+		}
+		for i := 0; i < 8; i++ {
+			if _, ok := d.StealTop(); !ok {
+				t.Fatal("premature empty")
+			}
+		}
+	}
+	if c := cap(d.buf); c > 16 {
+		t.Errorf("backing array grew to %d despite drain-reset", c)
+	}
+}
+
+// TestDequeConcurrentStealers hammers one owner against many thieves and
+// checks conservation: every pushed element is consumed exactly once.
+func TestDequeConcurrentStealers(t *testing.T) {
+	const n = 10000
+	const thieves = 4
+	var d Deque[int]
+	var sum atomic.Int64
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for w := 0; w < thieves; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if v, ok := d.StealTop(); ok {
+					sum.Add(int64(v))
+					consumed.Add(1)
+				} else {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
+			}
+		}()
+	}
+	want := int64(0)
+	for i := 1; i <= n; i++ {
+		d.PushBottom(i)
+		want += int64(i)
+		if i%3 == 0 {
+			if v, ok := d.PopBottom(); ok {
+				sum.Add(int64(v))
+				consumed.Add(1)
+			}
+		}
+	}
+	for consumed.Load() < n {
+		if v, ok := d.PopBottom(); ok {
+			sum.Add(int64(v))
+			consumed.Add(1)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if sum.Load() != want {
+		t.Fatalf("sum = %d, want %d (lost or duplicated elements)", sum.Load(), want)
+	}
+}
+
+// TestRNGDeterministic pins that equal seeds give equal sequences and
+// different seeds diverge.
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(317), NewRNG(317)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c, d := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c.Next() == d.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 equal values", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(8)
+		if v < 0 || v >= 8 {
+			t.Fatalf("Intn(8) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("Intn(8) only produced %d distinct values in 1000 draws", len(seen))
+	}
+}

@@ -127,8 +127,9 @@ func reachesAny(fn *ir.Func, targets map[int]bool) []bool {
 	reach := make([]bool, n)
 	// Predecessor map.
 	preds := make([][]int, n)
+	var two [2]int
 	for _, b := range fn.Blocks {
-		for _, s := range b.Succs() {
+		for _, s := range b.AppendSuccs(two[:0]) {
 			preds[s] = append(preds[s], b.Index)
 		}
 	}

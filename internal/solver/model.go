@@ -24,7 +24,7 @@ func (s *Solver) Model(cs sym.Set) (map[string]int64, bool) {
 	if !s.Sat(cs) {
 		return nil, false
 	}
-	p := translate(cs)
+	p := s.translate(cs)
 	// Collect variables and the constant span.
 	varSet := make(map[string]bool)
 	var maxC int64 = 1

@@ -93,6 +93,23 @@ type Solver struct {
 	obs     *obs.Obs // optional; counters land here atomically per query
 	fn      string   // current function label for query spans
 	noQuick bool     // skip quickSolve (differential testing only)
+
+	// Per-query state and reusable scratch. A Solver is single-goroutine
+	// (one per worker), so scratch reuse is race-free by construction; the
+	// reset contract is that every public query entry point leaves the
+	// scratch ready for the next query (buffers re-sliced to zero length,
+	// maps cleared before use).
+	curGaveUp bool           // set by gaveUp() while solving one query
+	keyBuf    []byte         // cache-key construction buffer
+	lhsBuf    []byte         // normalize: left-hand-side key buffer
+	lhsKeys   []string       // normalize: coefficient-key sort buffer
+	normSeen  map[uint64]int // normalize: lhs-key hash → index into the output
+	boolVars  map[string]bool
+	varSeen   map[string]bool // collectVars: dedup set
+	varBuf    []string        // collectVars: result buffer
+	elimLo    []linear        // eliminate: lower-bound partition
+	elimHi    []linear        // eliminate: upper-bound partition
+	pairs     PairBatch // scratch for Pairs (one live batch per solver)
 }
 
 // New returns a solver with default limits and a private cache.
@@ -164,18 +181,29 @@ func (s *Solver) sat(cs sym.Set) bool {
 		s.obs.Count(obs.MSolverSat, 1)
 		return true
 	}
-	var key string
 	if s.cache != nil {
-		key = cs.CacheKey()
-		if v, ok := s.cache.Get(key); ok {
+		s.keyBuf = cs.AppendCacheKey(s.keyBuf[:0])
+		if v, gu, ok := s.cache.Get(s.keyBuf); ok {
 			s.stats.CacheHits++
 			s.obs.Count(obs.MSolverCacheHits, 1)
+			if gu {
+				// Cache-transparent give-up accounting: the stored verdict
+				// was reached by giving up, so this query counts as a
+				// give-up too. GaveUp thereby depends only on the query
+				// stream, not on which worker populated the cache —
+				// per-function give-up diagnostics stay deterministic
+				// under work stealing.
+				s.noteGaveUp()
+			}
 			return v
 		}
 	}
-	res := s.solve(cs)
+	res := s.solveTracked(cs)
 	if s.cache != nil {
-		s.cache.Put(key, res)
+		s.cache.Put(s.keyBuf, res, s.curGaveUp)
+	}
+	if s.curGaveUp {
+		s.noteGaveUp()
 	}
 	if res {
 		s.stats.Sat++
@@ -187,8 +215,22 @@ func (s *Solver) sat(cs sym.Set) bool {
 	return res
 }
 
-// gaveUp records a budget-exceeded query (answered SAT conservatively).
+// solveTracked runs solve with the per-query give-up flag reset, leaving
+// s.curGaveUp reporting whether this query exceeded any budget.
+func (s *Solver) solveTracked(cs sym.Set) bool {
+	s.curGaveUp = false
+	return s.solve(cs)
+}
+
+// gaveUp flags the in-flight query as budget-exceeded (answered SAT
+// conservatively). A query counts at most once no matter how many
+// sub-searches hit a limit.
 func (s *Solver) gaveUp() {
+	s.curGaveUp = true
+}
+
+// noteGaveUp records one gave-up query in the counters.
+func (s *Solver) noteGaveUp() {
 	s.stats.GaveUp++
 	s.obs.Count(obs.MSolverGaveUp, 1)
 }
@@ -236,10 +278,16 @@ func addTerm(l *linear, e *sym.Expr, sign int64, boolVars map[string]bool) {
 
 // translate converts the condition set to a problem. Conditions that the
 // condition language cannot express linearly never reach here: the lowering
-// already abstracted them to fresh values.
-func translate(cs sym.Set) problem {
+// already abstracted them to fresh values. The boolVars map is solver
+// scratch (cleared on entry); it never escapes the call.
+func (s *Solver) translate(cs sym.Set) problem {
 	var p problem
-	boolVars := make(map[string]bool)
+	if s.boolVars == nil {
+		s.boolVars = make(map[string]bool, 8)
+	} else {
+		clear(s.boolVars)
+	}
+	boolVars := s.boolVars
 	for _, c := range cs.Conds() {
 		if c.Kind != sym.KCond {
 			// A bare term used as a truth value was coerced by AsCond, so
@@ -296,7 +344,7 @@ func (s *Solver) solve(cs sym.Set) bool {
 			return v
 		}
 	}
-	p := translate(cs)
+	p := s.translate(cs)
 	return s.solveSplit(p.ineqs, p.diseq, 0)
 }
 
@@ -502,7 +550,7 @@ func (s *Solver) solveSplit(ineqs []linear, diseq []linear, depth int) bool {
 
 // fm runs Fourier–Motzkin elimination and reports satisfiability.
 func (s *Solver) fm(ineqs []linear) bool {
-	work := normalize(ineqs)
+	work := s.normalize(ineqs)
 	for {
 		// Constant contradictions?
 		for _, l := range work {
@@ -510,7 +558,7 @@ func (s *Solver) fm(ineqs []linear) bool {
 				return false
 			}
 		}
-		vars := collectVars(work)
+		vars := s.collectVars(work)
 		if len(vars) == 0 {
 			return true
 		}
@@ -519,55 +567,93 @@ func (s *Solver) fm(ineqs []linear) bool {
 			return true
 		}
 		v := pickVar(work, vars)
-		work = eliminate(work, v)
-		work = normalize(work)
+		work = s.eliminate(work, v)
+		work = s.normalize(work)
 	}
 }
 
 // normalize drops tautologies, deduplicates identical left-hand sides
-// keeping the tightest bound, and detects nothing else.
-func normalize(ineqs []linear) []linear {
-	type entry struct {
-		idx int
-		k   int64
+// keeping the tightest bound, and detects nothing else. The result is
+// built in place over the input slice (every caller owns its ineqs and
+// never rereads the pre-normalized contents), and the lhs-key map and
+// buffers are solver scratch, cleared on entry: the map lookup converts
+// the byte buffer in place, so only distinct left-hand sides materialize
+// a key string. One normalize runs per elimination round, so these were
+// the hottest allocations in the solve path.
+func (s *Solver) normalize(ineqs []linear) []linear {
+	if s.normSeen == nil {
+		s.normSeen = make(map[uint64]int, 16)
+	} else {
+		clear(s.normSeen)
 	}
-	seen := make(map[string]entry)
-	var out []linear
+	out := ineqs[:0]
 	for _, l := range ineqs {
 		if len(l.coef) == 0 {
 			if l.k >= 0 {
 				continue // 0 ≤ k: tautology
 			}
-			return []linear{l} // contradiction dominates
+			ineqs[0] = l // contradiction dominates
+			return ineqs[:1]
 		}
-		key := lhsKey(l)
-		if e, ok := seen[key]; ok {
-			if l.k < e.k {
-				out[e.idx] = l
-				seen[key] = entry{e.idx, l.k}
+		// Deduplicate by a hash of the canonical lhs key, verified against
+		// the stored constraint's coefficients. A hash collision with a
+		// different lhs just skips the dedup for that constraint — keeping
+		// both bounds is logically equivalent to keeping the tighter one,
+		// so the verdict is unchanged, and FNV is deterministic so every
+		// run agrees. The win: no per-lhs key string is ever allocated.
+		s.lhsBuf = s.appendLHSKey(s.lhsBuf[:0], l)
+		h := fnv1a(s.lhsBuf)
+		if idx, ok := s.normSeen[h]; ok && sameLHS(l.coef, out[idx].coef) {
+			if l.k < out[idx].k {
+				out[idx] = l
 			}
 			continue
+		} else if !ok {
+			s.normSeen[h] = len(out)
 		}
-		seen[key] = entry{len(out), l.k}
 		out = append(out, l)
 	}
 	return out
 }
 
-func lhsKey(l linear) string {
-	keys := make([]string, 0, len(l.coef))
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// sameLHS reports whether two constraints have identical left-hand sides.
+func sameLHS(a, b map[string]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// appendLHSKey appends l's canonical left-hand-side key (sorted
+// variable:coefficient pairs) to b, reusing the solver's sort buffer.
+func (s *Solver) appendLHSKey(b []byte, l linear) []byte {
+	keys := s.lhsKeys[:0]
 	for k := range l.coef {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	b := make([]byte, 0, 32)
+	s.lhsKeys = keys
 	for _, k := range keys {
 		b = append(b, k...)
 		b = append(b, ':')
 		b = appendInt(b, l.coef[k])
 		b = append(b, ';')
 	}
-	return string(b)
+	return b
 }
 
 func appendInt(b []byte, v int64) []byte {
@@ -588,18 +674,27 @@ func appendInt(b []byte, v int64) []byte {
 	return append(b, tmp[i:]...)
 }
 
-func collectVars(ineqs []linear) []string {
-	set := make(map[string]bool)
+// collectVars lists the variables of the system, sorted. The returned
+// slice and the dedup map are solver scratch: valid until the next
+// collectVars call, which is always after the previous result is dead
+// (one Fourier–Motzkin loop is live per solver at a time).
+func (s *Solver) collectVars(ineqs []linear) []string {
+	if s.varSeen == nil {
+		s.varSeen = make(map[string]bool, 16)
+	} else {
+		clear(s.varSeen)
+	}
+	out := s.varBuf[:0]
 	for _, l := range ineqs {
 		for v := range l.coef {
-			set[v] = true
+			if !s.varSeen[v] {
+				s.varSeen[v] = true
+				out = append(out, v)
+			}
 		}
 	}
-	out := make([]string, 0, len(set))
-	for v := range set {
-		out = append(out, v)
-	}
 	sort.Strings(out)
+	s.varBuf = out
 	return out
 }
 
@@ -632,8 +727,11 @@ func pickVar(ineqs []linear, vars []string) string {
 // eliminate removes variable v by pairwise combination of its lower and
 // upper bounds. With a unit coefficient on either side the combination is
 // exact over ℤ; otherwise the real shadow is used (over-approximate).
-func eliminate(ineqs []linear, v string) []linear {
-	var lowers, uppers, rest []linear
+// The survivors are compacted in place over the input (the caller owns
+// it); the lower/upper partitions are solver scratch.
+func (s *Solver) eliminate(ineqs []linear, v string) []linear {
+	lowers, uppers := s.elimLo[:0], s.elimHi[:0]
+	rest := ineqs[:0]
 	for _, l := range ineqs {
 		c := l.coef[v]
 		switch {
@@ -645,6 +743,7 @@ func eliminate(ineqs []linear, v string) []linear {
 			rest = append(rest, l)
 		}
 	}
+	s.elimLo, s.elimHi = lowers, uppers
 	for _, up := range uppers {
 		for _, lo := range lowers {
 			cu := up.coef[v]  // > 0

@@ -33,14 +33,19 @@ type Change struct {
 	Delta int
 }
 
-// NewEntry returns an entry with no changes.
+// NewEntry returns an entry with no changes. The Changes map is allocated
+// lazily by AddChange: most entries in real corpora never change a
+// refcount, and entries are the highest-volume allocation of Step II.
 func NewEntry(cons sym.Set, ret *sym.Expr) *Entry {
-	return &Entry{Cons: cons, Changes: make(map[string]Change), Ret: ret}
+	return &Entry{Cons: cons, Ret: ret}
 }
 
 // AddChange accumulates delta onto the refcount rc; a zero net change is
 // removed from the map.
 func (e *Entry) AddChange(rc *sym.Expr, delta int) {
+	if e.Changes == nil {
+		e.Changes = make(map[string]Change, 4)
+	}
 	key := rc.Key()
 	c := e.Changes[key]
 	c.RC = rc
@@ -54,9 +59,12 @@ func (e *Entry) AddChange(rc *sym.Expr, delta int) {
 
 // Clone returns a deep-enough copy (constraint sets are immutable).
 func (e *Entry) Clone() *Entry {
-	n := &Entry{Cons: e.Cons, Ret: e.Ret, Changes: make(map[string]Change, len(e.Changes))}
-	for k, v := range e.Changes {
-		n.Changes[k] = v
+	n := &Entry{Cons: e.Cons, Ret: e.Ret}
+	if len(e.Changes) > 0 {
+		n.Changes = make(map[string]Change, len(e.Changes))
+		for k, v := range e.Changes {
+			n.Changes[k] = v
+		}
 	}
 	return n
 }
@@ -107,18 +115,36 @@ func (e *Entry) DifferingRefcounts(o *Entry) []*sym.Expr {
 // expressions of actual arguments and [0] is replaced by the variable
 // holding the return value").
 func (e *Entry) Instantiate(m map[string]*sym.Expr) *Entry {
-	n := &Entry{Cons: e.Cons.Subst(m), Changes: make(map[string]Change, len(e.Changes))}
+	return e.InstantiateInto(&Entry{}, m)
+}
+
+// InstantiateInto is Instantiate writing the result into dst, reusing
+// dst's Changes map. It returns dst. The symbolic executor calls this
+// with a per-task scratch entry: an instantiated entry is fully consumed
+// (conditions folded into the path state, changes accumulated) before the
+// next instantiation reuses the scratch, and everything the consumer
+// keeps — interned expressions, the substituted constraint Set — is
+// immutable, so reuse never aliases live state.
+func (e *Entry) InstantiateInto(dst *Entry, m map[string]*sym.Expr) *Entry {
+	dst.Cons = e.Cons.Subst(m)
+	dst.Ret = nil
 	if e.Ret != nil {
-		n.Ret = e.Ret.Subst(m)
+		dst.Ret = e.Ret.Subst(m)
 	}
-	for _, c := range e.Changes {
-		rc := c.RC.Subst(m)
-		nc := n.Changes[rc.Key()]
-		nc.RC = rc
-		nc.Delta += c.Delta
-		n.Changes[rc.Key()] = nc
+	clear(dst.Changes)
+	if len(e.Changes) > 0 {
+		if dst.Changes == nil {
+			dst.Changes = make(map[string]Change, len(e.Changes))
+		}
+		for _, c := range e.Changes {
+			rc := c.RC.Subst(m)
+			nc := dst.Changes[rc.Key()]
+			nc.RC = rc
+			nc.Delta += c.Delta
+			dst.Changes[rc.Key()] = nc
+		}
 	}
-	return n
+	return dst
 }
 
 // ChangesSignature returns a canonical string identifying the entry's

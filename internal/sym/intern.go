@@ -102,6 +102,38 @@ func InternedCount() int {
 	return n
 }
 
+// freshByName memoizes Fresh symbols for byte-slice lookup, so the hot
+// site-symbol path of the executor (same site, same occurrence → same
+// symbol, re-derived on every path) costs no allocation after the first
+// construction. Entries are interned nodes, so the memo stays consistent
+// with the main table.
+var freshByName = struct {
+	sync.RWMutex
+	m map[string]*Expr
+}{m: make(map[string]*Expr)}
+
+// FreshBytes returns Fresh(string(name)) without allocating when a fresh
+// symbol of that name was built before. With interning disabled it
+// degrades to Fresh (a new uninterned node per call), preserving the
+// ablation semantics.
+func FreshBytes(name []byte) *Expr {
+	if interningOff.Load() {
+		return Fresh(string(name))
+	}
+	freshByName.RLock()
+	e := freshByName.m[string(name)] // no allocation: compiler-recognized lookup
+	freshByName.RUnlock()
+	if e != nil {
+		return e
+	}
+	s := string(name)
+	e = Fresh(s)
+	freshByName.Lock()
+	freshByName.m[s] = e
+	freshByName.Unlock()
+	return e
+}
+
 // intern builds (or retrieves) the node for the given parts. Children
 // must already be constructed. When interning is disabled, or when any
 // child predates it (ID 0), a fresh uninterned node is returned.

@@ -1,0 +1,93 @@
+package symexec
+
+import (
+	"sync"
+
+	"repro/internal/solver"
+	"repro/internal/summary"
+	"repro/internal/sym"
+)
+
+// Step II allocates in two hot shapes: one pathRun per task (occurrence
+// counters, scratch buffers) and one state per live sub-case (forked on
+// every multi-entry call). Both are recycled through sync.Pools under an
+// ownership contract:
+//
+//   - a state is uniquely owned by the goroutine executing its path;
+//     clone() copies every mutable container (conds, changes, vmap, apps),
+//     so the only storage shared between a state and its clones is
+//     immutable — interned *sym.Expr values and the backing arrays of
+//     sym.Set, which are never written after construction;
+//   - putState returns a state to the pool when its path drops it (dead,
+//     truncated by the sub-case budget, leftover at path end, or finalized
+//     into an entry). From that point the state must be unreachable.
+//   - st.apps escapes into EntryProv at finalize under Config.Provenance,
+//     so resetForPut always drops the apps backing rather than reusing it.
+//
+// resetForPut is build-tagged: the normal build clears containers and
+// keeps their capacity (pool_norace.go); the -race build poisons
+// uniquely-owned storage and drops it (pool_race.go), so a retained alias
+// fails loudly under the race/alloc-guard tests instead of silently
+// reading recycled data.
+
+var statePool = sync.Pool{New: func() any { return new(state) }}
+
+// getState returns a reset state with usable (possibly recycled) maps.
+func getState() *state {
+	st := statePool.Get().(*state)
+	if st.changes == nil {
+		st.changes = make(map[string]summary.Change)
+	}
+	if st.vmap == nil {
+		st.vmap = make(map[string]*sym.Expr)
+	}
+	return st
+}
+
+// putState recycles a dropped state. The caller must hold the only
+// reference.
+func putState(st *state) {
+	st.resetForPut()
+	statePool.Put(st)
+}
+
+var pathRunPool = sync.Pool{New: func() any { return new(pathRun) }}
+
+// getPathRun returns a per-task execution context bound to job and slv,
+// with occurrence counters sized to the function and cleared.
+func getPathRun(j *Job, slv *solver.Solver) *pathRun {
+	pr := pathRunPool.Get().(*pathRun)
+	pr.Executor = j.ex
+	pr.job = j
+	pr.slv = slv
+	pr.anon = 0
+	if cap(pr.occ) < j.numSites {
+		pr.occ = make([]int32, j.numSites)
+	} else {
+		pr.occ = pr.occ[:j.numSites]
+		clear(pr.occ)
+	}
+	if pr.callArgs == nil {
+		pr.callArgs = make(map[string]*sym.Expr, 8)
+	}
+	return pr
+}
+
+// putPathRun recycles a task context. Scratch buffers keep their capacity;
+// references into the job are dropped so pooled contexts never pin a
+// finished function.
+func putPathRun(pr *pathRun) {
+	pr.Executor = nil
+	pr.job = nil
+	pr.slv = nil
+	pr.states = pr.states[:0]
+	pr.nextStates = pr.nextStates[:0]
+	pr.finished = pr.finished[:0]
+	pr.outBuf = pr.outBuf[:0]
+	pr.oneBuf[0] = nil
+	clear(pr.callArgs)
+	pr.instScratch.Cons = sym.Set{}
+	pr.instScratch.Ret = nil
+	clear(pr.instScratch.Changes) // keep the map's capacity
+	pathRunPool.Put(pr)
+}

@@ -1,0 +1,23 @@
+//go:build !race
+
+package symexec
+
+import "repro/internal/sym"
+
+// resetForPut clears the state for reuse, keeping the capacity of its
+// uniquely-owned containers (conds, changes, vmap). cons only has its
+// field zeroed: the Set's backing arrays may be shared with live clones
+// and are immutable, so they are neither cleared nor reused in place.
+// apps is always dropped — its backing can escape into an EntryProv.
+func (st *state) resetForPut() {
+	st.conds = st.conds[:0]
+	clear(st.changes)
+	clear(st.vmap)
+	st.ret = nil
+	st.hasRet = false
+	st.dead = false
+	st.apps = nil
+	st.cons = sym.Set{}
+	st.consValid = false
+	st.consScratch = st.consScratch[:0]
+}

@@ -1,0 +1,34 @@
+//go:build race
+
+package symexec
+
+import "repro/internal/sym"
+
+// resetForPut under -race poisons the state instead of recycling its
+// storage: every uniquely-owned container is scribbled over and dropped,
+// so an alias that escaped the ownership contract dereferences a nil
+// condition or observes a concurrently-cleared map — a loud failure in
+// the race-enabled test suites rather than a silent read of recycled
+// data. Shared-immutable storage (interned *sym.Expr values, sym.Set
+// backing arrays, an escaped apps slice) is never written: only the
+// fields referencing it are zeroed.
+func (st *state) resetForPut() {
+	for i := range st.conds {
+		st.conds[i] = taggedCond{} // nil cond: any later use panics
+	}
+	st.conds = nil
+	clear(st.changes)
+	st.changes = nil
+	clear(st.vmap)
+	st.vmap = nil
+	st.ret = nil
+	st.hasRet = false
+	st.dead = false
+	st.apps = nil
+	st.cons = sym.Set{}
+	st.consValid = false
+	for i := range st.consScratch {
+		st.consScratch[i] = nil
+	}
+	st.consScratch = nil
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package symexec
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, selecting which half of the build-tagged resetForPut contract
+// the pool tests assert (poison-and-drop vs clear-and-keep).
+const raceEnabled = true

@@ -160,23 +160,25 @@ type state struct {
 	// when a re-executed branch replaces its condition.
 	cons      sym.Set
 	consValid bool
+	// consScratch is the reused staging slice for consSet rebuilds; NewSet
+	// copies out of it, so it never escapes the state.
+	consScratch []*sym.Expr
 }
 
+// clone forks the state, drawing the copy from the state pool. Every
+// mutable container is copied; only immutable storage (interned
+// expressions, Set backing arrays) is shared with the clone.
 func (st *state) clone() *state {
-	n := &state{
-		conds:     make([]taggedCond, len(st.conds)),
-		changes:   make(map[string]summary.Change, len(st.changes)),
-		vmap:      make(map[string]*sym.Expr, len(st.vmap)),
-		ret:       st.ret,
-		hasRet:    st.hasRet,
-		cons:      st.cons,
-		consValid: st.consValid,
-	}
+	n := getState()
+	n.conds = append(n.conds[:0], st.conds...)
+	n.ret = st.ret
+	n.hasRet = st.hasRet
+	n.cons = st.cons
+	n.consValid = st.consValid
 	if st.apps != nil {
 		n.apps = make([]CalleeApp, len(st.apps))
 		copy(n.apps, st.apps)
 	}
-	copy(n.conds, st.conds)
 	for k, v := range st.changes {
 		n.changes[k] = v
 	}
@@ -188,10 +190,11 @@ func (st *state) clone() *state {
 
 func (st *state) consSet() sym.Set {
 	if !st.consValid {
-		conds := make([]*sym.Expr, len(st.conds))
-		for i, tc := range st.conds {
-			conds[i] = tc.cond
+		conds := st.consScratch[:0]
+		for _, tc := range st.conds {
+			conds = append(conds, tc.cond)
 		}
+		st.consScratch = conds
 		st.cons = sym.NewSet(conds)
 		st.consValid = true
 	}
@@ -243,19 +246,28 @@ type Executor struct {
 	cfg Config
 	db  *summary.DB
 	slv *solver.Solver
-
-	siteIDs map[*ir.Instr]int
 }
 
-// pathRun is the per-path execution context: its own occurrence counters
-// (fresh symbols are named by creation site and occurrence index so the
-// "same" value — e.g. the object allocated by a given call — has one
-// identity across all paths) and, in parallel mode, its own solver.
+// pathRun is the per-task execution context: occurrence counters indexed
+// by instruction site ID (fresh symbols are named by creation site and
+// occurrence index so the "same" value — e.g. the object allocated by a
+// given call — has one identity across all paths), the task's solver, and
+// the scratch storage reused across tasks via pathRunPool.
 type pathRun struct {
 	*Executor
+	job  *Job
 	slv  *solver.Solver
-	occ  map[*ir.Instr]int
+	occ  []int32 // per-site occurrence counts, indexed by Job.siteIDs
 	anon int
+
+	symBuf      []byte               // siteSym name assembly
+	states      []*state             // live sub-cases, current instruction
+	nextStates  []*state             // live sub-cases, next instruction
+	finished    []*state             // returned sub-cases awaiting finalize
+	outBuf      []*state             // call() fork results
+	oneBuf      [1]*state            // step() singleton result
+	callArgs    map[string]*sym.Expr // Algorithm-1 instantiation map
+	instScratch summary.Entry        // InstantiateInto target
 }
 
 // New returns an executor. db supplies callee summaries (predefined and
@@ -265,17 +277,21 @@ func New(db *summary.DB, slv *solver.Solver, cfg Config) *Executor {
 }
 
 // siteSym returns the fresh symbol for the current execution of in: stable
-// across paths (same site, same occurrence index → same symbol).
+// across paths (same site, same occurrence index → same symbol). The name
+// is assembled in a reused buffer and interned through FreshBytes, so the
+// common case — a symbol already seen on another path — allocates nothing.
 func (pr *pathRun) siteSym(fn *ir.Func, in *ir.Instr, prefix string) *sym.Expr {
-	var b []byte
+	id := pr.job.siteIDs[in]
+	b := pr.symBuf[:0]
 	b = append(b, prefix...)
 	b = append(b, '@')
 	b = append(b, fn.Name...)
 	b = append(b, '#')
-	b = strconv.AppendInt(b, int64(pr.siteIDs[in]), 10)
+	b = strconv.AppendInt(b, int64(id), 10)
 	b = append(b, '.')
-	b = strconv.AppendInt(b, int64(pr.occ[in]), 10)
-	return sym.Fresh(string(b))
+	b = strconv.AppendInt(b, int64(pr.occ[id]), 10)
+	pr.symBuf = b
+	return sym.FreshBytes(b)
 }
 
 func (pr *pathRun) anonSym(prefix string) *sym.Expr {
@@ -285,113 +301,52 @@ func (pr *pathRun) anonSym(prefix string) *sym.Expr {
 
 // Summarize runs Steps I and II on fn: enumerate paths, symbolically
 // execute each, and return the per-path entries (Step III — consistency
-// checking and merging — lives in internal/ipp).
+// checking and merging — lives in internal/ipp). It is Prepare + RunTask
+// for every path + Finish; the work-stealing scheduler in package core
+// drives the same seam with stolen tasks, so both modes share one
+// semantics.
 //
 // ctx bounds the work: when it expires the executor stops at the next
 // path (or block) boundary and returns whatever it has, with Canceled and
 // Truncated set so the function degrades to a partial summary plus the
 // §5.2 default entry rather than blocking the run.
 func (ex *Executor) Summarize(ctx context.Context, fn *ir.Func) Result {
-	ex.cfg.Obs.Count(obs.MFuncsAnalyzed, 1)
-	if ex.cfg.OnFunction != nil {
-		ex.cfg.OnFunction(fn.Name)
-	}
-	ex.siteIDs = make(map[*ir.Instr]int)
-	id := 0
-	for _, b := range fn.Blocks {
-		for _, in := range b.Instrs {
-			ex.siteIDs[in] = id
-			id++
-		}
-	}
-	g := cfg.New(fn)
-	enum := g.EnumerateObs(ctx, ex.cfg.MaxPaths, ex.cfg.Obs)
-	res := Result{
-		Fn:             fn,
-		NumPaths:       len(enum.Paths),
-		Truncated:      enum.Truncated,
-		TruncatedPaths: enum.Truncated && !enum.Canceled,
-		Canceled:       enum.Canceled,
-	}
-
-	if ex.cfg.Provenance {
-		res.Paths = enum.Paths
-	}
-
-	type pathOut struct {
-		entries   []*summary.Entry
-		provs     []*EntryProv
-		truncated bool
-		canceled  bool
-	}
-	outs := make([]pathOut, len(enum.Paths))
-	execSpan := ex.cfg.Obs.Start(obs.PhaseExec, fn.Name)
-
+	j := ex.Prepare(ctx, fn)
+	n := j.NumTasks()
 	workers := ex.cfg.PathWorkers
-	if workers <= 1 || len(enum.Paths) < 2 {
-		pr := &pathRun{Executor: ex, slv: ex.slv}
-		for i, p := range enum.Paths {
-			if ctx.Err() != nil {
-				res.Canceled = true
-				break
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			j.RunTask(i, ex.slv)
+		}
+		return j.Finish()
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	forks := make([]*solver.Solver, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		// Each worker forks the executor's solver: same limits, shared
+		// cache (one worker's verdict is every worker's cache hit),
+		// private counters merged back below.
+		forks[w] = ex.slv.Fork()
+		go func(slv *solver.Solver) {
+			defer wg.Done()
+			for i := range work {
+				// RunTask drains remaining work without executing once
+				// the context expires, so close(work) is always reached.
+				j.RunTask(i, slv)
 			}
-			outs[i].entries, outs[i].provs, outs[i].truncated, outs[i].canceled = pr.execPath(ctx, fn, p)
-		}
-	} else {
-		var wg sync.WaitGroup
-		work := make(chan int)
-		forks := make([]*solver.Solver, workers)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			// Each worker forks the executor's solver: same limits, shared
-			// cache (one worker's verdict is every worker's cache hit),
-			// private counters merged back below.
-			forks[w] = ex.slv.Fork()
-			go func(slv *solver.Solver) {
-				defer wg.Done()
-				pr := &pathRun{Executor: ex, slv: slv}
-				for i := range work {
-					// Drain remaining work without executing once the
-					// context expires, so close(work) is always reached.
-					if ctx.Err() != nil {
-						outs[i].canceled = true
-						continue
-					}
-					outs[i].entries, outs[i].provs, outs[i].truncated, outs[i].canceled = pr.execPath(ctx, fn, enum.Paths[i])
-				}
-			}(forks[w])
-		}
-		for i := range enum.Paths {
-			work <- i
-		}
-		close(work)
-		wg.Wait()
-		for _, f := range forks {
-			ex.slv.AddStats(f.Stats())
-		}
+		}(forks[w])
 	}
-
-	for i, o := range outs {
-		if o.truncated {
-			res.TruncatedSubcases = true
-		}
-		if o.canceled {
-			res.Canceled = true
-		}
-		for j, e := range o.entries {
-			pe := PathEntry{Entry: e, PathIndex: i}
-			if o.provs != nil {
-				pe.Prov = o.provs[j]
-			}
-			res.Entries = append(res.Entries, pe)
-		}
+	for i := 0; i < n; i++ {
+		work <- i
 	}
-	if res.TruncatedSubcases || res.Canceled {
-		res.Truncated = true
+	close(work)
+	wg.Wait()
+	for _, f := range forks {
+		ex.slv.AddStats(f.Stats())
 	}
-	execSpan.End()
-	ex.cfg.Obs.Count(obs.MSummaryEntries, int64(len(res.Entries)))
-	return res
+	return j.Finish()
 }
 
 // execPath symbolically executes one path and returns its summary
@@ -399,18 +354,15 @@ func (ex *Executor) Summarize(ctx context.Context, fn *ir.Func) Result {
 // otherwise), plus whether the sub-case budget truncated the state set and
 // whether the context expired mid-path.
 func (pr *pathRun) execPath(ctx context.Context, fn *ir.Func, path cfg.Path) ([]*summary.Entry, []*EntryProv, bool, bool) {
-	init := &state{
-		changes: make(map[string]summary.Change),
-		vmap:    make(map[string]*sym.Expr, len(fn.Params)),
-	}
+	init := getState()
 	for _, p := range fn.Params {
 		init.vmap[p] = sym.Arg(p)
 	}
-	states := []*state{init}
+	states := append(pr.states[:0], init)
+	next := pr.nextStates[:0]
+	finished := pr.finished[:0]
 	truncated := false
 	canceled := false
-	var finished []*state
-	pr.occ = make(map[*ir.Instr]int)
 
 	for bi, b := range path.Blocks {
 		if ctx.Err() != nil {
@@ -418,31 +370,36 @@ func (pr *pathRun) execPath(ctx context.Context, fn *ir.Func, path cfg.Path) ([]
 			break
 		}
 		blk := fn.Blocks[b]
-		next := -1
+		nextBlock := -1
 		if bi+1 < len(path.Blocks) {
-			next = path.Blocks[bi+1]
+			nextBlock = path.Blocks[bi+1]
 		}
 		for _, in := range blk.Instrs {
-			pr.occ[in]++
-			var out []*state
+			pr.occ[pr.job.siteIDs[in]]++
+			next = next[:0]
 			for _, st := range states {
 				if st.dead {
+					putState(st)
 					continue
 				}
-				res := pr.step(fn, st, in, next)
+				res := pr.step(fn, st, in, nextBlock)
 				for _, ns := range res {
 					if ns.dead {
+						putState(ns)
 						continue
 					}
 					if ns.hasRet || in.Op == ir.OpReturn {
 						finished = append(finished, ns)
 					} else {
-						out = append(out, ns)
+						next = append(next, ns)
 					}
 				}
 			}
-			states = out
+			states, next = next, states
 			if len(states) > pr.cfg.MaxSubcases {
+				for _, st := range states[pr.cfg.MaxSubcases:] {
+					putState(st)
+				}
 				states = states[:pr.cfg.MaxSubcases]
 				truncated = true
 			}
@@ -454,11 +411,17 @@ func (pr *pathRun) execPath(ctx context.Context, fn *ir.Func, path cfg.Path) ([]
 			break
 		}
 	}
+	// States that never reached a return (dead path tail, cancellation)
+	// are dropped; recycle them.
+	for _, st := range states {
+		putState(st)
+	}
 
 	var entries []*summary.Entry
 	var provs []*EntryProv
 	for _, st := range finished {
 		e, prov := pr.finalize(fn, st)
+		putState(st)
 		if e == nil {
 			continue
 		}
@@ -474,13 +437,17 @@ func (pr *pathRun) execPath(ctx context.Context, fn *ir.Func, path cfg.Path) ([]
 			provs = provs[:pr.cfg.MaxSubcases]
 		}
 	}
+	// Store the (possibly grown) scratch backings back for the next task.
+	pr.states, pr.nextStates, pr.finished = states[:0], next[:0], finished[:0]
 	return entries, provs, truncated, canceled
 }
 
 // step executes one instruction on st, returning the successor states
-// (usually the same state mutated; calls may fork).
+// (usually the same state mutated; calls may fork). The returned slice
+// aliases pathRun scratch and is only valid until the next step call.
 func (pr *pathRun) step(fn *ir.Func, st *state, in *ir.Instr, nextBlock int) []*state {
-	one := []*state{st}
+	pr.oneBuf[0] = st
+	one := pr.oneBuf[:]
 	switch in.Op {
 	case ir.OpAssign:
 		st.vmap[in.Dst] = pr.eval(st, in.Val)
@@ -523,6 +490,7 @@ func (pr *pathRun) step(fn *ir.Func, st *state, in *ir.Instr, nextBlock int) []*
 
 // call implements Algorithm 1: fork one state per callee summary entry
 // whose instantiated constraint is co-satisfiable with the path so far.
+// The returned slice aliases pathRun scratch, valid until the next step.
 func (pr *pathRun) call(fn *ir.Func, st *state, in *ir.Instr) []*state {
 	sum := pr.db.Get(in.Fn)
 	if sum == nil {
@@ -532,12 +500,15 @@ func (pr *pathRun) call(fn *ir.Func, st *state, in *ir.Instr) []*state {
 		if in.Dst != "" {
 			st.vmap[in.Dst] = pr.siteSym(fn, in, in.Fn)
 		}
-		return []*state{st}
+		pr.oneBuf[0] = st
+		return pr.oneBuf[:]
 	}
 
 	// Build the instantiation map: formal args → actual expressions,
-	// [0] → a fresh symbol for this call's result.
-	m := make(map[string]*sym.Expr, len(sum.Params)+1)
+	// [0] → a fresh symbol for this call's result. The map is pathRun
+	// scratch: Subst reads it without retaining it.
+	m := pr.callArgs
+	clear(m)
 	for i, p := range sum.Params {
 		if i < len(in.Args) {
 			m[sym.Arg(p).Key()] = pr.eval(st, in.Args[i])
@@ -546,9 +517,11 @@ func (pr *pathRun) call(fn *ir.Func, st *state, in *ir.Instr) []*state {
 	result := pr.siteSym(fn, in, in.Fn)
 	m[sym.Ret().Key()] = result
 
-	var out []*state
+	out := pr.outBuf[:0]
 	for idx, entry := range sum.Entries {
-		inst := entry.Instantiate(m)
+		// The instantiated entry lives in pathRun scratch and is fully
+		// consumed below before the next iteration reuses it.
+		inst := entry.InstantiateInto(&pr.instScratch, m)
 		ns := st
 		if idx < len(sum.Entries)-1 {
 			ns = st.clone()
@@ -570,10 +543,12 @@ func (pr *pathRun) call(fn *ir.Func, st *state, in *ir.Instr) []*state {
 			}
 		}
 		if !ok {
+			putState(ns)
 			continue
 		}
 		if !pr.cfg.NoPrune && inst.Cons.Len() > 0 {
 			if !pr.slv.Sat(ns.consSet()) {
+				putState(ns)
 				continue
 			}
 		}
@@ -596,6 +571,7 @@ func (pr *pathRun) call(fn *ir.Func, st *state, in *ir.Instr) []*state {
 		}
 		out = append(out, ns)
 	}
+	pr.outBuf = out
 	return out
 }
 

@@ -104,9 +104,10 @@ var metricNames = []string{
 	"ipp_candidates", "ipp_confirmed",
 	"replay_confirmed", "replay_diverged", "replay_unreplayed",
 	"store_hits", "store_misses", "store_evictions",
+	"tasks_executed", "tasks_stolen",
 }
 
-var phaseNames = []string{"run", "classify", "enumerate", "exec", "ipp", "solver", "replay", "cacheio"}
+var phaseNames = []string{"run", "classify", "enumerate", "exec", "ipp", "solver", "replay", "cacheio", "steal", "queue"}
 
 // TestMetricsGoldenText pins the text metrics layout: one counter line per
 // metric in fixed order, then one phase line per phase in fixed order,

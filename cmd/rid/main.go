@@ -6,6 +6,7 @@
 //	rid [flags] file.c [file2.c ...]
 //	rid [flags] -dir path/to/tree
 //	rid explain [-fn F] [-html out.html] file.c [file2.c ...]
+//	rid serve [-addr host:port] [-dir corpus] [-cache-dir dir]
 //
 // The explain subcommand re-runs the analysis with provenance capture on
 // and prints, per bug, the complete derivation: both CFG paths with
@@ -15,6 +16,15 @@
 // (confirmed-by-replay / replay-diverged / not-replayable). With -html
 // it also writes a self-contained evidence page embedding a Graphviz
 // overlay of the two paths.
+//
+// The serve subcommand runs the analysis as a long-lived daemon: parsed
+// IR for a resident corpus, the expression interner, the solver cache,
+// and the persistent summary store stay hot across requests. It serves
+// POST /v1/analyze, GET /v1/explain/{fn}, GET /v1/summary/{digest},
+// GET /healthz and /debug/... with admission control (bounded in-flight
+// analyses, 429 + Retry-After beyond the queue) and per-request
+// deadlines; see the README's "rid serve" section and cmd/ridload for
+// the matching load generator.
 //
 // Flags select the predefined API specifications (-spec linux-dpm or
 // -spec python-c, plus -spec-file for custom DSL files), tune the path and
@@ -31,26 +41,59 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/serve"
 	"repro/internal/solver"
 	"repro/internal/spec"
 	"repro/internal/summary"
 	"repro/rid"
 )
 
-func main() {
-	if len(os.Args) > 1 && os.Args[1] == "explain" {
-		runExplain(os.Args[2:])
-		return
+// exitCode carries the process exit status through panic/recover so that
+// every deferred cleanup — the buffered -trace flush above all — runs
+// before the process dies. A bare os.Exit would skip them on exactly the
+// degraded runs (deadline hit, bugs found) where a truncated trace file
+// hurts the most.
+type exitCode int
+
+// exit terminates with the given status after unwinding through every
+// pending defer. All exit paths below the top of cliMain use it (or
+// fatalf) instead of os.Exit.
+func exit(code int) { panic(exitCode(code)) }
+
+func main() { os.Exit(cliMain()) }
+
+func cliMain() (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, ok := r.(exitCode)
+			if !ok {
+				panic(r)
+			}
+			code = int(c)
+		}
+	}()
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "explain":
+			runExplain(os.Args[2:])
+			return 0
+		case "serve":
+			runServe(os.Args[2:])
+			return 0
+		}
 	}
 	var (
 		specName = flag.String("spec", "linux-dpm", "predefined API specs: linux-dpm or python-c")
@@ -89,35 +132,11 @@ func main() {
 		defer cancel()
 	}
 
-	var specs rid.Specs
-	switch *specName {
-	case "linux-dpm":
-		specs = rid.LinuxDPMSpecs()
-	case "python-c":
-		specs = rid.PythonCSpecs()
-	default:
-		fatalf("unknown -spec %q (want linux-dpm or python-c)", *specName)
-	}
-	if *specFile != "" {
-		data, err := os.ReadFile(*specFile)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		var perr error
-		specs, perr = specs.Parse(*specFile, string(data))
-		if perr != nil {
-			fatalf("%v", perr)
-		}
-	}
+	specs := loadSpecs(*specName, *specFile)
 
-	var traceFile *os.File
-	if *trace != "" {
-		var err error
-		traceFile, err = os.Create(*trace)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		defer closeTrace(traceFile)
+	traceW := openTrace(*trace)
+	if traceW != nil {
+		defer traceW.close()
 	}
 
 	if *separate {
@@ -131,8 +150,8 @@ func main() {
 		copts.Exec.MaxPaths = *maxPaths
 		copts.Exec.MaxSubcases = *maxSubs
 		var tracer obs.Tracer
-		if traceFile != nil {
-			tracer = obs.NewJSONLTracer(traceFile)
+		if traceW != nil {
+			tracer = obs.NewJSONLTracer(traceW.buf)
 		}
 		copts.Obs = obs.New(tracer, obs.NewRegistry())
 		if *metrics {
@@ -143,7 +162,7 @@ func main() {
 			defer stopSrv()
 		}
 		runSeparate(ctx, flag.Args(), *specName, *specFile, copts, *saveSums, *diag, *metrics, *format)
-		return
+		return 0
 	}
 
 	a := rid.New(specs)
@@ -158,8 +177,8 @@ func main() {
 		QueryTiming:          *metrics,
 		CacheDir:             *cacheDir,
 	}
-	if traceFile != nil {
-		opts.TraceWriter = traceFile
+	if traceW != nil {
+		opts.TraceWriter = traceW.buf
 	}
 	if *suppress != "" {
 		opts.Suppress = strings.Split(*suppress, ",")
@@ -195,7 +214,7 @@ func main() {
 			fatalf("function %q not defined", *dotFn)
 		}
 		fmt.Print(dot)
-		return
+		return 0
 	}
 
 	res, err := a.RunContext(ctx)
@@ -229,10 +248,76 @@ func main() {
 	if ctx.Err() != nil {
 		// Partial results were printed; make the truncation unmissable.
 		fmt.Fprintf(os.Stderr, "rid: run canceled (%v); results are partial\n", ctx.Err())
-		os.Exit(3)
+		return 3
 	}
 	if len(res.Bugs) > 0 {
-		os.Exit(1)
+		return 1
+	}
+	return 0
+}
+
+// runServe implements `rid serve`: the long-lived analysis daemon. It
+// blocks until interrupted, then shuts down gracefully — in-flight
+// analyses drain (bounded) before the process exits 0.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("rid serve", flag.ExitOnError)
+	var (
+		addr        = fs.String("addr", "localhost:8080", "listen address (port 0 picks a free one)")
+		specName    = fs.String("spec", "linux-dpm", "default API specs: linux-dpm or python-c")
+		specFile    = fs.String("spec-file", "", "additional summary-DSL file merged into the default specs")
+		dir         = fs.String("dir", "", "resident corpus: every *.c under this directory is kept loaded; enables corpus requests and /v1/explain")
+		cacheDir    = fs.String("cache-dir", "", "persistent summary store shared by all requests; enables /v1/summary digest lookups")
+		workers     = fs.Int("workers", 1, "default scheduler workers per analysis (negative = all cores)")
+		maxPaths    = fs.Int("max-paths", 100, "default maximum paths enumerated per function")
+		maxSubs     = fs.Int("max-subcases", 10, "default maximum summary entries per path")
+		funcTO      = fs.Duration("func-timeout", 0, "per-function wall-clock budget (0 = none)")
+		maxInflight = fs.Int("max-inflight", 2, "concurrent analyses; more are queued")
+		queueDepth  = fs.Int("queue-depth", 0, "requests waiting for a slot before 429 (0 = 4x max-inflight)")
+		queueWait   = fs.Duration("queue-wait", 2*time.Second, "longest a queued request waits for a slot before 429")
+		reqTimeout  = fs.Duration("request-timeout", 60*time.Second, "per-request analysis deadline (clients can only shorten it)")
+		drain       = fs.Duration("drain", 15*time.Second, "how long shutdown waits for in-flight requests")
+		quiet       = fs.Bool("quiet", false, "no per-request log lines")
+	)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	cfg := serve.Config{
+		Specs:    loadSpecs(*specName, *specFile),
+		SpecName: *specName,
+		Options: rid.Options{
+			MaxPaths:    *maxPaths,
+			MaxSubcases: *maxSubs,
+			Workers:     *workers,
+			FuncTimeout: *funcTO,
+			CacheDir:    *cacheDir,
+		},
+		CorpusDir:      *dir,
+		MaxInflight:    *maxInflight,
+		QueueDepth:     *queueDepth,
+		QueueWait:      *queueWait,
+		RequestTimeout: *reqTimeout,
+	}
+	if !*quiet {
+		cfg.Log = log.New(os.Stderr, "rid serve: ", log.LstdFlags)
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	actual, err := srv.Start(*addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "rid: serving analysis API on http://%s (spec %s, max-inflight %d, request-timeout %v)\n",
+		actual, *specName, *maxInflight, *reqTimeout)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	<-ctx.Done()
+	fmt.Fprintf(os.Stderr, "rid: shutting down (draining up to %v)\n", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		fatalf("shutdown: %v", err)
 	}
 }
 
@@ -255,38 +340,14 @@ func runExplain(args []string) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	var specs rid.Specs
-	switch *specName {
-	case "linux-dpm":
-		specs = rid.LinuxDPMSpecs()
-	case "python-c":
-		specs = rid.PythonCSpecs()
-	default:
-		fatalf("unknown -spec %q (want linux-dpm or python-c)", *specName)
-	}
-	if *specFile != "" {
-		data, err := os.ReadFile(*specFile)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		var perr error
-		specs, perr = specs.Parse(*specFile, string(data))
-		if perr != nil {
-			fatalf("%v", perr)
-		}
-	}
+	specs := loadSpecs(*specName, *specFile)
 
 	a := rid.New(specs)
 	opts := rid.Options{Workers: *workers, Provenance: true}
-	var traceFile *os.File
-	if *trace != "" {
-		var err error
-		traceFile, err = os.Create(*trace)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		defer closeTrace(traceFile)
-		opts.TraceWriter = traceFile
+	traceW := openTrace(*trace)
+	if traceW != nil {
+		defer traceW.close()
+		opts.TraceWriter = traceW.buf
 	}
 	a.SetOptions(opts)
 
@@ -332,10 +393,10 @@ func runExplain(args []string) {
 	}
 	if ctx.Err() != nil {
 		fmt.Fprintf(os.Stderr, "rid: run canceled (%v); results are partial\n", ctx.Err())
-		os.Exit(3)
+		exit(3)
 	}
 	if len(res.Bugs) > 0 {
-		os.Exit(1)
+		exit(1)
 	}
 }
 
@@ -402,11 +463,37 @@ func runSeparate(ctx context.Context, paths []string, specName, specFile string,
 	}
 	if ctx.Err() != nil {
 		fmt.Fprintf(os.Stderr, "rid: run canceled (%v); results are partial\n", ctx.Err())
-		os.Exit(3)
+		exit(3)
 	}
 	if len(res.Reports) > 0 {
-		os.Exit(1)
+		exit(1)
 	}
+}
+
+// loadSpecs resolves the -spec/-spec-file pair shared by every
+// subcommand.
+func loadSpecs(specName, specFile string) rid.Specs {
+	var specs rid.Specs
+	switch specName {
+	case "linux-dpm":
+		specs = rid.LinuxDPMSpecs()
+	case "python-c":
+		specs = rid.PythonCSpecs()
+	default:
+		fatalf("unknown -spec %q (want linux-dpm or python-c)", specName)
+	}
+	if specFile != "" {
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var perr error
+		specs, perr = specs.Parse(specFile, string(data))
+		if perr != nil {
+			fatalf("%v", perr)
+		}
+	}
+	return specs
 }
 
 // serveDebug starts the pprof/expvar server for -separate mode (the main
@@ -420,10 +507,36 @@ func serveDebug(addr string, reg *obs.Registry) func() {
 	return func() { stop() } //nolint:errcheck
 }
 
-// closeTrace closes the -trace file, surfacing a write error that a
-// deferred Close would otherwise swallow.
-func closeTrace(f *os.File) {
-	if err := f.Close(); err != nil {
+// traceSink is the -trace destination: the JSONL tracer writes through a
+// buffer (span emission stays cheap under -workers), and close flushes it
+// before the file closes. close runs via defer on EVERY exit path — the
+// exit() unwinding above guarantees that even the exit-1 (bugs found) and
+// exit-3 (degraded) paths leave a complete, parseable trace on disk.
+type traceSink struct {
+	buf *bufio.Writer
+	f   *os.File
+}
+
+// openTrace creates the -trace file; nil when tracing is off.
+func openTrace(path string) *traceSink {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return &traceSink{buf: bufio.NewWriterSize(f, 64<<10), f: f}
+}
+
+// close flushes and closes the trace, surfacing write errors a plain
+// deferred Close would swallow.
+func (t *traceSink) close() {
+	err := t.buf.Flush()
+	if cerr := t.f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "rid: closing trace file: %v\n", err)
 	}
 }
@@ -437,7 +550,9 @@ func saveDB(db *summary.DB, path string) error {
 	return db.Save(f)
 }
 
+// fatalf reports a usage/setup error and exits 2, unwinding through the
+// pending defers (trace flush, debug-server stop) on the way out.
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "rid: "+format+"\n", args...)
-	os.Exit(2)
+	exit(2)
 }

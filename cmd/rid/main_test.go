@@ -1,11 +1,17 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/serve"
 )
 
 // buildCLI compiles the rid binary once per test run.
@@ -206,5 +212,105 @@ func TestCLIDeadlinePartialExit(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "results are partial") {
 		t.Fatalf("missing partial-results notice: %s", out)
+	}
+}
+
+// checkTraceJSONL asserts the trace file is complete: newline-terminated
+// with every line a parseable span object. A truncated flush (the bug the
+// exit-path restructure fixes: os.Exit skipping the deferred buffer
+// flush) leaves either an empty file or a torn final line.
+func checkTraceJSONL(t *testing.T, path string, wantSpans bool) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	if wantSpans && len(data) == 0 {
+		t.Fatal("trace file is empty: the exit path skipped the buffer flush")
+	}
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		t.Fatalf("trace file does not end in a newline (torn final span): %q", data[len(data)-50:])
+	}
+	for i, line := range strings.Split(strings.TrimSuffix(string(data), "\n"), "\n") {
+		if line == "" && len(data) == 0 {
+			continue
+		}
+		var span map[string]any
+		if err := json.Unmarshal([]byte(line), &span); err != nil {
+			t.Fatalf("trace line %d is not valid JSON (%v): %q", i+1, err, line)
+		}
+		if _, ok := span["phase"]; !ok {
+			t.Fatalf("trace line %d has no phase field: %q", i+1, line)
+		}
+	}
+}
+
+// TestCLITraceCompleteOnBugExit pins the exit-path contract: the bugs-found
+// exit(1) path must flush and close the -trace file before the process
+// dies, leaving a complete JSONL log including the run-level span.
+func TestCLITraceCompleteOnBugExit(t *testing.T) {
+	bin := buildCLI(t)
+	src := writeDriver(t)
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	out, err := exec.Command(bin, "-trace", tracePath, src).CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit 1 (bugs found), got %v\n%s", err, out)
+	}
+	checkTraceJSONL(t, tracePath, true)
+	if data, _ := os.ReadFile(tracePath); !strings.Contains(string(data), `"phase":"run"`) {
+		t.Fatalf("trace is missing the run-level span (flushed too early?):\n%s", data)
+	}
+}
+
+// TestCLITraceCompleteOnDeadlineExit pins the same contract on the
+// degraded exit(3) path: whatever spans were emitted before the deadline
+// fired must be on disk, complete, when the process exits.
+func TestCLITraceCompleteOnDeadlineExit(t *testing.T) {
+	bin := buildCLI(t)
+	src := writeDriver(t)
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	out, err := exec.Command(bin, "-deadline", "1ns", "-trace", tracePath, src).CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 3 {
+		t.Fatalf("want exit 3 (degraded), got %v\n%s", err, out)
+	}
+	checkTraceJSONL(t, tracePath, false)
+}
+
+// TestCLIServeReportMatchesCLI pins the serve acceptance contract: the
+// daemon's report field is byte-identical to `rid` stdout for the same
+// sources at every Workers setting.
+func TestCLIServeReportMatchesCLI(t *testing.T) {
+	bin := buildCLI(t)
+	src := writeDriver(t)
+	cliOut, err := exec.Command(bin, src).Output()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("cli run: %v", err)
+	}
+
+	srv, err := serve.New(serve.Config{MaxInflight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		body, _ := json.Marshal(&serve.AnalyzeRequest{
+			Files:   map[string]string{src: string(data)},
+			Workers: workers,
+			NoCache: true,
+		})
+		resp, _, err := serve.AnalyzeOnce(context.Background(), ts.URL, body, time.Minute)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if resp.Report != string(cliOut) {
+			t.Fatalf("workers=%d: daemon report differs from CLI stdout\ncli:\n%s\ndaemon:\n%s",
+				workers, cliOut, resp.Report)
+		}
 	}
 }

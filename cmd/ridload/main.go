@@ -1,0 +1,179 @@
+// Command ridload is the load generator and saturation benchmark for the
+// `rid serve` daemon. It sweeps concurrent-client levels against a
+// daemon — an external one (-serve-url) or one it boots in-process on a
+// loopback port — and reports p50/p99 latency and throughput per level,
+// optionally snapshotted as JSON (BENCH_serve.json).
+//
+//	ridload -clients 1,2,4 -n 20 -scale 1           # self-hosted sweep
+//	ridload -serve-url http://host:8080 -clients 8  # drive a live daemon
+//	ridload -json BENCH_serve.json                  # save the sweep
+//	ridload -p99-max 30s                            # CI latency gate
+//	ridload -warm-check -warm-min-speedup 2         # daemon residency gate
+//
+// Sweep requests carry no_cache so every request pays for real analysis;
+// -warm-check instead measures the memoized path: the same corpus twice,
+// asserting the second response is served from the daemon's warm state at
+// least -warm-min-speedup times faster.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		serveURL    = flag.String("serve-url", "", "base URL of a running daemon; empty boots one in-process on a loopback port")
+		clientsFlag = flag.String("clients", "1,2,4", "comma list of concurrent-client levels to sweep")
+		n           = flag.Int("n", 12, "requests per level")
+		scale       = flag.Int("scale", 1, "corpus scale factor (the §6.5 kernel corpus shape)")
+		seed        = flag.Int64("seed", 317, "corpus seed")
+		workers     = flag.Int("workers", 1, "analysis workers requested per analyze call")
+		jsonOut     = flag.String("json", "", "write the sweep to this file as JSON")
+		p99Max      = flag.Duration("p99-max", 0, "exit non-zero if any level's p99 exceeds this (0 = no gate)")
+		warmCheck   = flag.Bool("warm-check", false, "measure cold-vs-warm on the memoized path instead of sweeping")
+		warmMin     = flag.Float64("warm-min-speedup", 0, "with -warm-check: exit non-zero unless warm beats cold by this factor")
+		maxInflight = flag.Int("max-inflight", 4, "self-hosted daemon: concurrent analysis slots")
+		timeout     = flag.Duration("timeout", 5*time.Minute, "per-request client timeout")
+	)
+	flag.Parse()
+
+	levels, err := parseLevels(*clientsFlag)
+	check(err)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	base := *serveURL
+	if base == "" {
+		srv, err := serve.New(serve.Config{
+			MaxInflight:    *maxInflight,
+			QueueDepth:     4096,
+			QueueWait:      *timeout,
+			RequestTimeout: *timeout,
+		})
+		check(err)
+		addr, err := srv.Start("127.0.0.1:0")
+		check(err)
+		base = "http://" + addr
+		fmt.Fprintf(os.Stderr, "ridload: self-hosted daemon on %s (max-inflight=%d)\n", base, *maxInflight)
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				fmt.Fprintf(os.Stderr, "ridload: daemon shutdown: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
+
+	corpus := experiments.ServeCorpus(*scale, *seed)
+	body := func(noCache bool) []byte {
+		b, err := json.Marshal(&serve.AnalyzeRequest{
+			Files: corpus, Workers: *workers, NoCache: noCache,
+		})
+		check(err)
+		return b
+	}
+
+	if *warmCheck {
+		runWarmCheck(ctx, base, body(false), *timeout, *warmMin)
+		return
+	}
+
+	sweepBody := body(true)
+	// One untimed warmup request so every level measures a hot daemon
+	// (interner, solver cache, resident corpus state), not process start.
+	first, _, err := serve.AnalyzeOnce(ctx, base, sweepBody, *timeout)
+	check(err)
+	sweep := &experiments.ServeSweep{
+		Corpus: fmt.Sprintf("kernelgen scale=%d seed=%d", *scale, *seed),
+		Funcs:  first.FuncsTotal,
+	}
+	for _, c := range levels {
+		pt, err := serve.RunLoad(ctx, serve.LoadConfig{
+			BaseURL: base, Body: sweepBody, Clients: c, Requests: *n, Timeout: *timeout,
+		})
+		check(err)
+		sweep.Points = append(sweep.Points, pt)
+	}
+	fmt.Print(experiments.FormatServeSweep(sweep))
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		check(err)
+		check(experiments.WriteServeSweep(f, sweep))
+		check(f.Close())
+		fmt.Fprintf(os.Stderr, "ridload: sweep written to %s\n", *jsonOut)
+	}
+	if *p99Max > 0 {
+		lim := float64(p99Max.Microseconds()) / 1000
+		for _, pt := range sweep.Points {
+			if pt.OK == 0 {
+				check(fmt.Errorf("latency gate: no successful requests at clients=%d", pt.Clients))
+			}
+			if pt.P99MS > lim {
+				check(fmt.Errorf("latency gate: clients=%d p99 %.1fms exceeds %v", pt.Clients, pt.P99MS, *p99Max))
+			}
+		}
+		fmt.Fprintf(os.Stderr, "ridload: latency gate passed: every level's p99 <= %v\n", *p99Max)
+	}
+}
+
+// runWarmCheck measures the daemon's residency win: the same corpus
+// twice on the memoized path. The second response must come from the
+// daemon's warm state (cached) with an identical report.
+func runWarmCheck(ctx context.Context, base string, body []byte, timeout time.Duration, minSpeedup float64) {
+	cold, coldDur, err := serve.AnalyzeOnce(ctx, base, body, timeout)
+	check(err)
+	warm, warmDur, err := serve.AnalyzeOnce(ctx, base, body, timeout)
+	check(err)
+	if warm.Report != cold.Report {
+		check(fmt.Errorf("warm-check: second response report differs from the first"))
+	}
+	if !warm.Cached {
+		check(fmt.Errorf("warm-check: second identical request was not served from the daemon's warm state"))
+	}
+	speedup := float64(coldDur) / float64(warmDur)
+	fmt.Printf("warm-check: cold=%v warm=%v speedup=%.1fx cached=%t bugs=%d\n",
+		coldDur.Round(time.Millisecond), warmDur.Round(time.Millisecond), speedup, warm.Cached, warm.Bugs)
+	if minSpeedup > 0 && speedup < minSpeedup {
+		check(fmt.Errorf("warm-check: speedup %.2fx is below the required %.2fx", speedup, minSpeedup))
+	}
+}
+
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -clients value %q (want a comma list of positive counts)", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -clients list")
+	}
+	return out, nil
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ridload: %v\n", err)
+		os.Exit(1)
+	}
+}

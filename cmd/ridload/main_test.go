@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestParseLevels(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{in: "1,2,4", want: []int{1, 2, 4}},
+		{in: " 8 , 16 ", want: []int{8, 16}},
+		{in: "3", want: []int{3}},
+		{in: "1,,2", want: []int{1, 2}},
+		{in: "", wantErr: true},
+		{in: "0", wantErr: true},
+		{in: "-2", wantErr: true},
+		{in: "two", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := parseLevels(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseLevels(%q): expected error, got %v", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseLevels(%q): %v", tc.in, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("parseLevels(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("parseLevels(%q) = %v, want %v", tc.in, got, tc.want)
+				break
+			}
+		}
+	}
+}

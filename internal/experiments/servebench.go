@@ -1,0 +1,124 @@
+// Serve saturation benchmark types: the latency/throughput points that
+// cmd/ridload measures against a running `rid serve` daemon, their table
+// rendering, and the JSON snapshot format (BENCH_serve.json) — kept here
+// so benchmark serialization lives in one package alongside the perf
+// snapshots.
+
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/corpus/kernelgen"
+)
+
+// ServePoint is one concurrency level of a saturation run: Clients
+// concurrent load-generator clients issued Requests total analyze
+// requests; latency quantiles are over the OK (200) responses.
+type ServePoint struct {
+	Clients    int     `json:"clients"`
+	Requests   int     `json:"requests"`
+	OK         int     `json:"ok"`
+	Rejected   int     `json:"rejected"` // 429 admission rejections
+	Errors     int     `json:"errors"`   // transport failures and non-200/429 statuses
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	MaxMS      float64 `json:"max_ms"`
+	Throughput float64 `json:"throughput_rps"` // OK responses per wall-clock second
+	WallMS     float64 `json:"wall_ms"`
+}
+
+// ServeSweep is a whole saturation run: one point per concurrency level
+// against one corpus.
+type ServeSweep struct {
+	Corpus string       `json:"corpus"` // e.g. "kernelgen scale=1 seed=317"
+	Funcs  int          `json:"funcs"`  // functions per analyzed corpus
+	Points []ServePoint `json:"points"`
+}
+
+// LatencyPoint folds raw per-request latencies into a ServePoint.
+// lats are the OK-response latencies; wall is the level's total
+// wall-clock.
+func LatencyPoint(clients int, lats []time.Duration, rejected, errors int, wall time.Duration) ServePoint {
+	p := ServePoint{
+		Clients:  clients,
+		Requests: len(lats) + rejected + errors,
+		OK:       len(lats),
+		Rejected: rejected,
+		Errors:   errors,
+		WallMS:   ms(wall),
+	}
+	if wall > 0 {
+		p.Throughput = float64(len(lats)) / wall.Seconds()
+	}
+	if len(lats) == 0 {
+		return p
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	p.P50MS = ms(quantileDur(sorted, 0.50))
+	p.P99MS = ms(quantileDur(sorted, 0.99))
+	p.MaxMS = ms(sorted[len(sorted)-1])
+	return p
+}
+
+// quantileDur is the exact q-quantile (nearest-rank) of a sorted slice.
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted)) + 0.9999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// FormatServeSweep renders the saturation table.
+func FormatServeSweep(s *ServeSweep) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rid serve saturation — %s (%d funcs per request)\n", s.Corpus, s.Funcs)
+	fmt.Fprintf(&b, "%8s %8s %6s %6s %6s %12s %12s %12s %10s\n",
+		"clients", "reqs", "ok", "429", "err", "p50", "p99", "max", "req/s")
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%8d %8d %6d %6d %6d %11.1fms %11.1fms %11.1fms %10.2f\n",
+			p.Clients, p.Requests, p.OK, p.Rejected, p.Errors, p.P50MS, p.P99MS, p.MaxMS, p.Throughput)
+	}
+	return b.String()
+}
+
+// WriteServeSweep / ReadServeSweep are the BENCH_serve.json round-trip.
+func WriteServeSweep(w io.Writer, s *ServeSweep) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+func ReadServeSweep(r io.Reader) (*ServeSweep, error) {
+	var s ServeSweep
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("read serve sweep: %w", err)
+	}
+	return &s, nil
+}
+
+// ServeCorpus generates the analyze-request corpus for the saturation
+// benchmark: the same §6.5-shaped kernel corpus the perf series uses, at
+// the given scale.
+func ServeCorpus(scale int, seed int64) map[string]string {
+	c := kernelgen.Generate(kernelgen.Config{
+		Seed: seed, Mix: scaleMix(kernelgen.PaperMix(), scale),
+		SimpleHelpers: 10 * scale, ComplexHelpers: 8 * scale, OtherFuncs: 200 * scale,
+	})
+	return c.Files
+}

@@ -1,29 +1,32 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
-// Serve starts an HTTP server on addr (e.g. "localhost:6060"; port 0 picks
-// a free one) exposing the standard live-profiling surface for long
-// analysis runs:
+// shutdownGrace bounds how long a stop call waits for in-flight debug
+// requests (a streaming /debug/pprof/profile, a trace download) to finish
+// before the server is torn down hard. Profile streams self-terminate —
+// their duration is client-chosen via ?seconds= — so the grace period only
+// matters for a client that stalls mid-read.
+const shutdownGrace = 10 * time.Second
+
+// DebugMux returns a mux exposing the standard live-debugging surface:
 //
 //	/debug/pprof/          net/http/pprof index (profile, heap, trace, ...)
 //	/debug/vars            expvar globals plus "rid_metrics": the registry
 //
-// It returns a stop function closing the server, and the bound address
-// (useful with port 0). The registry may be nil, in which case only the
-// process-level vars are served. Serve never touches the default mux, so
-// embedding applications keep their own handlers.
-func Serve(addr string, r *Registry) (stop func() error, actual string, err error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
-	}
+// The registry may be nil, in which case only the process-level vars are
+// served. The mux is self-contained (it never touches http.DefaultServeMux)
+// and is what Serve listens on; embedding servers — `rid serve` mounts it
+// under /debug/ — compose it into their own routing instead.
+func DebugMux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -31,9 +34,35 @@ func Serve(addr string, r *Registry) (stop func() error, actual string, err erro
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", varsHandler(r))
-	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln) //nolint:errcheck // Close below returns ErrServerClosed here
-	return srv.Close, ln.Addr().String(), nil
+	return mux
+}
+
+// Serve starts an HTTP server on addr (e.g. "localhost:6060"; port 0 picks
+// a free one) exposing DebugMux for long analysis runs. It returns a stop
+// function and the bound address (useful with port 0).
+//
+// stop shuts the server down gracefully: the listener closes immediately
+// (no new connections), but in-flight requests — notably a streaming
+// /debug/pprof/profile — get up to shutdownGrace to complete before being
+// cut. It returns nil on a clean drain and the shutdown error otherwise.
+func Serve(addr string, r *Registry) (stop func() error, actual string, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: DebugMux(r)}
+	go srv.Serve(ln) //nolint:errcheck // Shutdown below returns ErrServerClosed here
+	stop = func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			// Grace period exhausted: sever whatever is still streaming.
+			srv.Close() //nolint:errcheck // the Shutdown error is the one to report
+			return err
+		}
+		return nil
+	}
+	return stop, ln.Addr().String(), nil
 }
 
 // varsHandler renders the expvar globals (memstats, cmdline, anything the

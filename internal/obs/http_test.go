@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeStopIsGraceful pins the shutdown contract of Serve's stop
+// function: a request in flight when stop is called — here a
+// /debug/pprof/trace capture, whose handler runs for the full ?seconds=
+// window before writing its body — must complete with a full 200
+// response, not be cut mid-request by an abrupt close.
+func TestServeStopIsGraceful(t *testing.T) {
+	stop, addr, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw TCP so the request is observably in flight: the handler holds
+	// the response until the 1-second capture ends, and the connection is
+	// "active" to the server the moment the request line is consumed.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET /debug/pprof/trace?seconds=1 HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n", addr)
+	// Give the server time to read the request and enter the handler.
+	time.Sleep(200 * time.Millisecond)
+	t0 := time.Now()
+	if err := stop(); err != nil {
+		t.Fatalf("graceful stop: %v", err)
+	}
+	if waited := time.Since(t0); waited < 500*time.Millisecond {
+		t.Fatalf("stop returned after %v, before the in-flight request drained", waited)
+	}
+	resp, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatalf("in-flight request was severed by stop: %v", err)
+	}
+	if !strings.HasPrefix(string(resp), "HTTP/1.1 200") {
+		t.Fatalf("in-flight response: %.120q", resp)
+	}
+	// New connections must now be refused.
+	if c, err := net.Dial("tcp", addr); err == nil {
+		c.Close()
+		t.Fatal("listener still accepting connections after stop")
+	}
+}
+
+// TestDebugMuxMountable pins that DebugMux serves full /debug/... paths so
+// an embedding server can mount it under its own routing.
+func TestDebugMuxMountable(t *testing.T) {
+	outer := http.NewServeMux()
+	outer.Handle("/debug/", DebugMux(NewRegistry()))
+	req, _ := http.NewRequest("GET", "/debug/vars", nil)
+	rec := newRecorder()
+	outer.ServeHTTP(rec, req)
+	if rec.status != http.StatusOK {
+		t.Fatalf("GET /debug/vars via embedded mux: status %d", rec.status)
+	}
+	if !strings.Contains(rec.body.String(), "rid_metrics") {
+		t.Fatalf("vars body missing rid_metrics: %s", rec.body.String())
+	}
+}
+
+// recorder is a minimal ResponseWriter (avoids importing httptest here).
+type recorder struct {
+	status int
+	header http.Header
+	body   strings.Builder
+}
+
+func newRecorder() *recorder { return &recorder{status: http.StatusOK, header: http.Header{}} }
+
+func (r *recorder) Header() http.Header         { return r.header }
+func (r *recorder) WriteHeader(code int)        { r.status = code }
+func (r *recorder) Write(b []byte) (int, error) { return r.body.Write(b) }

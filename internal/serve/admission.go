@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// errOverloaded means the server declined to start the work: every
+// inflight slot is busy and either the queue is full or the queue wait
+// expired. The caller maps it to 429 + Retry-After.
+var errOverloaded = errors.New("server overloaded")
+
+// admit acquires one inflight slot, queueing for at most cfg.QueueWait
+// behind at most cfg.QueueDepth other waiters. On success the returned
+// release must be called exactly once when the work completes. Admission
+// is deliberately in front of everything expensive: a request the server
+// has no capacity for costs it one channel operation and an atomic, which
+// is what keeps overload from compounding.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	select {
+	case s.sem <- struct{}{}:
+		return s.release, nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		s.rejected.Add(1)
+		return nil, errOverloaded
+	}
+	defer s.queued.Add(-1)
+	t := time.NewTimer(s.cfg.QueueWait)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return s.release, nil
+	case <-t.C:
+		s.rejected.Add(1)
+		return nil, errOverloaded
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// retryAfter is the Retry-After hint on a 429: the queue wait rounded up
+// to whole seconds — by then either a slot freed or the client should
+// back off harder.
+func (s *Server) retryAfter() int {
+	secs := int((s.cfg.QueueWait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

@@ -1,0 +1,55 @@
+package serve
+
+import "sync"
+
+// resultCache memoizes analyze responses by request digest, FIFO-bounded.
+// Entries are immutable once stored; get returns a copy so handlers can
+// stamp per-request fields (Cached, ElapsedMS) without racing.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]AnalyzeResponse
+	order   []string // insertion order, for eviction
+}
+
+// newResultCache returns a cache holding at most max responses; a
+// negative max disables caching (every method is a nil-safe no-op).
+func newResultCache(max int) *resultCache {
+	if max < 0 {
+		return nil
+	}
+	return &resultCache{max: max, entries: map[string]AnalyzeResponse{}}
+}
+
+func (c *resultCache) get(key string) *AnalyzeResponse {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	return &v
+}
+
+func (c *resultCache) put(key string, v *AnalyzeResponse) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	for len(c.entries) >= c.max && len(c.order) > 0 {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+	if c.max == 0 {
+		return
+	}
+	c.entries[key] = *v
+	c.order = append(c.order, key)
+}

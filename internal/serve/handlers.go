@@ -1,0 +1,497 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/store"
+	"repro/rid"
+)
+
+// maxBodyBytes bounds an analyze request body (sources inline as JSON).
+const maxBodyBytes = 32 << 20
+
+// AnalyzeRequest is the POST /v1/analyze body. Exactly one of Files and
+// Corpus selects the sources; everything else is optional.
+type AnalyzeRequest struct {
+	// Spec names a predefined specification set ("linux-dpm" or
+	// "python-c"); empty uses the server default. SpecSrc is additional
+	// summary-DSL source merged on top.
+	Spec    string `json:"spec,omitempty"`
+	SpecSrc string `json:"spec_src,omitempty"`
+	// Files maps file names to mini-C sources. Corpus instead analyzes
+	// the corpus the server loaded at startup (-dir).
+	Files  map[string]string `json:"files,omitempty"`
+	Corpus bool              `json:"corpus,omitempty"`
+	// Format ("text", "json", "sarif") and Verbose mirror the CLI flags;
+	// the response's report field is byte-identical to `rid` stdout with
+	// the same settings.
+	Format  string `json:"format,omitempty"`
+	Verbose bool   `json:"verbose,omitempty"`
+	// Analysis budget overrides; zero keeps the server defaults.
+	Workers     int      `json:"workers,omitempty"`
+	MaxPaths    int      `json:"max_paths,omitempty"`
+	MaxSubcases int      `json:"max_subcases,omitempty"`
+	Cat2Conds   int      `json:"cat2_conds,omitempty"`
+	Suppress    []string `json:"suppress,omitempty"`
+	// DeadlineMS shortens this request's deadline below the server's
+	// RequestTimeout (it can never extend it).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Metrics includes the run's exact per-request metrics snapshot in
+	// the response (the run then uses a private registry so concurrent
+	// requests don't bleed into it). Trace includes the run's JSONL span
+	// trace. Either one bypasses the result cache.
+	Metrics bool `json:"metrics,omitempty"`
+	Trace   bool `json:"trace,omitempty"`
+	// NoCache bypasses the in-memory result cache (load generators use
+	// it to measure analysis, not memoization).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// Diag mirrors rid.Diagnostic on the wire.
+type Diag struct {
+	Function string `json:"function,omitempty"`
+	Kind     string `json:"kind"`
+	Cause    string `json:"cause"`
+}
+
+// AnalyzeResponse is the POST /v1/analyze reply. On 504 (deadline
+// exceeded) Error is set and Report holds the partial report, mirroring
+// the CLI's exit-3 partial-results contract.
+type AnalyzeResponse struct {
+	Report        string          `json:"report"`
+	Bugs          int             `json:"bugs"`
+	FuncsTotal    int             `json:"funcs_total"`
+	FuncsAnalyzed int             `json:"funcs_analyzed"`
+	Paths         int             `json:"paths"`
+	Degraded      bool            `json:"degraded"`
+	Diagnostics   []Diag          `json:"diagnostics,omitempty"`
+	Cached        bool            `json:"cached"`
+	ElapsedMS     float64         `json:"elapsed_ms"`
+	Metrics       json.RawMessage `json:"metrics,omitempty"`
+	Trace         string          `json:"trace,omitempty"`
+	Error         string          `json:"error,omitempty"`
+}
+
+// errorJSON writes a JSON error body with the given status.
+func errorJSON(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}) //nolint:errcheck
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		errorJSON(w, http.StatusBadRequest, "malformed request body: %v", err)
+		return
+	}
+	if req.Corpus && len(req.Files) > 0 {
+		errorJSON(w, http.StatusBadRequest, "files and corpus are mutually exclusive")
+		return
+	}
+	if !req.Corpus && len(req.Files) == 0 {
+		errorJSON(w, http.StatusBadRequest, "no sources: pass files, or corpus=true for the resident corpus")
+		return
+	}
+	if req.Corpus && s.corpus == nil {
+		errorJSON(w, http.StatusBadRequest, "no resident corpus: the server was started without -dir")
+		return
+	}
+	specs, err := s.resolveSpecs(req.Spec, req.SpecSrc)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	switch req.Format {
+	case "", "text", "json", "sarif":
+	default:
+		errorJSON(w, http.StatusBadRequest, "unknown format %q (want text, json or sarif)", req.Format)
+		return
+	}
+
+	// Admission before any expensive work.
+	release, err := s.admit(r.Context())
+	if err != nil {
+		if err == errOverloaded {
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+			errorJSON(w, http.StatusTooManyRequests, "overloaded: %d analyses running, %d queued", len(s.sem), s.queued.Load())
+			return
+		}
+		errorJSON(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	defer release()
+
+	// Memoization: a repeat of an identical request is served from
+	// memory. Trace/metrics runs bypass it — their payloads are
+	// wall-clock-dependent by nature.
+	cacheable := !req.NoCache && !req.Trace && !req.Metrics
+	key := ""
+	if cacheable {
+		key = requestKey(&req)
+		if resp := s.rcache.get(key); resp != nil {
+			s.cacheHits.Add(1)
+			resp.Cached = true
+			s.served.Add(1)
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+
+	ctx, cancel := s.requestContext(r.Context(), req.DeadlineMS)
+	defer cancel()
+
+	t0 := time.Now()
+	resp, status, runErr := s.runAnalyze(ctx, specs, &req)
+	if runErr != nil {
+		errorJSON(w, status, "%v", runErr)
+		return
+	}
+	resp.ElapsedMS = float64(time.Since(t0).Microseconds()) / 1000
+	if status == http.StatusOK {
+		s.served.Add(1)
+		if cacheable && cachable(resp) {
+			s.rcache.put(key, resp)
+		}
+	} else if status == http.StatusGatewayTimeout {
+		s.deadlineExceeded.Add(1)
+	}
+	s.logf("analyze files=%d corpus=%t status=%d cached=%t elapsed=%.1fms",
+		len(req.Files), req.Corpus, status, resp.Cached, resp.ElapsedMS)
+	writeJSON(w, status, resp)
+}
+
+// runAnalyze performs one admitted, deadline-bounded analysis and shapes
+// the response. It returns a non-nil error only for client mistakes
+// (unparsable sources); degradation is reported in-band.
+func (s *Server) runAnalyze(ctx context.Context, specs rid.Specs, req *AnalyzeRequest) (*AnalyzeResponse, int, error) {
+	// A metrics request runs on a detached analyzer with a private
+	// registry so the snapshot is exactly this run's; everything else
+	// shares the server registry (live on /debug/vars).
+	var a *rid.Analyzer
+	if req.Metrics {
+		a = rid.New(specs)
+	} else {
+		a = s.base.NewRequest()
+		a.SetSpecs(specs)
+	}
+	opts := s.cfg.Options
+	if req.Workers != 0 {
+		opts.Workers = req.Workers
+	}
+	if req.MaxPaths != 0 {
+		opts.MaxPaths = req.MaxPaths
+	}
+	if req.MaxSubcases != 0 {
+		opts.MaxSubcases = req.MaxSubcases
+	}
+	if req.Cat2Conds != 0 {
+		opts.MaxCat2Conds = req.Cat2Conds
+	}
+	if len(req.Suppress) > 0 {
+		opts.Suppress = req.Suppress
+	}
+	opts.QueryTiming = req.Metrics
+	var traceBuf bytes.Buffer
+	if req.Trace {
+		opts.TraceWriter = &traceBuf
+	}
+	a.SetOptions(opts)
+
+	files := req.Files
+	if req.Corpus {
+		files = s.corpus
+	}
+	if err := addSources(a, files); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	res, err := a.RunContext(ctx)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	format := req.Format
+	if format == "" {
+		format = "text"
+	}
+	var report bytes.Buffer
+	if err := res.WriteReports(&report, format, req.Verbose); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	resp := &AnalyzeResponse{
+		Report:        report.String(),
+		Bugs:          len(res.Bugs),
+		FuncsTotal:    res.FuncsTotal,
+		FuncsAnalyzed: res.FuncsAnalyzed,
+		Paths:         res.PathsEnumerated,
+		Degraded:      res.Degraded(),
+		Trace:         traceBuf.String(),
+	}
+	for _, d := range res.Diagnostics {
+		resp.Diagnostics = append(resp.Diagnostics, Diag{Function: d.Function, Kind: d.Kind, Cause: d.Cause})
+	}
+	if req.Metrics {
+		var mbuf bytes.Buffer
+		if err := res.WriteMetrics(&mbuf, "json"); err == nil {
+			resp.Metrics = json.RawMessage(mbuf.Bytes())
+		}
+	}
+	if ctx.Err() != nil {
+		resp.Error = fmt.Sprintf("deadline exceeded (%v); results are partial", ctx.Err())
+		return resp, http.StatusGatewayTimeout, nil
+	}
+	return resp, http.StatusOK, nil
+}
+
+// requestContext derives the per-request deadline: the server cap, or the
+// client's deadline_ms when sooner.
+func (s *Server) requestContext(parent context.Context, deadlineMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.RequestTimeout
+	if deadlineMS > 0 {
+		if c := time.Duration(deadlineMS) * time.Millisecond; c < d {
+			d = c
+		}
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// resolveSpecs maps a request's spec fields onto a specification set.
+func (s *Server) resolveSpecs(name, src string) (rid.Specs, error) {
+	specs := s.cfg.Specs
+	switch name {
+	case "":
+	case "linux-dpm":
+		specs = rid.LinuxDPMSpecs()
+	case "python-c":
+		specs = rid.PythonCSpecs()
+	default:
+		return rid.Specs{}, fmt.Errorf("unknown spec %q (want linux-dpm or python-c)", name)
+	}
+	if src != "" {
+		var err error
+		specs, err = specs.Parse("request spec_src", src)
+		if err != nil {
+			return rid.Specs{}, fmt.Errorf("spec_src: %v", err)
+		}
+	}
+	return specs, nil
+}
+
+// cachable reports whether a completed response may be memoized: only
+// runs whose every degradation is deterministic (budget truncation,
+// solver give-ups). Wall-clock degradations — timeouts, panics,
+// cancellation — must not be replayed to later requests.
+func cachable(resp *AnalyzeResponse) bool {
+	if resp.Error != "" {
+		return false
+	}
+	for _, d := range resp.Diagnostics {
+		switch d.Kind {
+		case "timeout", "panic", "canceled":
+			return false
+		}
+	}
+	return true
+}
+
+// requestKey is the result-cache key: a digest over every field that can
+// change the response bytes. Workers is deliberately absent — report
+// output is byte-identical at any worker count (pinned by the scheduler
+// determinism tests), so one cache entry serves every setting.
+func requestKey(req *AnalyzeRequest) string {
+	h := sha256.New()
+	put := func(ss ...string) {
+		for _, x := range ss {
+			fmt.Fprintf(h, "%d:%s\x00", len(x), x)
+		}
+	}
+	put("spec", req.Spec, "specsrc", req.SpecSrc, "format", req.Format)
+	fmt.Fprintf(h, "verbose=%t corpus=%t maxpaths=%d maxsub=%d cat2=%d\x00",
+		req.Verbose, req.Corpus, req.MaxPaths, req.MaxSubcases, req.Cat2Conds)
+	sup := append([]string(nil), req.Suppress...)
+	sort.Strings(sup)
+	put(sup...)
+	names := make([]string, 0, len(req.Files))
+	for n := range req.Files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		put(n, req.Files[n])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is client's problem
+}
+
+// ---------------------------------------------------------------------------
+// GET /v1/explain/{fn}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	fn := r.PathValue("fn")
+	if s.corpus == nil {
+		errorJSON(w, http.StatusNotFound, "no resident corpus: the server was started without -dir")
+		return
+	}
+	if s.base.FunctionCFG(fn) == "" {
+		errorJSON(w, http.StatusNotFound, "function %q not defined in the resident corpus", fn)
+		return
+	}
+	release, err := s.admit(r.Context())
+	if err != nil {
+		if err == errOverloaded {
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+			errorJSON(w, http.StatusTooManyRequests, "overloaded")
+			return
+		}
+		errorJSON(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestContext(r.Context(), 0)
+	defer cancel()
+	res, err := s.explainResult(ctx)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.deadlineExceeded.Add(1)
+			errorJSON(w, http.StatusGatewayTimeout, "%v", err)
+			return
+		}
+		errorJSON(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	filtered := res.FilterFunctions(fn)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(filtered.Bugs) == 0 {
+		fmt.Fprintln(w, "no inconsistent path pairs found")
+		return
+	}
+	filtered.WriteExplain(w) //nolint:errcheck // client gone is client's problem
+}
+
+// explainResult runs the provenance analysis over the resident corpus
+// once and keeps it; a run cut short by ctx is not kept, so a later
+// request with more budget retries.
+func (s *Server) explainResult(ctx context.Context) (*rid.Result, error) {
+	s.explainMu.Lock()
+	defer s.explainMu.Unlock()
+	if s.explainRes != nil {
+		return s.explainRes, nil
+	}
+	a := s.base.NewRequest()
+	opts := s.cfg.Options
+	opts.Provenance = true
+	a.SetOptions(opts)
+	if err := addSources(a, s.corpus); err != nil {
+		return nil, err
+	}
+	res, err := a.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.Err() != nil {
+		return nil, fmt.Errorf("provenance run exceeded the deadline; retry with more budget")
+	}
+	s.explainRes = res
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// GET /v1/summary/{digest}
+
+// SummaryResponse is the GET /v1/summary/{digest} reply: the stored
+// analysis outcome published under one content digest.
+type SummaryResponse struct {
+	Fn      string `json:"fn"`
+	Digest  string `json:"digest"`
+	Summary string `json:"summary"`
+	Paths   int    `json:"paths"`
+	Reports int    `json:"reports"`
+	Diags   []Diag `json:"diags,omitempty"`
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	if s.lookup == nil {
+		errorJSON(w, http.StatusNotFound, "no persistent store: the server was started without -cache-dir")
+		return
+	}
+	raw, err := hex.DecodeString(r.PathValue("digest"))
+	if err != nil || len(raw) != sha256.Size {
+		errorJSON(w, http.StatusBadRequest, "digest must be %d hex digits", sha256.Size*2)
+		return
+	}
+	var d store.Digest
+	copy(d[:], raw)
+	e, err := s.lookup.LookupDigest(d)
+	if err != nil {
+		errorJSON(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if e == nil {
+		errorJSON(w, http.StatusNotFound, "no entry for digest %s", d)
+		return
+	}
+	resp := &SummaryResponse{
+		Fn:      e.Fn,
+		Digest:  d.String(),
+		Summary: e.Summary.String(),
+		Paths:   e.Paths,
+		Reports: len(e.Reports),
+	}
+	for _, dg := range e.Diags {
+		resp.Diags = append(resp.Diags, Diag{Function: e.Fn, Kind: dg.Kind, Cause: dg.Cause})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---------------------------------------------------------------------------
+// GET /healthz
+
+// Health is the GET /healthz reply: liveness plus the admission gauges
+// and counters CI smoke checks assert on (goroutine stability across a
+// load run, zero stuck inflight after drain).
+type Health struct {
+	Spec             string `json:"spec"`
+	CorpusFuncs      int    `json:"corpus_funcs"`
+	Inflight         int    `json:"inflight"`
+	MaxInflight      int    `json:"max_inflight"`
+	Queued           int64  `json:"queued"`
+	QueueDepth       int    `json:"queue_depth"`
+	Served           int64  `json:"served"`
+	Rejected         int64  `json:"rejected"`
+	DeadlineExceeded int64  `json:"deadline_exceeded"`
+	ResultCacheHits  int64  `json:"result_cache_hits"`
+	Goroutines       int    `json:"goroutines"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{
+		Spec:             s.cfg.SpecName,
+		CorpusFuncs:      s.base.NumFunctions(),
+		Inflight:         len(s.sem),
+		MaxInflight:      s.cfg.MaxInflight,
+		Queued:           s.queued.Load(),
+		QueueDepth:       s.cfg.QueueDepth,
+		Served:           s.served.Load(),
+		Rejected:         s.rejected.Load(),
+		DeadlineExceeded: s.deadlineExceeded.Load(),
+		ResultCacheHits:  s.cacheHits.Load(),
+		Goroutines:       runtime.NumGoroutine(),
+	})
+}

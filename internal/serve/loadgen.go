@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// LoadConfig drives one concurrency level of the saturation benchmark
+// (cmd/ridload): Clients goroutines issue Requests total POST /v1/analyze
+// calls with the given body against BaseURL.
+type LoadConfig struct {
+	BaseURL  string
+	Body     []byte
+	Clients  int
+	Requests int
+	// Timeout is the per-request client-side timeout (default 5m — the
+	// server's own deadline should fire first; the client timeout only
+	// catches a wedged daemon).
+	Timeout time.Duration
+}
+
+// RunLoad executes one load level and folds the latencies into a
+// ServePoint. Transport errors and unexpected statuses are counted, not
+// fatal — saturation behavior (429s under overload) is a result, not a
+// failure. The returned error is non-nil only for setup mistakes.
+func RunLoad(ctx context.Context, cfg LoadConfig) (experiments.ServePoint, error) {
+	if cfg.Clients < 1 || cfg.Requests < 1 {
+		return experiments.ServePoint{}, fmt.Errorf("load: need at least 1 client and 1 request")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Minute
+	}
+	client := &http.Client{Timeout: cfg.Timeout}
+	url := cfg.BaseURL + "/v1/analyze"
+
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		lats     []time.Duration
+		rejected int
+		errors   int
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if next.Add(1) > int64(cfg.Requests) || ctx.Err() != nil {
+					return
+				}
+				t0 := time.Now()
+				status, err := postOnce(ctx, client, url, cfg.Body)
+				d := time.Since(t0)
+				mu.Lock()
+				switch {
+				case err != nil || (status != http.StatusOK && status != http.StatusTooManyRequests):
+					errors++
+				case status == http.StatusTooManyRequests:
+					rejected++
+				default:
+					lats = append(lats, d)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return experiments.LatencyPoint(cfg.Clients, lats, rejected, errors, time.Since(start)), nil
+}
+
+func postOnce(ctx context.Context, client *http.Client, url string, body []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	// Drain so the connection is reused across the run.
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// AnalyzeOnce issues a single analyze request and decodes the response;
+// used by ridload's warm-check and by the CI smoke job.
+func AnalyzeOnce(ctx context.Context, baseURL string, body []byte, timeout time.Duration) (*AnalyzeResponse, time.Duration, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Minute
+	}
+	client := &http.Client{Timeout: timeout}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/analyze", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	d := time.Since(t0)
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, d, fmt.Errorf("analyze: status %d: %s", resp.StatusCode, b)
+	}
+	var ar AnalyzeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		return nil, d, fmt.Errorf("analyze: decode response: %w", err)
+	}
+	return &ar, d, nil
+}

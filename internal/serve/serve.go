@@ -1,0 +1,260 @@
+// Package serve implements the analysis daemon behind `rid serve`: a
+// long-lived HTTP/JSON service that keeps the analyzer's hot state —
+// parsed IR for a resident corpus, the expression interner, the solver
+// cache, and the persistent summary store — resident across requests,
+// instead of paying cold-start per CLI invocation.
+//
+// The API surface (all JSON unless noted):
+//
+//	POST /v1/analyze          analyze sources in the request body, or the
+//	                          resident corpus; the "report" field is
+//	                          byte-identical to `rid` stdout
+//	GET  /v1/explain/{fn}     provenance derivation for one function of
+//	                          the resident corpus (text/plain, the
+//	                          `rid explain` format)
+//	GET  /v1/summary/{digest} look a summary up in the persistent store
+//	                          by content digest
+//	GET  /healthz             admission gauges, request counters,
+//	                          goroutine count (leak checks in CI)
+//	GET  /debug/...           net/http/pprof + /debug/vars with the live
+//	                          shared metrics registry
+//
+// Two mechanisms keep the daemon well-behaved under heavy traffic, both
+// reusing the context/budget plumbing the pipeline already has:
+//
+//   - Admission control: at most MaxInflight analyses run concurrently;
+//     up to QueueDepth more wait at most QueueWait for a slot, and
+//     everything beyond that is rejected immediately with 429 and a
+//     Retry-After header. An analysis is never started that the server
+//     has no capacity to finish.
+//
+//   - Per-request deadlines: every request runs under a context bounded
+//     by RequestTimeout (and by the client's own deadline_ms if sooner).
+//     A run that exceeds it degrades exactly like `rid -deadline`: the
+//     response is 504 with the partial report and the run's degradation
+//     diagnostics in the body, not a severed connection.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+	"repro/rid"
+)
+
+// Config tunes the daemon. The zero value of every field has a usable
+// default; Specs defaults to the Linux DPM specifications.
+type Config struct {
+	// Specs is the default specification set for requests that don't name
+	// one. SpecName is its flag-style name ("linux-dpm", "python-c"),
+	// echoed in /healthz.
+	Specs    rid.Specs
+	SpecName string
+	// CorpusDir, when non-empty, is loaded at startup and kept resident:
+	// requests with "corpus": true analyze it without shipping sources,
+	// and /v1/explain runs against it.
+	CorpusDir string
+	// Options are the default analysis options for every request
+	// (overridable per request where the API allows). Options.CacheDir
+	// additionally enables /v1/summary lookups against the same store.
+	Options rid.Options
+	// MaxInflight bounds concurrently running analyses (default 2).
+	MaxInflight int
+	// QueueDepth bounds requests waiting for a slot (default
+	// 4*MaxInflight); beyond it requests are rejected with 429.
+	QueueDepth int
+	// QueueWait bounds how long a queued request waits for a slot before
+	// 429 (default 2s).
+	QueueWait time.Duration
+	// RequestTimeout caps every request's analysis wall-clock (default
+	// 60s). Clients can only shorten it (deadline_ms), never extend it.
+	RequestTimeout time.Duration
+	// ResultCacheEntries bounds the in-memory memoization of analyze
+	// responses (default 128; 0 = default, negative = disabled). A
+	// repeated request — same sources, same options — is served from
+	// memory without re-analysis, byte-identical.
+	ResultCacheEntries int
+	// Log receives one line per served request; nil logs nothing.
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Specs == (rid.Specs{}) {
+		c.Specs, c.SpecName = rid.LinuxDPMSpecs(), "linux-dpm"
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 2
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.MaxInflight
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 2 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.ResultCacheEntries == 0 {
+		c.ResultCacheEntries = 128
+	}
+	return c
+}
+
+// Server is one daemon instance. Create with New, expose with Handler or
+// Start, stop with Shutdown.
+type Server struct {
+	cfg  Config
+	base *rid.Analyzer // resident corpus + shared metrics registry
+	mux  *http.ServeMux
+
+	corpus map[string]string // resident sources, nil when none loaded
+
+	sem    chan struct{} // inflight slots
+	queued atomic.Int64
+
+	served           atomic.Int64 // analyze requests answered 200
+	rejected         atomic.Int64 // 429s
+	deadlineExceeded atomic.Int64 // 504s
+	cacheHits        atomic.Int64 // result-cache hits
+
+	rcache *resultCache
+
+	lookup *store.Store // digest lookups for /v1/summary, nil without CacheDir
+
+	explainMu  sync.Mutex
+	explainRes *rid.Result
+
+	srv      *http.Server
+	listener net.Listener
+}
+
+// New builds a server: the resident corpus (if any) is parsed and lowered
+// once, here, and every later request reuses the warm state.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	base := rid.New(cfg.Specs)
+	base.SetOptions(cfg.Options)
+	s := &Server{
+		cfg:    cfg,
+		base:   base,
+		sem:    make(chan struct{}, cfg.MaxInflight),
+		rcache: newResultCache(cfg.ResultCacheEntries),
+	}
+	if cfg.CorpusDir != "" {
+		files, err := loadCorpus(cfg.CorpusDir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: load corpus: %w", err)
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("serve: corpus dir %s holds no .c files", cfg.CorpusDir)
+		}
+		s.corpus = files
+		if err := addSources(base, files); err != nil {
+			return nil, fmt.Errorf("serve: corpus: %w", err)
+		}
+	}
+	if cfg.Options.CacheDir != "" {
+		// Lookup-only handle: the zero fingerprint is fine, digest
+		// lookups don't consult it (see store.LookupDigest).
+		st, err := store.Open(cfg.Options.CacheDir, store.Fingerprint{}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.lookup = st
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /v1/explain/{fn}", s.handleExplain)
+	mux.HandleFunc("GET /v1/summary/{digest}", s.handleSummary)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("/debug/", base.DebugHandler())
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the daemon's full HTTP surface (for tests and for
+// embedding; Start serves the same handler).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (port 0 picks a free one) and serves in the
+// background, returning the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s.listener = ln
+	s.srv = &http.Server{Handler: s.mux}
+	go s.srv.Serve(ln) //nolint:errcheck // Shutdown returns ErrServerClosed here
+	return ln.Addr().String(), nil
+}
+
+// Shutdown stops accepting connections and waits for in-flight requests
+// to drain, up to ctx's deadline; it then severs whatever remains.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.srv == nil {
+		return nil
+	}
+	if err := s.srv.Shutdown(ctx); err != nil {
+		s.srv.Close() //nolint:errcheck // the Shutdown error is the one to report
+		return err
+	}
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf(format, args...)
+	}
+}
+
+// loadCorpus reads every *.c file under dir into memory, keyed by path.
+func loadCorpus(dir string) (map[string]string, error) {
+	files := map[string]string{}
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".c") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		files[path] = string(data)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return files, nil
+}
+
+// addSources loads files into a in sorted name order — the same
+// deterministic order the CLI's -dir walk and AnalyzeFiles use, so
+// last-wins duplicate merging behaves identically.
+func addSources(a *rid.Analyzer, files map[string]string) error {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := a.AddSource(n, files[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

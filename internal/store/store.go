@@ -171,18 +171,93 @@ func (s *Store) Save(fn string, d Digest, e *Entry) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("save entry %s: %w", fn, err)
 	}
+	// Sync before the rename publishes the file: otherwise a crash can
+	// leave the final name pointing at zero-length or partial content —
+	// exactly the corruption the atomic-write dance exists to rule out.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("save entry %s: sync: %w", fn, err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("save entry %s: %w", fn, err)
 	}
 	if err := os.Rename(tmp.Name(), p); err != nil {
+		// Do not leave the staged file behind: a *.tmp* orphan per failed
+		// publish would otherwise accumulate until the cache directory
+		// fills (the error itself surfaces as a cache-invalid diagnostic
+		// in core, and the run proceeds without the store).
 		os.Remove(tmp.Name())
-		return fmt.Errorf("save entry %s: %w", fn, err)
+		return fmt.Errorf("save entry %s: publish: %w", fn, err)
+	}
+	// The rename is only durable once the directory entry is: fsync the
+	// parent so a crash after Save returns cannot silently drop a
+	// "published" entry (a stale-but-valid older entry would be fine; a
+	// vanished one would re-analyze cold, which is correct but defeats
+	// the cache exactly when recovering from a crash).
+	if err := syncDir(filepath.Dir(p)); err != nil {
+		return fmt.Errorf("save entry %s: sync dir: %w", fn, err)
 	}
 	if existed {
 		s.o.Count(obs.MStoreEvictions, 1)
 	}
 	return nil
+}
+
+// syncDir fsyncs a directory, making a just-renamed entry durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// LookupDigest scans the store for an entry published under content
+// digest d (any function name) and decodes it on a match. It is the
+// lookup behind `rid serve`'s GET /v1/summary/{digest}: content digests
+// are global names, so a client holding one can fetch the corresponding
+// summary without knowing which function produced it. Returns (nil, nil)
+// when no entry carries d. Unreadable or corrupt files are skipped — they
+// are Load's problem, reported on the analysis path.
+func (s *Store) LookupDigest(d Digest) (*Entry, error) {
+	sp := s.o.Start(obs.PhaseCacheIO, "")
+	defer sp.End()
+	var found *Entry
+	root := filepath.Join(s.dir, "entries")
+	err := filepath.WalkDir(root, func(path string, de os.DirEntry, err error) error {
+		if err != nil || found != nil || de.IsDir() || !strings.HasSuffix(path, ".sum") {
+			return err
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil
+		}
+		// No fingerprint comparison here: the digest folds the fingerprint
+		// in (see digest.go), so digest equality already implies the entry
+		// was computed under the options the digest names. This lets a
+		// lookup-only Store (opened with a zero fingerprint, as `rid
+		// serve` does) resolve digests written by analysis runs.
+		hdr, payload, perr := parseHeader(data)
+		if perr != nil || hdr.digest != d {
+			return nil
+		}
+		e, derr := decodePayload(hdr, payload)
+		if derr != nil {
+			return nil
+		}
+		found = e
+		return filepath.SkipAll
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lookup digest: %w", err)
+	}
+	return found, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -379,3 +379,79 @@ func TestDigestsFoldInFingerprint(t *testing.T) {
 		}
 	}
 }
+
+// TestSaveCleansTempOnPublishFailure pins the publish path's failure
+// behavior: when the final rename cannot succeed, Save must report an
+// error AND remove the staged temp file — orphaned *.tmp* files would
+// otherwise accumulate one per failed publish until the cache directory
+// fills.
+func TestSaveCleansTempOnPublishFailure(t *testing.T) {
+	st, _ := openTestStore(t, testFingerprint())
+	fn := "drv_probe"
+	// Occupy the entry's final path with a non-empty directory so
+	// os.Rename must fail (ENOTEMPTY/EEXIST), whatever the platform.
+	p := st.path(fn)
+	if err := os.MkdirAll(filepath.Join(p, "blocker"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	err := st.Save(fn, Digest{1}, testEntry(fn))
+	if err == nil {
+		t.Fatal("Save must fail when the entry cannot be published")
+	}
+	if !strings.Contains(err.Error(), "publish") {
+		t.Errorf("error should identify the publish step: %v", err)
+	}
+	glob, _ := filepath.Glob(filepath.Join(filepath.Dir(p), "*.tmp*"))
+	if len(glob) != 0 {
+		t.Fatalf("staged temp files left behind after failed publish: %v", glob)
+	}
+}
+
+// TestLookupDigestFindsEntry pins the digest-addressed lookup behind
+// `rid serve`'s GET /v1/summary/{digest}.
+func TestLookupDigestFindsEntry(t *testing.T) {
+	st, _ := openTestStore(t, testFingerprint())
+	var d Digest
+	d[0], d[31] = 0x5e, 0x01
+	if err := st.Save("drv_probe", d, testEntry("drv_probe")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save("other_fn", Digest{9}, testEntry("other_fn")); err != nil {
+		t.Fatal(err)
+	}
+	e, err := st.LookupDigest(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e == nil || e.Fn != "drv_probe" {
+		t.Fatalf("LookupDigest: got %+v, want drv_probe's entry", e)
+	}
+	if e.Summary == nil || len(e.Reports) != 1 || e.Paths != 7 {
+		t.Fatalf("decoded entry incomplete: %+v", e)
+	}
+	// An unknown digest is an ordinary miss, not an error.
+	if e, err := st.LookupDigest(Digest{0xff}); err != nil || e != nil {
+		t.Fatalf("unknown digest: got (%v, %v), want (nil, nil)", e, err)
+	}
+}
+
+// TestLookupDigestSkipsCorrupt: corrupt neighbors must not break a lookup.
+func TestLookupDigestSkipsCorrupt(t *testing.T) {
+	st, _ := openTestStore(t, testFingerprint())
+	var d Digest
+	d[0] = 0x77
+	if err := st.Save("good_fn", d, testEntry("good_fn")); err != nil {
+		t.Fatal(err)
+	}
+	bad := st.path("bad_fn")
+	if err := os.MkdirAll(filepath.Dir(bad), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, []byte("not a store entry at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, err := st.LookupDigest(d)
+	if err != nil || e == nil || e.Fn != "good_fn" {
+		t.Fatalf("lookup with corrupt neighbor: got (%v, %v)", e, err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -280,6 +281,21 @@ func New(specs Specs) *Analyzer {
 // SetOptions replaces the analysis options.
 func (a *Analyzer) SetOptions(o Options) { a.opts = o }
 
+// SetSpecs replaces the API specifications. Sources already added keep
+// their lowering; only the next Run is affected.
+func (a *Analyzer) SetSpecs(s Specs) { a.specs = s }
+
+// NewRequest returns a fresh analyzer for one request-scoped run: it
+// shares a's specifications, options, and live metrics registry, but holds
+// its own (empty) program, so many requests can load sources and run
+// concurrently while their counters aggregate in one registry — the shape
+// `rid serve` uses, with DebugHandler exposing the shared registry live.
+// The returned analyzer's options and specs may be overridden per request
+// with SetOptions/SetSpecs without affecting a.
+func (a *Analyzer) NewRequest() *Analyzer {
+	return &Analyzer{specs: a.specs, opts: a.opts, prog: ir.NewProgram(), reg: a.reg}
+}
+
 // AddSource parses and lowers one mini-C source buffer into the program
 // under analysis. Multiple sources merge as with linking (§5.3); duplicate
 // definitions follow last-wins, mirroring weak-symbol merging.
@@ -433,9 +449,16 @@ func (r *Result) WriteMetrics(w io.Writer, format string) error {
 // globals plus the analyzer's live metrics registry under "rid_metrics".
 // It returns a function stopping the server and the bound address. The
 // registry is live: a Run in progress is visible as it happens.
+// Stopping is graceful: in-flight debug requests (a streaming profile,
+// say) get a bounded grace period to finish before the server closes.
 func (a *Analyzer) ServeDebug(addr string) (stop func() error, actual string, err error) {
 	return obs.Serve(addr, a.reg)
 }
+
+// DebugHandler returns the /debug/... handler ServeDebug serves standalone
+// (net/http/pprof, /debug/vars with the live metrics registry), for
+// embedding under another server's mux — `rid serve` mounts it at /debug/.
+func (a *Analyzer) DebugHandler() http.Handler { return obs.DebugMux(a.reg) }
 
 // WriteDiagnostics renders the run's degradation diagnostics to w in the
 // named format ("text" or "json"); see cmd/rid's -diag flag.

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke bench bench-sweep bench-all serve-bench vet fmt cover examples experiments clean
+.PHONY: all build test race fuzz-smoke spec-suite bench bench-sweep bench-all serve-bench vet fmt cover examples experiments clean
 
 all: build vet test
 
@@ -15,12 +15,20 @@ test: vet
 race:
 	$(GO) test -race ./internal/...
 
-# Short fuzzing pass over the four fuzz targets; CI runs the same budget.
+# Short fuzzing pass over the five fuzz targets; CI runs the same budget.
 fuzz-smoke:
 	$(GO) test ./internal/frontend/lexer -fuzz=FuzzLexer -fuzztime=20s
 	$(GO) test ./internal/frontend/parser -fuzz=FuzzParser -fuzztime=20s
 	$(GO) test ./internal/solver -fuzz=FuzzSolver -fuzztime=20s
 	$(GO) test ./internal/store -fuzz=FuzzStoreLoad -fuzztime=20s
+	$(GO) test ./internal/spec -fuzz=FuzzSpecParser -fuzztime=20s
+
+# The spec-pack quality suite: detection matrices and cache differentials
+# on the lock/fd corpora, plus the precision/recall gates (recall 1.0,
+# precision >= 0.9) enforced through ridbench.
+spec-suite:
+	$(GO) test -count=1 ./internal/spec/ ./internal/corpus/lockgen/ ./internal/corpus/fdgen/ ./internal/experiments/ -run 'Spec|Pack|Detection|StaticCovers|Cache|Generate'
+	$(GO) run ./cmd/ridbench -packs -min-precision 0.9 -min-recall 1
 
 # §6.5 scaling benches with allocation stats; raw go-test JSON lands in
 # bench.out.json (scratch) for before/after comparisons.

@@ -96,29 +96,30 @@ func cliMain() (code int) {
 		}
 	}
 	var (
-		specName = flag.String("spec", "linux-dpm", "predefined API specs: linux-dpm or python-c")
-		specFile = flag.String("spec-file", "", "additional summary-DSL file to merge")
-		dir      = flag.String("dir", "", "analyze every *.c file under this directory")
-		maxPaths = flag.Int("max-paths", 100, "maximum paths enumerated per function")
-		maxSubs  = flag.Int("max-subcases", 10, "maximum summary entries per path")
-		cat2     = flag.Int("cat2-conds", 3, "category-2 complexity gate (conditional branches)")
-		workers  = flag.Int("workers", 1, "scheduler workers (negative = all cores)")
-		deadline = flag.Duration("deadline", 0, "overall run deadline (0 = none); partial results are printed")
-		funcTO   = flag.Duration("func-timeout", 0, "per-function wall-clock budget (0 = none)")
-		maxCons  = flag.Int("solver-max-constraints", 0, "solver give-up threshold in inequalities per query (0 = default)")
-		maxSplit = flag.Int("solver-max-splits", 0, "solver disequality case-split budget per query (0 = default)")
-		verbose  = flag.Bool("v", false, "print full two-entry evidence for each bug")
-		stats    = flag.Bool("stats", false, "print classification and analysis statistics")
-		diag     = flag.Bool("diag", false, "print degradation diagnostics (truncations, timeouts, panics)")
-		separate = flag.Bool("separate", false, "analyze files separately with a shared summary DB (§5.3)")
-		saveSums = flag.String("save-summaries", "", "write the computed summary database to this JSON file")
-		dotFn    = flag.String("dot", "", "print the named function's CFG in Graphviz dot syntax and exit")
-		format   = flag.String("format", "text", "report format: text, json or sarif")
-		suppress = flag.String("suppress", "", "comma-separated function names whose reports are discarded")
-		trace    = flag.String("trace", "", "write a JSONL span log of every pipeline phase to this file")
-		cacheDir = flag.String("cache-dir", "", "persistent summary store directory: warm runs skip unchanged functions (see README)")
-		metrics  = flag.Bool("metrics", false, "print the metrics registry (counters and phase histograms) after the run")
-		pprofSrv = flag.String("pprof", "", "serve /debug/pprof/ and /debug/vars on this address (e.g. localhost:6060) for the duration of the run")
+		specName  = flag.String("spec", "linux-dpm", "base API specs: a built-in pack (fd, linux-dpm, lock, python-c) or a spec-DSL file path")
+		specPacks = flag.String("spec-pack", "", "comma-separated built-in packs merged into -spec (conflicting API definitions are rejected)")
+		specFile  = flag.String("spec-file", "", "additional summary-DSL file to merge")
+		dir       = flag.String("dir", "", "analyze every *.c file under this directory")
+		maxPaths  = flag.Int("max-paths", 100, "maximum paths enumerated per function")
+		maxSubs   = flag.Int("max-subcases", 10, "maximum summary entries per path")
+		cat2      = flag.Int("cat2-conds", 3, "category-2 complexity gate (conditional branches)")
+		workers   = flag.Int("workers", 1, "scheduler workers (negative = all cores)")
+		deadline  = flag.Duration("deadline", 0, "overall run deadline (0 = none); partial results are printed")
+		funcTO    = flag.Duration("func-timeout", 0, "per-function wall-clock budget (0 = none)")
+		maxCons   = flag.Int("solver-max-constraints", 0, "solver give-up threshold in inequalities per query (0 = default)")
+		maxSplit  = flag.Int("solver-max-splits", 0, "solver disequality case-split budget per query (0 = default)")
+		verbose   = flag.Bool("v", false, "print full two-entry evidence for each bug")
+		stats     = flag.Bool("stats", false, "print classification and analysis statistics")
+		diag      = flag.Bool("diag", false, "print degradation diagnostics (truncations, timeouts, panics)")
+		separate  = flag.Bool("separate", false, "analyze files separately with a shared summary DB (§5.3)")
+		saveSums  = flag.String("save-summaries", "", "write the computed summary database to this JSON file")
+		dotFn     = flag.String("dot", "", "print the named function's CFG in Graphviz dot syntax and exit")
+		format    = flag.String("format", "text", "report format: text, json or sarif")
+		suppress  = flag.String("suppress", "", "comma-separated function names whose reports are discarded")
+		trace     = flag.String("trace", "", "write a JSONL span log of every pipeline phase to this file")
+		cacheDir  = flag.String("cache-dir", "", "persistent summary store directory: warm runs skip unchanged functions (see README)")
+		metrics   = flag.Bool("metrics", false, "print the metrics registry (counters and phase histograms) after the run")
+		pprofSrv  = flag.String("pprof", "", "serve /debug/pprof/ and /debug/vars on this address (e.g. localhost:6060) for the duration of the run")
 	)
 	flag.Parse()
 
@@ -161,7 +162,7 @@ func cliMain() (code int) {
 			stopSrv := serveDebug(*pprofSrv, copts.Obs.Registry())
 			defer stopSrv()
 		}
-		runSeparate(ctx, flag.Args(), *specName, *specFile, copts, *saveSums, *diag, *metrics, *format)
+		runSeparate(ctx, flag.Args(), *specName, splitList(*specPacks), *specFile, copts, *saveSums, *diag, *metrics, *format)
 		return 0
 	}
 
@@ -170,6 +171,7 @@ func cliMain() (code int) {
 		MaxPaths:             *maxPaths,
 		MaxSubcases:          *maxSubs,
 		MaxCat2Conds:         *cat2,
+		SpecPacks:            splitList(*specPacks),
 		Workers:              *workers,
 		FuncTimeout:          *funcTO,
 		SolverMaxConstraints: *maxCons,
@@ -263,7 +265,8 @@ func runServe(args []string) {
 	fs := flag.NewFlagSet("rid serve", flag.ExitOnError)
 	var (
 		addr        = fs.String("addr", "localhost:8080", "listen address (port 0 picks a free one)")
-		specName    = fs.String("spec", "linux-dpm", "default API specs: linux-dpm or python-c")
+		specName    = fs.String("spec", "linux-dpm", "default API specs: a built-in pack (fd, linux-dpm, lock, python-c) or a spec-DSL file path")
+		specPacks   = fs.String("spec-pack", "", "comma-separated built-in packs merged into -spec for every request")
 		specFile    = fs.String("spec-file", "", "additional summary-DSL file merged into the default specs")
 		dir         = fs.String("dir", "", "resident corpus: every *.c under this directory is kept loaded; enables corpus requests and /v1/explain")
 		cacheDir    = fs.String("cache-dir", "", "persistent summary store shared by all requests; enables /v1/summary digest lookups")
@@ -289,6 +292,7 @@ func runServe(args []string) {
 			Workers:     *workers,
 			FuncTimeout: *funcTO,
 			CacheDir:    *cacheDir,
+			SpecPacks:   splitList(*specPacks),
 		},
 		CorpusDir:      *dir,
 		MaxInflight:    *maxInflight,
@@ -327,13 +331,14 @@ func runServe(args []string) {
 func runExplain(args []string) {
 	fs := flag.NewFlagSet("rid explain", flag.ExitOnError)
 	var (
-		specName = fs.String("spec", "linux-dpm", "predefined API specs: linux-dpm or python-c")
-		specFile = fs.String("spec-file", "", "additional summary-DSL file to merge")
-		dir      = fs.String("dir", "", "analyze every *.c file under this directory")
-		fnFilter = fs.String("fn", "", "explain only bugs in this comma-separated function list")
-		htmlOut  = fs.String("html", "", "also write a self-contained HTML evidence page to this file")
-		workers  = fs.Int("workers", 1, "scheduler workers (negative = all cores)")
-		trace    = fs.String("trace", "", "write a JSONL span log to this file (evidence query refs gain trace seq numbers)")
+		specName  = fs.String("spec", "linux-dpm", "base API specs: a built-in pack (fd, linux-dpm, lock, python-c) or a spec-DSL file path")
+		specPacks = fs.String("spec-pack", "", "comma-separated built-in packs merged into -spec")
+		specFile  = fs.String("spec-file", "", "additional summary-DSL file to merge")
+		dir       = fs.String("dir", "", "analyze every *.c file under this directory")
+		fnFilter  = fs.String("fn", "", "explain only bugs in this comma-separated function list")
+		htmlOut   = fs.String("html", "", "also write a self-contained HTML evidence page to this file")
+		workers   = fs.Int("workers", 1, "scheduler workers (negative = all cores)")
+		trace     = fs.String("trace", "", "write a JSONL span log to this file (evidence query refs gain trace seq numbers)")
 	)
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
@@ -343,7 +348,7 @@ func runExplain(args []string) {
 	specs := loadSpecs(*specName, *specFile)
 
 	a := rid.New(specs)
-	opts := rid.Options{Workers: *workers, Provenance: true}
+	opts := rid.Options{Workers: *workers, Provenance: true, SpecPacks: splitList(*specPacks)}
 	traceW := openTrace(*trace)
 	if traceW != nil {
 		defer traceW.close()
@@ -403,7 +408,7 @@ func runExplain(args []string) {
 // runSeparate implements the §5.3 separate-compilation mode: each file is
 // lowered on its own and file groups are analyzed in dependency order with
 // a shared summary database.
-func runSeparate(ctx context.Context, paths []string, specName, specFile string, opts core.Options, saveSums string, diag, metrics bool, format string) {
+func runSeparate(ctx context.Context, paths []string, specName string, specPacks []string, specFile string, opts core.Options, saveSums string, diag, metrics bool, format string) {
 	files := make(map[string]string, len(paths))
 	for _, p := range paths {
 		data, err := os.ReadFile(p)
@@ -415,14 +420,24 @@ func runSeparate(ctx context.Context, paths []string, specName, specFile string,
 	if len(files) == 0 {
 		fatalf("-separate needs explicit file arguments")
 	}
-	var sp *spec.Specs
-	switch specName {
-	case "linux-dpm":
-		sp = spec.LinuxDPM()
-	case "python-c":
-		sp = spec.PythonC()
-	default:
-		fatalf("unknown -spec %q", specName)
+	sp, err := spec.Pack(specName)
+	if err != nil {
+		data, rerr := os.ReadFile(specName)
+		if rerr != nil {
+			fatalf("unknown -spec %q (want a built-in pack: fd, linux-dpm, lock, python-c, or a spec file path)", specName)
+		}
+		if sp, err = spec.Parse(specName, string(data)); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	for _, name := range specPacks {
+		p, err := spec.Pack(name)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := sp.MergeStrict(p); err != nil {
+			fatalf("spec pack %s: %v", name, err)
+		}
 	}
 	if specFile != "" {
 		data, err := os.ReadFile(specFile)
@@ -433,7 +448,9 @@ func runSeparate(ctx context.Context, paths []string, specName, specFile string,
 		if err != nil {
 			fatalf("%v", err)
 		}
-		sp.Merge(extra)
+		if err := sp.MergeStrict(extra); err != nil {
+			fatalf("%s: %v", specFile, err)
+		}
 	}
 	res, err := core.AnalyzeFiles(ctx, files, sp, opts)
 	if err != nil {
@@ -471,16 +488,20 @@ func runSeparate(ctx context.Context, paths []string, specName, specFile string,
 }
 
 // loadSpecs resolves the -spec/-spec-file pair shared by every
-// subcommand.
+// subcommand. -spec accepts a built-in pack name (fd, linux-dpm, lock,
+// python-c) or a path to a spec DSL file; -spec-file merges an extra DSL
+// file on top, rejecting conflicting API redefinitions.
 func loadSpecs(specName, specFile string) rid.Specs {
-	var specs rid.Specs
-	switch specName {
-	case "linux-dpm":
-		specs = rid.LinuxDPMSpecs()
-	case "python-c":
-		specs = rid.PythonCSpecs()
-	default:
-		fatalf("unknown -spec %q (want linux-dpm or python-c)", specName)
+	specs, err := rid.SpecPack(specName)
+	if err != nil {
+		data, rerr := os.ReadFile(specName)
+		if rerr != nil {
+			fatalf("unknown -spec %q (want a built-in pack: fd, linux-dpm, lock, python-c, or a spec file path)", specName)
+		}
+		specs, err = rid.Specs{}.Parse(specName, string(data))
+		if err != nil {
+			fatalf("%v", err)
+		}
 	}
 	if specFile != "" {
 		data, err := os.ReadFile(specFile)
@@ -494,6 +515,21 @@ func loadSpecs(specName, specFile string) rid.Specs {
 		}
 	}
 	return specs
+}
+
+// splitList parses a comma-separated flag value into its non-empty
+// elements.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // serveDebug starts the pprof/expvar server for -separate mode (the main

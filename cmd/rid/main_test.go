@@ -117,6 +117,100 @@ func TestCLIUnknownSpec(t *testing.T) {
 	}
 }
 
+const buggyLockUser = `
+extern int mutex_trylock(struct lock *l);
+extern void mutex_unlock(struct lock *l);
+extern int dev_io(struct lock *l);
+
+int lk_op(struct lock *l) {
+    int ret;
+    if (mutex_trylock(l) == 0)
+        return -1;
+    ret = dev_io(l);
+    if (ret < 0)
+        return ret;
+    mutex_unlock(l);
+    return ret;
+}
+`
+
+// TestCLISpecPackFindsLockBug pins the -spec-pack happy path: merging the
+// lock pack onto the default refcount specs finds a lock imbalance and
+// exits 1, with the report naming the lock resource.
+func TestCLISpecPackFindsLockBug(t *testing.T) {
+	bin := buildCLI(t)
+	src := filepath.Join(t.TempDir(), "lk.c")
+	if err := os.WriteFile(src, []byte(buggyLockUser), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-spec-pack", "lock", src).CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit 1 (bug found), got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "lk_op") || !strings.Contains(string(out), "lock [l].held") {
+		t.Fatalf("output: %s", out)
+	}
+	// Without the pack the same source is silent: the lock APIs are
+	// unknown externs to the refcount specs.
+	out2, err2 := exec.Command(bin, src).CombinedOutput()
+	if err2 != nil {
+		t.Fatalf("pack-less run should exit 0: %v\n%s", err2, out2)
+	}
+}
+
+// TestCLISpecLoaderErrors pins the loader's exact diagnostics and the
+// exit-2 contract on each failure path: a missing spec file, a pack
+// conflict via -spec-file, a malformed delta, and an unknown pack name.
+func TestCLISpecLoaderErrors(t *testing.T) {
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "x.c")
+	if err := os.WriteFile(src, []byte("int f(void) { return 0; }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	missing := filepath.Join(dir, "nope.spec")
+
+	dup := filepath.Join(dir, "dup.spec")
+	if err := os.WriteFile(dup, []byte(
+		"summary spin_lock(l) { entry { cons: true; changes: [l].held -= 1; return: ; } }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := filepath.Join(dir, "bad.spec")
+	if err := os.WriteFile(bad, []byte(
+		"summary f(x) {\n  entry { cons: true; changes: [x].held += q; return: ; }\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing spec file", []string{"-spec-file", missing, src},
+			"rid: open " + missing + ": no such file or directory"},
+		{"duplicate api across packs", []string{"-spec", "lock", "-spec-file", dup, src},
+			"rid: " + dup + `: conflicting definitions of API "spin_lock"`},
+		{"malformed delta", []string{"-spec-file", bad, src},
+			"rid: " + bad + `:2: expected integer delta, found "q"`},
+		{"unknown pack name", []string{"-spec-pack", "bogus", src},
+			`rid: unknown spec pack "bogus" (have fd, linux-dpm, lock, python-c)`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command(bin, tc.args...).CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ExitCode() != 2 {
+				t.Fatalf("want exit 2, got %v\n%s", err, out)
+			}
+			if got := strings.TrimSpace(string(out)); got != tc.want {
+				t.Fatalf("diagnostic:\n got: %s\nwant: %s", got, tc.want)
+			}
+		})
+	}
+}
+
 func TestCLISeparateMode(t *testing.T) {
 	bin := buildCLI(t)
 	dir := t.TempDir()

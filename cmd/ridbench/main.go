@@ -12,6 +12,8 @@
 //	ridbench -perf -compare perf.json     # ...and diff against a saved series
 //	ridbench -perf -cache-dir dir         # cold vs warm runs with the persistent summary store
 //	ridbench -perf -workers 1,2,4,8       # worker sweep: one snapshot per setting + scaling efficiency
+//	ridbench -packs          # spec packs: precision/recall on the lock/fd corpora
+//	ridbench -packs -min-precision 0.9 -min-recall 1  # ...and gate on the scores
 //	ridbench -show-specs     # the predefined summaries (Figure 7)
 package main
 
@@ -81,6 +83,9 @@ func main() {
 		cacheDir    = flag.String("cache-dir", "", "with -perf: measure cold vs warm runs against this persistent summary store")
 		compare     = flag.String("compare", "", "diff the -perf series against a snapshot written by -perf-json")
 		ablations   = flag.Bool("ablations", false, "design-decision ablations (DESIGN.md §5)")
+		packs       = flag.Bool("packs", false, "spec packs: precision/recall of the lock and fd packs on their seeded corpora")
+		minPrec     = flag.Float64("min-precision", 0, "with -packs: exit non-zero if any pack's precision is below this (0 = no gate)")
+		minRecall   = flag.Float64("min-recall", 0, "with -packs: exit non-zero if any pack's recall is below this (0 = no gate)")
 		showSpecs   = flag.Bool("show-specs", false, "print the predefined summaries (Figure 7)")
 		workersFlag = flag.String("workers", "1", "scheduler workers: one count, or a comma list (e.g. 1,2,4,8) to sweep -perf across settings; any negative value = all cores")
 		minScaling  = flag.Float64("min-scaling", 0, "with a -workers sweep: exit non-zero unless the largest setting's analyze-time speedup over the first is at least this (0 = no gate)")
@@ -120,14 +125,19 @@ func main() {
 	if *minScaling > 0 && len(workerList) < 2 {
 		check(fmt.Errorf("-min-scaling needs a -workers sweep with at least two settings"))
 	}
-	any := *table1 || *table2 || *dpm || *misuse || *perf || *showSpecs || *ablations
+	if *minPrec > 0 || *minRecall > 0 {
+		*packs = true
+	}
+	any := *table1 || *table2 || *dpm || *misuse || *perf || *showSpecs || *ablations || *packs
 	if *all || !any {
-		*table1, *table2, *dpm, *misuse, *perf, *ablations = true, true, true, true, true, true
+		*table1, *table2, *dpm, *misuse, *perf, *ablations, *packs = true, true, true, true, true, true, true
 	}
 
 	if *showSpecs {
 		printSpecs("Linux DPM", spec.LinuxDPM())
 		printSpecs("Python/C", spec.PythonC())
+		printSpecs("Lock pack", spec.Lock())
+		printSpecs("FD pack", spec.FD())
 	}
 	if *table1 {
 		cfg := experiments.DefaultTable1()
@@ -213,6 +223,21 @@ func main() {
 		rows, err := experiments.Ablations(ctx)
 		check(err)
 		fmt.Println(experiments.FormatAblations(rows))
+	}
+	if *packs {
+		scores, err := experiments.PackEval(ctx, *seed, *workers)
+		check(err)
+		fmt.Println(experiments.FormatPackScores(scores))
+		for _, s := range scores {
+			if *minPrec > 0 && s.Precision < *minPrec {
+				check(fmt.Errorf("pack gate: %s precision %.3f is below the required %.3f (spurious: %v)",
+					s.Pack, s.Precision, *minPrec, s.Spurious))
+			}
+			if *minRecall > 0 && s.Recall < *minRecall {
+				check(fmt.Errorf("pack gate: %s recall %.3f is below the required %.3f (missed: %v)",
+					s.Pack, s.Recall, *minRecall, s.Missed))
+			}
+		}
 	}
 }
 

@@ -1,28 +1,51 @@
-// Command ridgen writes a synthetic evaluation corpus to disk: either a
-// Linux-like DPM driver tree (-kind kernel) or the three Python/C-like
-// modules of Table 2 (-kind pyc). The generated sources are mini-C and can
-// be analyzed with cmd/rid.
+// Command ridgen writes a synthetic evaluation corpus to disk: a
+// Linux-like DPM driver tree (-kind kernel), the three Python/C-like
+// modules of Table 2 (-kind pyc), or the spec-pack corpora for the lock
+// and fd packs (-kind lock, -kind fd). The generated sources are mini-C
+// and can be analyzed with cmd/rid (use -spec lock / -spec fd for the
+// pack corpora).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
+	"repro/internal/corpus/fdgen"
 	"repro/internal/corpus/kernelgen"
+	"repro/internal/corpus/lockgen"
 	"repro/internal/corpus/pycgen"
 )
 
+// truthEntry is one function's machine-readable ground-truth label in
+// TRUTH.json.
+type truthEntry struct {
+	Pattern    string `json:"pattern"`
+	Real       bool   `json:"real"`
+	Detectable bool   `json:"detectable"`
+	FPExpected bool   `json:"fp_expected"`
+}
+
+// truthFile is the TRUTH.json sidecar: enough to regenerate and to score
+// an analysis run without importing the generator.
+type truthFile struct {
+	Pack      string                `json:"pack"`
+	Generator string                `json:"generator"`
+	Seed      int64                 `json:"seed"`
+	Functions map[string]truthEntry `json:"functions"`
+}
+
 func main() {
 	var (
-		kind    = flag.String("kind", "kernel", "corpus kind: kernel or pyc")
+		kind    = flag.String("kind", "kernel", "corpus kind: kernel, pyc, lock or fd")
 		out     = flag.String("out", "corpus", "output directory")
 		seed    = flag.Int64("seed", 317, "generation seed")
 		others  = flag.Int("others", 200, "kernel: category-3 utility functions")
 		helpers = flag.Int("helpers", 10, "kernel: simple category-2 helpers")
 		complx  = flag.Int("complex", 8, "kernel: complex category-2 helpers")
-		truth   = flag.Bool("truth", false, "also write ground-truth labels (TRUTH.txt)")
+		truth   = flag.Bool("truth", false, "also write ground-truth labels (TRUTH.txt; TRUTH.json for lock/fd)")
 	)
 	flag.Parse()
 
@@ -60,10 +83,47 @@ func main() {
 			}
 		}
 		fmt.Printf("wrote %d files to %s\n", total, *out)
+	case "lock":
+		c := lockgen.Generate(lockgen.Config{Seed: *seed, Mix: lockgen.DefaultMix()})
+		writeFiles(*out, c.Files)
+		if *truth {
+			tf := truthFile{Pack: "lock", Generator: "lockgen", Seed: *seed,
+				Functions: make(map[string]truthEntry, len(c.Truth))}
+			for fn, info := range c.Truth {
+				tf.Functions[fn] = truthEntry{Pattern: string(info.Pattern),
+					Real: info.Real, Detectable: info.Detectable, FPExpected: info.FPExpected}
+			}
+			writeTruthJSON(*out, tf)
+		}
+		fmt.Printf("wrote %d files, %d functions to %s\n", len(c.Files), c.NumFuncs, *out)
+	case "fd":
+		c := fdgen.Generate(fdgen.Config{Seed: *seed, Mix: fdgen.DefaultMix()})
+		writeFiles(*out, c.Files)
+		if *truth {
+			tf := truthFile{Pack: "fd", Generator: "fdgen", Seed: *seed,
+				Functions: make(map[string]truthEntry, len(c.Truth))}
+			for fn, info := range c.Truth {
+				tf.Functions[fn] = truthEntry{Pattern: string(info.Pattern),
+					Real: info.Real, Detectable: info.Detectable, FPExpected: info.FPExpected}
+			}
+			writeTruthJSON(*out, tf)
+		}
+		fmt.Printf("wrote %d files, %d functions to %s\n", len(c.Files), c.NumFuncs, *out)
 	default:
-		fmt.Fprintf(os.Stderr, "ridgen: unknown -kind %q\n", *kind)
+		fmt.Fprintf(os.Stderr, "ridgen: unknown -kind %q (want kernel, pyc, lock or fd)\n", *kind)
 		os.Exit(2)
 	}
+}
+
+func writeTruthJSON(root string, tf truthFile) {
+	data, err := json.MarshalIndent(tf, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		fatal(err)
+	}
+	mustWrite(filepath.Join(root, "TRUTH.json"), append(data, '\n'))
 }
 
 func writeFiles(root string, files map[string]string) {

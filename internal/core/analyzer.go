@@ -86,6 +86,13 @@ type Options struct {
 	// default; the disabled path does no extra work and no extra
 	// allocations (TestProvenanceOffAllocFree).
 	Provenance bool
+
+	// fieldKinds and specDigest are derived from the run's specs inside
+	// analyzeWithDB: the field→resource-kind map tags reports with their
+	// resource kind, and the spec fingerprint keys the summary store so
+	// caches never cross-contaminate between spec packs.
+	fieldKinds map[string]string
+	specDigest string
 }
 
 // withDefaults normalizes each option independently: an explicitly set
@@ -181,6 +188,10 @@ func analyzeWithDB(ctx context.Context, prog *ir.Program, specs *spec.Specs, db 
 	opts.Exec.Obs = opts.Obs
 	if opts.Provenance {
 		opts.Exec.Provenance = true
+	}
+	if specs != nil {
+		opts.fieldKinds = specs.FieldKinds()
+		opts.specDigest = specs.Fingerprint()
 	}
 	reg := opts.Obs.Registry()
 	solverBase := solverCounters(reg)
@@ -327,7 +338,7 @@ func analyzeOne(ctx context.Context, fn *ir.Func, db *summary.DB, slv *solver.So
 		}()
 		ex := symexec.New(db, slv, opts.Exec)
 		sres = ex.Summarize(fctx, fn)
-		out.reports, out.sum = ipp.CheckWith(fctx, sres, slv, ipp.Options{NoBucketing: opts.NoBucketing, Obs: opts.Obs, Provenance: opts.Provenance})
+		out.reports, out.sum = ipp.CheckWith(fctx, sres, slv, ipp.Options{NoBucketing: opts.NoBucketing, Obs: opts.Obs, Provenance: opts.Provenance, FieldKinds: opts.fieldKinds})
 		out.paths = sres.NumPaths
 	}()
 	if out.panicked {

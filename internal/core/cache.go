@@ -53,6 +53,7 @@ func cacheFingerprint(opts Options) store.Fingerprint {
 		NoBucketing:          opts.NoBucketing,
 		SolverMaxConstraints: lim.MaxConstraints,
 		SolverMaxSplits:      lim.MaxSplits,
+		SpecDigest:           opts.specDigest,
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -184,7 +185,8 @@ func TestCacheVersionSkewFallsBackCold(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		skewed := strings.Replace(string(data), "RIDSUM 1 ", "RIDSUM 99 ", 1)
+		skewed := strings.Replace(string(data),
+			fmt.Sprintf("RIDSUM %d ", store.FormatVersion), "RIDSUM 99 ", 1)
 		if err := os.WriteFile(p, []byte(skewed), 0o644); err != nil {
 			t.Fatal(err)
 		}

@@ -444,7 +444,7 @@ func (s *stealRun) analyzeOneStealing(fn *ir.Func, w *stealWorker) funcOutcome {
 			}
 		}()
 		sres = fj.job.Finish()
-		out.reports, out.sum = ipp.CheckWith(fctx, sres, w.slv, ipp.Options{NoBucketing: opts.NoBucketing, Obs: opts.Obs, Provenance: opts.Provenance})
+		out.reports, out.sum = ipp.CheckWith(fctx, sres, w.slv, ipp.Options{NoBucketing: opts.NoBucketing, Obs: opts.Obs, Provenance: opts.Provenance, FieldKinds: opts.fieldKinds})
 		out.paths = sres.NumPaths
 	}()
 	w.wc.AddBusy(time.Since(tCheck))

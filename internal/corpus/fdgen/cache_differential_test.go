@@ -1,0 +1,86 @@
+package fdgen
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/spec"
+)
+
+func analyzeCorpus(t testing.TB, c *Corpus, specs *spec.Specs, cacheDir string, workers int) (*core.Result, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	res := core.Analyze(context.Background(), buildProgram(t, c), specs,
+		core.Options{Workers: workers, CacheDir: cacheDir, Obs: obs.New(nil, reg)})
+	return res, reg
+}
+
+func renderOutcome(res *core.Result) string {
+	var b strings.Builder
+	for _, r := range res.ReportsByFunction() {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+		b.WriteString(r.Detail())
+		b.WriteByte('\n')
+	}
+	for _, d := range res.Diagnostics {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestCacheWarmStartDifferentialFD is the fd-pack warm-start oracle: a
+// cold run populates the store and a warm run over the same corpus must
+// be byte-identical with every lookup a hit, at one worker and at four.
+func TestCacheWarmStartDifferentialFD(t *testing.T) {
+	c := Generate(Config{Seed: 23, Mix: DefaultMix()})
+	specs := spec.FD()
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			dir := t.TempDir()
+			cold, _ := analyzeCorpus(t, c, specs, dir, workers)
+			if len(cold.Reports) == 0 {
+				t.Fatal("cold run produced no reports; the oracle is vacuous")
+			}
+			warm, wreg := analyzeCorpus(t, c, specs, dir, workers)
+			if got, want := renderOutcome(warm), renderOutcome(cold); got != want {
+				t.Errorf("warm output differs from cold:\n--- warm ---\n%s--- cold ---\n%s", got, want)
+			}
+			h, m := wreg.Counter(obs.MStoreHits), wreg.Counter(obs.MStoreMisses)
+			if h == 0 || m != 0 {
+				t.Errorf("warm run hits/misses = %d/%d, want all hits", h, m)
+			}
+		})
+	}
+}
+
+// TestCacheSpecPackIsolation pins cache safety from the fd side: an
+// fd-pack store is invisible to a refcount run on the same directory,
+// and fd entries replay byte-identically afterwards.
+func TestCacheSpecPackIsolation(t *testing.T) {
+	c := Generate(Config{Seed: 29, Mix: DefaultMix()})
+	dir := t.TempDir()
+
+	cold, _ := analyzeCorpus(t, c, spec.FD(), dir, 1)
+	if len(cold.Reports) == 0 {
+		t.Fatal("cold fd run produced no reports; the oracle is vacuous")
+	}
+
+	_, oreg := analyzeCorpus(t, c, spec.PythonC(), dir, 1)
+	if h := oreg.Counter(obs.MStoreHits); h != 0 {
+		t.Fatalf("python-c run hit %d fd-pack entries", h)
+	}
+
+	warm, wreg := analyzeCorpus(t, c, spec.FD(), dir, 1)
+	if h, m := wreg.Counter(obs.MStoreHits), wreg.Counter(obs.MStoreMisses); h == 0 || m != 0 {
+		t.Errorf("fd warm run hits/misses = %d/%d, want all hits", h, m)
+	}
+	if got, want := renderOutcome(warm), renderOutcome(cold); got != want {
+		t.Errorf("fd warm output differs from cold:\n--- warm ---\n%s--- cold ---\n%s", got, want)
+	}
+}

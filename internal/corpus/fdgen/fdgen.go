@@ -1,0 +1,349 @@
+// Package fdgen generates a deterministic file-handle lifecycle corpus in
+// the mini-C language, with ground-truth labels, for the fd-leak spec
+// pack (spec.FD). It covers the pack's whole API surface: allocation
+// (fd_open/fd_dup with null-checked failure entries), balance
+// (fd_get/fd_put, fd_close), and ownership transfer (fd_send drops the
+// caller's handle only on success).
+//
+// Detectable bugs recycle their return values so the leaking path and a
+// clean path are co-satisfiable; the consistent-leak and disjoint-return
+// patterns are real bugs deliberately outside RID's reach.
+package fdgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Pattern identifies a generation template.
+type Pattern string
+
+// Generation templates. "Bug*" patterns contain a real handle-lifecycle
+// bug; "FP*" patterns are correct code the abstraction cannot prove
+// consistent; "Correct*" patterns are clean.
+const (
+	CorrectOpenClose   Pattern = "correct-open-close"   // open, use, close
+	CorrectReturnOwner Pattern = "correct-return-owner" // handle escapes to the caller
+	CorrectGetPut      Pattern = "correct-get-put"      // pinned around work, both exits
+	CorrectSendCleanup Pattern = "correct-send-cleanup" // close only when the send failed
+	BugOpenErrLeak     Pattern = "bug-open-err-leak"    // error exit drops the handle; detectable
+	BugDupLeak         Pattern = "bug-dup-leak"         // dup'd handle leaks on error; detectable
+	BugDoubleClose     Pattern = "bug-double-close"     // closed twice on the tail; detectable
+	BugGetErrReturn    Pattern = "bug-get-err-return"   // pin kept on the error exit; detectable
+	BugSendOwnership   Pattern = "bug-send-ownership"   // close-on-send-failure vs keep-on-early-error; detectable
+	BugConsistentLeak  Pattern = "bug-consistent-leak"  // leaked on the only success path; real, NOT detectable
+	FPFlagGuard        Pattern = "fp-flag-guard"        // flag-guarded get/put false positive
+)
+
+// Mix sets how many functions of each pattern to generate.
+type Mix struct {
+	CorrectOpenClose   int
+	CorrectReturnOwner int
+	CorrectGetPut      int
+	CorrectSendCleanup int
+	BugOpenErrLeak     int
+	BugDupLeak         int
+	BugDoubleClose     int
+	BugGetErrReturn    int
+	BugSendOwnership   int
+	BugConsistentLeak  int
+	FPFlagGuard        int
+}
+
+// DefaultMix is a small corpus with every pattern represented and a
+// TP:FP ratio that keeps precision above 0.9 at full recall.
+func DefaultMix() Mix {
+	return Mix{
+		CorrectOpenClose:   4,
+		CorrectReturnOwner: 3,
+		CorrectGetPut:      3,
+		CorrectSendCleanup: 3,
+		BugOpenErrLeak:     3,
+		BugDupLeak:         3,
+		BugDoubleClose:     2,
+		BugGetErrReturn:    2,
+		BugSendOwnership:   2,
+		BugConsistentLeak:  2,
+		FPFlagGuard:        1,
+	}
+}
+
+// Config controls corpus generation.
+type Config struct {
+	Seed         int64
+	Mix          Mix
+	FuncsPerFile int // default 10
+}
+
+// BugInfo labels one generated function.
+type BugInfo struct {
+	Pattern    Pattern
+	Real       bool // a real handle-lifecycle bug exists in the function
+	Detectable bool // within RID's reach (an IPP on [f].fd exists)
+	FPExpected bool // correct code on which RID is expected to report
+}
+
+// Corpus is the generated source tree plus ground truth.
+type Corpus struct {
+	Files    map[string]string
+	Truth    map[string]BugInfo
+	NumFuncs int
+}
+
+// header declares the fd APIs (covered by spec.FD) and the havocked
+// externs the bodies branch on.
+const header = `
+struct file;
+struct sock;
+struct req { int flags; int mode; };
+
+extern struct file *fd_open(struct req *p);
+extern struct file *fd_dup(struct file *f);
+extern void fd_close(struct file *f);
+extern void fd_get(struct file *f);
+extern void fd_put(struct file *f);
+extern int fd_send(struct sock *s, struct file *f);
+extern int req_setup(struct req *r, struct file *f);
+extern int req_check(struct file *f);
+`
+
+// Generate builds the corpus.
+func Generate(cfg Config) *Corpus {
+	if cfg.FuncsPerFile == 0 {
+		cfg.FuncsPerFile = 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &Corpus{
+		Files: make(map[string]string),
+		Truth: make(map[string]BugInfo),
+	}
+	var seq []Pattern
+	add := func(p Pattern, n int) {
+		for i := 0; i < n; i++ {
+			seq = append(seq, p)
+		}
+	}
+	m := cfg.Mix
+	add(CorrectOpenClose, m.CorrectOpenClose)
+	add(CorrectReturnOwner, m.CorrectReturnOwner)
+	add(CorrectGetPut, m.CorrectGetPut)
+	add(CorrectSendCleanup, m.CorrectSendCleanup)
+	add(BugOpenErrLeak, m.BugOpenErrLeak)
+	add(BugDupLeak, m.BugDupLeak)
+	add(BugDoubleClose, m.BugDoubleClose)
+	add(BugGetErrReturn, m.BugGetErrReturn)
+	add(BugSendOwnership, m.BugSendOwnership)
+	add(BugConsistentLeak, m.BugConsistentLeak)
+	add(FPFlagGuard, m.FPFlagGuard)
+	rng.Shuffle(len(seq), func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
+
+	var b strings.Builder
+	b.WriteString(header)
+	fileIdx := 1
+	funcsInFile := 0
+	flush := func() {
+		if funcsInFile == 0 {
+			return
+		}
+		c.Files[fmt.Sprintf("fds/mod%02d.c", fileIdx)] = b.String()
+		b.Reset()
+		b.WriteString(header)
+		fileIdx++
+		funcsInFile = 0
+	}
+	for i, p := range seq {
+		name := fmt.Sprintf("fd_%s_%d", slug(p), i+1)
+		info, src := genFunc(rng, name, p)
+		c.Truth[name] = info
+		b.WriteString(src)
+		c.NumFuncs++
+		funcsInFile++
+		if funcsInFile >= cfg.FuncsPerFile {
+			flush()
+		}
+	}
+	flush()
+	return c
+}
+
+func slug(p Pattern) string {
+	return strings.NewReplacer("correct-", "ok_", "bug-", "b_", "fp-", "fp_", "-", "_").Replace(string(p))
+}
+
+func genFunc(rng *rand.Rand, name string, p Pattern) (BugInfo, string) {
+	info := BugInfo{Pattern: p}
+	var src string
+	switch p {
+	case CorrectOpenClose:
+		src = fmt.Sprintf(`
+int %s(struct req *p) {
+    struct file *f;
+    f = fd_open(p);
+    if (f == NULL)
+        return -1;
+    req_check(f);
+    fd_close(f);
+    return 0;
+}
+`, name)
+	case CorrectReturnOwner:
+		src = fmt.Sprintf(`
+struct file *%s(struct req *p, struct req *r) {
+    struct file *f;
+    f = fd_open(p);
+    if (f == NULL)
+        return NULL;
+    if (req_setup(r, f) < 0) {
+        fd_close(f);
+        return NULL;
+    }
+    return f;
+}
+`, name)
+	case CorrectGetPut:
+		src = fmt.Sprintf(`
+int %s(struct file *f, struct req *r) {
+    int ret;
+    fd_get(f);
+    ret = req_setup(r, f);
+    if (ret < 0) {
+        fd_put(f);
+        return ret;
+    }
+    fd_put(f);
+    return 0;
+}
+`, name)
+	case CorrectSendCleanup:
+		// Success transfers ownership (net -1), failure closes (net -1):
+		// consistent on every path.
+		src = fmt.Sprintf(`
+int %s(struct sock *s, struct file *f) {
+    int ret;
+    ret = fd_send(s, f);
+    if (ret < 0)
+        fd_close(f);
+    return ret;
+}
+`, name)
+	case BugOpenErrLeak:
+		// Both NULL returns are co-satisfiable; only the second still
+		// holds the handle — detectable.
+		info.Real, info.Detectable = true, true
+		src = fmt.Sprintf(`
+struct file *%s(struct req *p, struct req *r) {
+    struct file *f;
+    f = fd_open(p);
+    if (f == NULL)
+        return NULL;
+    if (req_setup(r, f) < 0)
+        return NULL;
+    return f;
+}
+`, name)
+	case BugDupLeak:
+		// The dup-failure exit returns -1 with net 0; the error exit
+		// recycles req_setup's result (which can be -1) holding the
+		// dup'd handle — detectable.
+		info.Real, info.Detectable = true, true
+		src = fmt.Sprintf(`
+int %s(struct file *f0, struct req *r) {
+    struct file *f;
+    int ret;
+    f = fd_dup(f0);
+    if (f == NULL)
+        return -1;
+    ret = req_setup(r, f);
+    if (ret < 0)
+        return ret;
+    fd_close(f);
+    return 0;
+}
+`, name)
+	case BugDoubleClose:
+		// The tail closes twice (net -1) and recycles req_setup's result;
+		// the open-failure exit returns the same -1 with net 0 — detectable.
+		info.Real, info.Detectable = true, true
+		src = fmt.Sprintf(`
+int %s(struct req *p, struct req *r) {
+    struct file *f;
+    int ret;
+    f = fd_open(p);
+    if (f == NULL)
+        return -1;
+    ret = req_setup(r, f);
+    fd_close(f);
+    fd_close(f);
+    return ret;
+}
+`, name)
+	case BugGetErrReturn:
+		// The early error exit keeps the pin and returns -1; the balanced
+		// tail recycles req_setup's result, which can also be -1 —
+		// detectable.
+		info.Real, info.Detectable = true, true
+		src = fmt.Sprintf(`
+int %s(struct file *f, struct req *r) {
+    int ret;
+    fd_get(f);
+    if (req_check(f) < 0)
+        return -1;
+    ret = req_setup(r, f);
+    fd_put(f);
+    return ret;
+}
+`, name)
+	case BugSendOwnership:
+		// On the early error the caller keeps the handle (net 0); on a
+		// failed send it is closed (net -1). Both exits can return -1, so
+		// the caller cannot know whether it still owns f — detectable.
+		info.Real, info.Detectable = true, true
+		src = fmt.Sprintf(`
+int %s(struct sock *s, struct file *f, struct req *r) {
+    int ret;
+    ret = req_setup(r, f);
+    if (ret < 0)
+        return ret;
+    ret = fd_send(s, f);
+    if (ret < 0) {
+        fd_close(f);
+        return ret;
+    }
+    return 0;
+}
+`, name)
+	case BugConsistentLeak:
+		// Leaked on the only success path, but the two exits return
+		// disjoint constants: no co-satisfiable pair. Real bug, outside
+		// RID's reach.
+		info.Real, info.Detectable = true, false
+		src = fmt.Sprintf(`
+int %s(struct req *p, struct req *r) {
+    struct file *f;
+    f = fd_open(p);
+    if (f == NULL)
+        return -1;
+    req_setup(r, f);
+    return 0;
+}
+`, name)
+	case FPFlagGuard:
+		// Correct flag-guarded pinning: the abstraction havocs the bit
+		// test, so the (pinned, not-released) combination looks feasible.
+		info.FPExpected = true
+		mask := 1 << rng.Intn(5)
+		src = fmt.Sprintf(`
+void %s(struct file *f, struct req *r) {
+    if (r->flags & %d) {
+        fd_get(f);
+    }
+    req_setup(r, f);
+    if (r->flags & %d) {
+        fd_put(f);
+    }
+}
+`, name, mask, mask)
+	}
+	return info, src
+}

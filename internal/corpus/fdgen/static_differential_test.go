@@ -1,0 +1,74 @@
+package fdgen
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/spec"
+)
+
+// TestStaticCoversDynamicWitnessesFD differentially tests the static
+// pipeline under the fd-leak pack against the concrete interpreter: any
+// function the interpreter can exhibit an IPP witness for (two
+// executions, same arguments and return value, different net [f].fd)
+// must be statically reported or carry a degradation diagnostic.
+// Workers=1 and Workers=4 must produce the same report set.
+func TestStaticCoversDynamicWitnessesFD(t *testing.T) {
+	specs := spec.FD()
+	for _, seed := range []int64{7, 211} {
+		c := Generate(Config{Seed: seed, Mix: DefaultMix()})
+		prog := buildProgram(t, c)
+
+		seq := core.Analyze(context.Background(), prog, specs, core.Options{Workers: 1})
+		par := core.Analyze(context.Background(), prog, specs, core.Options{Workers: 4})
+
+		reported := map[string]bool{}
+		for _, r := range seq.Reports {
+			reported[r.Fn] = true
+		}
+		parReported := map[string]bool{}
+		for _, r := range par.Reports {
+			parReported[r.Fn] = true
+		}
+		for fn := range reported {
+			if !parReported[fn] {
+				t.Errorf("seed %d: %s reported at Workers=1 but not Workers=4", seed, fn)
+			}
+		}
+		for fn := range parReported {
+			if !reported[fn] {
+				t.Errorf("seed %d: %s reported at Workers=4 but not Workers=1", seed, fn)
+			}
+		}
+
+		explained := map[string]bool{}
+		for _, d := range seq.Diagnostics {
+			if d.Fn != "" {
+				explained[d.Fn] = true
+			}
+		}
+
+		for fn, info := range c.Truth {
+			f := prog.Funcs[fn]
+			if f == nil {
+				t.Fatalf("seed %d: labeled function %s not in program", seed, fn)
+			}
+			w, err := interp.FindWitness(prog, specs, fn, ptrParams(f.Params), 800, seed*3+1)
+			if err != nil {
+				t.Fatalf("seed %d: %s: %v", seed, fn, err)
+			}
+			if info.Real && info.Detectable && w == nil {
+				t.Errorf("seed %d: %s (%s): detectable bug has no dynamic witness", seed, fn, info.Pattern)
+			}
+			if w == nil {
+				continue
+			}
+			if !reported[fn] && !explained[fn] {
+				t.Errorf("seed %d: %s has a dynamic IPP witness but no static report and no diagnostic\n  A: %s\n  B: %s",
+					seed, fn, w.A.Key(), w.B.Key())
+			}
+		}
+	}
+}

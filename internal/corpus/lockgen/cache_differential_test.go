@@ -1,0 +1,100 @@
+package lockgen
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/spec"
+)
+
+func analyzeCorpus(t testing.TB, c *Corpus, specs *spec.Specs, cacheDir string, workers int) (*core.Result, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	res := core.Analyze(context.Background(), buildProgram(t, c), specs,
+		core.Options{Workers: workers, CacheDir: cacheDir, Obs: obs.New(nil, reg)})
+	return res, reg
+}
+
+func renderOutcome(res *core.Result) string {
+	var b strings.Builder
+	for _, r := range res.ReportsByFunction() {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+		b.WriteString(r.Detail())
+		b.WriteByte('\n')
+	}
+	for _, d := range res.Diagnostics {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestCacheWarmStartDifferentialLock is the lock-pack warm-start oracle:
+// a cold run populates the store and a warm run over the same corpus must
+// be byte-identical with every lookup a hit, at one worker and at four.
+func TestCacheWarmStartDifferentialLock(t *testing.T) {
+	c := Generate(Config{Seed: 23, Mix: DefaultMix()})
+	specs := spec.Lock()
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			dir := t.TempDir()
+			cold, _ := analyzeCorpus(t, c, specs, dir, workers)
+			if len(cold.Reports) == 0 {
+				t.Fatal("cold run produced no reports; the oracle is vacuous")
+			}
+			warm, wreg := analyzeCorpus(t, c, specs, dir, workers)
+			if got, want := renderOutcome(warm), renderOutcome(cold); got != want {
+				t.Errorf("warm output differs from cold:\n--- warm ---\n%s--- cold ---\n%s", got, want)
+			}
+			h, m := wreg.Counter(obs.MStoreHits), wreg.Counter(obs.MStoreMisses)
+			if h == 0 || m != 0 {
+				t.Errorf("warm run hits/misses = %d/%d, want all hits", h, m)
+			}
+		})
+	}
+}
+
+// TestCacheSpecPackIsolation pins the cache-safety contract: two spec
+// packs sharing one cache directory must never share summaries. A warm
+// run under a different pack sees only misses, and the original pack's
+// entries still replay byte-identically afterwards.
+func TestCacheSpecPackIsolation(t *testing.T) {
+	c := Generate(Config{Seed: 29, Mix: DefaultMix()})
+	dir := t.TempDir()
+
+	cold, creg := analyzeCorpus(t, c, spec.Lock(), dir, 1)
+	if h := creg.Counter(obs.MStoreHits); h != 0 {
+		t.Fatalf("cold lock run had %d hits", h)
+	}
+	if len(cold.Reports) == 0 {
+		t.Fatal("cold lock run produced no reports; the oracle is vacuous")
+	}
+
+	// Same corpus, same cache dir, refcount pack: the spec digest differs,
+	// so every lookup must miss — a hit would replay lock summaries into a
+	// refcount run.
+	other, oreg := analyzeCorpus(t, c, spec.LinuxDPM(), dir, 1)
+	if h := oreg.Counter(obs.MStoreHits); h != 0 {
+		t.Fatalf("linux-dpm run hit %d lock-pack entries", h)
+	}
+	for _, r := range other.Reports {
+		if r.Resource == "lock" {
+			t.Errorf("refcount run replayed a lock report in %s", r.Fn)
+		}
+	}
+
+	// The lock entries survived: a lock warm run is all hits and
+	// byte-identical to its cold run.
+	warm, wreg := analyzeCorpus(t, c, spec.Lock(), dir, 1)
+	if h, m := wreg.Counter(obs.MStoreHits), wreg.Counter(obs.MStoreMisses); h == 0 || m != 0 {
+		t.Errorf("lock warm run hits/misses = %d/%d, want all hits", h, m)
+	}
+	if got, want := renderOutcome(warm), renderOutcome(cold); got != want {
+		t.Errorf("lock warm output differs from cold:\n--- warm ---\n%s--- cold ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,377 @@
+// Package lockgen generates a deterministic lock-discipline corpus in the
+// mini-C language, with ground-truth labels, for the lock-imbalance spec
+// pack (spec.Lock). It is the lock-world twin of kernelgen: the lock APIs
+// are extern declarations covered by the pack's summaries; a wrapper pair
+// (trylock-style conditional acquire plus unconditional release) exercises
+// summary propagation; and the bug patterns are the acquire/release
+// analogs of the paper's Figures 8–10 — error paths that forget the
+// unlock, double unlocks, and the constant-return shape RID cannot reach.
+//
+// Every generated function is labeled with whether it contains a real
+// bug, whether that bug is within RID's reach (an inconsistent path pair
+// on [l].held exists), and whether a report on it would be a false
+// positive. Detectable patterns recycle their return values so the two
+// paths stay co-satisfiable; the undetectable patterns return disjoint
+// constants or are imbalanced on every path.
+package lockgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Pattern identifies a generation template.
+type Pattern string
+
+// Generation templates. "Bug*" patterns contain a real lock-balance bug;
+// "FP*" patterns are correct code the abstraction cannot prove
+// consistent; "Correct*" patterns are clean.
+const (
+	CorrectBalanced      Pattern = "correct-balanced"       // lock/unlock around work
+	CorrectTrylock       Pattern = "correct-trylock"        // conditional acquire used right
+	CorrectInterruptible Pattern = "correct-interruptible"  // -EINTR path handled
+	CorrectWrapperUse    Pattern = "correct-wrapper-use"    // wrapper pair used right
+	BugErrPathNoUnlock   Pattern = "bug-err-path-no-unlock" // second acquire fails, first stays held; detectable
+	BugDoubleUnlock      Pattern = "bug-double-unlock"      // over-release on the error path; detectable
+	BugTrylockLeak       Pattern = "bug-trylock-leak"       // error exit skips the unlock; detectable
+	BugWrapperErrPath    Pattern = "bug-wrapper-err-path"   // leak behind the wrapper pair; detectable
+	BugHeldAllPaths      Pattern = "bug-held-all-paths"     // never released; real, NOT detectable
+	BugConstRet          Pattern = "bug-const-ret"          // Figure-10 analog; real, NOT detectable
+	FPBitmask            Pattern = "fp-bitmask"             // flag-guarded lock/unlock false positive
+)
+
+// Mix sets how many functions of each pattern to generate.
+type Mix struct {
+	CorrectBalanced      int
+	CorrectTrylock       int
+	CorrectInterruptible int
+	CorrectWrapperUse    int
+	BugErrPathNoUnlock   int
+	BugDoubleUnlock      int
+	BugTrylockLeak       int
+	BugWrapperErrPath    int
+	BugHeldAllPaths      int
+	BugConstRet          int
+	FPBitmask            int
+}
+
+// DefaultMix is a small corpus with every pattern represented and a
+// TP:FP ratio that keeps precision above 0.9 at full recall.
+func DefaultMix() Mix {
+	return Mix{
+		CorrectBalanced:      4,
+		CorrectTrylock:       3,
+		CorrectInterruptible: 3,
+		CorrectWrapperUse:    3,
+		BugErrPathNoUnlock:   3,
+		BugDoubleUnlock:      3,
+		BugTrylockLeak:       3,
+		BugWrapperErrPath:    3,
+		BugHeldAllPaths:      2,
+		BugConstRet:          2,
+		FPBitmask:            1,
+	}
+}
+
+// Config controls corpus generation.
+type Config struct {
+	Seed         int64
+	Mix          Mix
+	FuncsPerFile int // default 10
+}
+
+// BugInfo labels one generated function.
+type BugInfo struct {
+	Pattern    Pattern
+	Real       bool // a real lock-balance bug exists in the function
+	Detectable bool // within RID's reach (an IPP on [l].held exists)
+	FPExpected bool // correct code on which RID is expected to report
+}
+
+// Corpus is the generated source tree plus ground truth.
+type Corpus struct {
+	Files    map[string]string
+	Truth    map[string]BugInfo // per generated function (wrappers excluded)
+	Wrappers []string
+	NumFuncs int
+}
+
+// header declares the lock APIs (covered by spec.Lock) and the havocked
+// externs the bodies branch on.
+const header = `
+struct lock;
+struct devc { struct lock mtx; int flags; };
+
+extern void spin_lock(struct lock *l);
+extern void spin_unlock(struct lock *l);
+extern int spin_trylock(struct lock *l);
+extern void mutex_lock(struct lock *l);
+extern void mutex_unlock(struct lock *l);
+extern int mutex_trylock(struct lock *l);
+extern int mutex_lock_interruptible(struct lock *l);
+extern int dev_io(struct devc *d);
+extern void log_warn(struct devc *d);
+`
+
+// wrappers is the devc acquire/release pair: a trylock-style conditional
+// acquire (0 held, -1 not) and its release. Callers only see them through
+// their computed summaries.
+const wrappers = `
+int devc_trylock(struct devc *d) {
+    int ok;
+    ok = mutex_trylock(&d->mtx);
+    if (ok)
+        return 0;
+    return -1;
+}
+
+void devc_unlock(struct devc *d) {
+    mutex_unlock(&d->mtx);
+}
+`
+
+// Generate builds the corpus.
+func Generate(cfg Config) *Corpus {
+	if cfg.FuncsPerFile == 0 {
+		cfg.FuncsPerFile = 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &Corpus{
+		Files:    make(map[string]string),
+		Truth:    make(map[string]BugInfo),
+		Wrappers: []string{"devc_trylock", "devc_unlock"},
+	}
+	var seq []Pattern
+	add := func(p Pattern, n int) {
+		for i := 0; i < n; i++ {
+			seq = append(seq, p)
+		}
+	}
+	m := cfg.Mix
+	add(CorrectBalanced, m.CorrectBalanced)
+	add(CorrectTrylock, m.CorrectTrylock)
+	add(CorrectInterruptible, m.CorrectInterruptible)
+	add(CorrectWrapperUse, m.CorrectWrapperUse)
+	add(BugErrPathNoUnlock, m.BugErrPathNoUnlock)
+	add(BugDoubleUnlock, m.BugDoubleUnlock)
+	add(BugTrylockLeak, m.BugTrylockLeak)
+	add(BugWrapperErrPath, m.BugWrapperErrPath)
+	add(BugHeldAllPaths, m.BugHeldAllPaths)
+	add(BugConstRet, m.BugConstRet)
+	add(FPBitmask, m.FPBitmask)
+	rng.Shuffle(len(seq), func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
+
+	var b strings.Builder
+	fileIdx := 1
+	funcsInFile := 0
+	open := func() {
+		b.Reset()
+		b.WriteString(header)
+		if fileIdx == 1 {
+			b.WriteString(wrappers)
+			c.NumFuncs += 2
+		}
+	}
+	flush := func() {
+		if funcsInFile == 0 && fileIdx != 1 {
+			return
+		}
+		c.Files[fmt.Sprintf("locks/mod%02d.c", fileIdx)] = b.String()
+		fileIdx++
+		funcsInFile = 0
+		open()
+	}
+	open()
+	for i, p := range seq {
+		name := fmt.Sprintf("lk_%s_%d", slug(p), i+1)
+		info, src := genFunc(rng, name, p)
+		c.Truth[name] = info
+		b.WriteString(src)
+		c.NumFuncs++
+		funcsInFile++
+		if funcsInFile >= cfg.FuncsPerFile {
+			flush()
+		}
+	}
+	flush()
+	return c
+}
+
+func slug(p Pattern) string {
+	return strings.NewReplacer("correct-", "ok_", "bug-", "b_", "fp-", "fp_", "-", "_").Replace(string(p))
+}
+
+func genFunc(rng *rand.Rand, name string, p Pattern) (BugInfo, string) {
+	info := BugInfo{Pattern: p}
+	var src string
+	switch p {
+	case CorrectBalanced:
+		src = fmt.Sprintf(`
+int %s(struct lock *l, struct devc *d) {
+    int ret;
+    spin_lock(l);
+    ret = dev_io(d);
+    spin_unlock(l);
+    return ret;
+}
+`, name)
+	case CorrectTrylock:
+		src = fmt.Sprintf(`
+int %s(struct lock *l, struct devc *d) {
+    int got;
+    got = spin_trylock(l);
+    if (got == 0)
+        return -1;
+    dev_io(d);
+    spin_unlock(l);
+    return 0;
+}
+`, name)
+	case CorrectInterruptible:
+		src = fmt.Sprintf(`
+int %s(struct lock *l, struct devc *d) {
+    int ret;
+    ret = mutex_lock_interruptible(l);
+    if (ret < 0)
+        return ret;
+    ret = dev_io(d);
+    mutex_unlock(l);
+    return ret;
+}
+`, name)
+	case CorrectWrapperUse:
+		src = fmt.Sprintf(`
+int %s(struct devc *d) {
+    int ret;
+    ret = devc_trylock(d);
+    if (ret < 0)
+        return ret;
+    dev_io(d);
+    devc_unlock(d);
+    return 0;
+}
+`, name)
+	case BugErrPathNoUnlock:
+		// Double-acquire error path: when m fails, l stays held. Both the
+		// l-failure and m-failure paths return -EINTR, so they are
+		// co-satisfiable and differ in net [l].held — detectable.
+		info.Real, info.Detectable = true, true
+		src = fmt.Sprintf(`
+int %s(struct lock *l, struct lock *m, struct devc *d) {
+    int ret;
+    ret = mutex_lock_interruptible(l);
+    if (ret < 0)
+        return ret;
+    ret = mutex_lock_interruptible(m);
+    if (ret < 0)
+        return ret;
+    dev_io(d);
+    mutex_unlock(m);
+    mutex_unlock(l);
+    return 0;
+}
+`, name)
+	case BugDoubleUnlock:
+		// The trylock-failure exit returns -1 with net 0; the error exit
+		// releases twice (net -1) and recycles dev_io's result, which can
+		// also be -1 — detectable.
+		info.Real, info.Detectable = true, true
+		src = fmt.Sprintf(`
+int %s(struct lock *l, struct devc *d) {
+    int got;
+    int ret;
+    got = spin_trylock(l);
+    if (got == 0)
+        return -1;
+    ret = dev_io(d);
+    if (ret < 0) {
+        spin_unlock(l);
+        spin_unlock(l);
+        return ret;
+    }
+    spin_unlock(l);
+    return 0;
+}
+`, name)
+	case BugTrylockLeak:
+		// The error exit forgets the unlock and recycles dev_io's result;
+		// the not-acquired exit returns the same -1 with net 0 — detectable.
+		info.Real, info.Detectable = true, true
+		src = fmt.Sprintf(`
+int %s(struct lock *l, struct devc *d) {
+    int got;
+    int ret;
+    got = spin_trylock(l);
+    if (got == 0)
+        return -1;
+    ret = dev_io(d);
+    if (ret < 0)
+        return ret;
+    spin_unlock(l);
+    return 0;
+}
+`, name)
+	case BugWrapperErrPath:
+		// Same leak, but both the acquire and the release are behind the
+		// devc wrapper pair: detecting it needs their computed summaries.
+		info.Real, info.Detectable = true, true
+		src = fmt.Sprintf(`
+int %s(struct devc *d) {
+    int ret;
+    ret = devc_trylock(d);
+    if (ret < 0)
+        return ret;
+    ret = dev_io(d);
+    if (ret < 0)
+        return ret;
+    devc_unlock(d);
+    return 0;
+}
+`, name)
+	case BugHeldAllPaths:
+		// Never released: every path carries +1, so no inconsistent pair
+		// exists. Real bug, outside RID's reach.
+		info.Real, info.Detectable = true, false
+		src = fmt.Sprintf(`
+int %s(struct lock *l, struct devc *d) {
+    mutex_lock(l);
+    dev_io(d);
+    return 0;
+}
+`, name)
+	case BugConstRet:
+		// Figure-10 analog: the leaking path and the clean path return
+		// distinct constants, so no co-satisfiable pair exists.
+		info.Real, info.Detectable = true, false
+		src = fmt.Sprintf(`
+int %s(struct lock *l, struct devc *d) {
+    int ret;
+    ret = mutex_lock_interruptible(l);
+    if (ret < 0) {
+        log_warn(d);
+        return 0;
+    }
+    dev_io(d);
+    return 1;
+}
+`, name)
+	case FPBitmask:
+		// Correct flag-guarded locking: the abstraction havocs the bit
+		// test, so the (locked, not-unlocked) combination looks feasible.
+		info.FPExpected = true
+		mask := 1 << rng.Intn(5)
+		src = fmt.Sprintf(`
+void %s(struct devc *d) {
+    if (d->flags & %d) {
+        mutex_lock(&d->mtx);
+    }
+    dev_io(d);
+    if (d->flags & %d) {
+        mutex_unlock(&d->mtx);
+    }
+}
+`, name, mask, mask)
+	}
+	return info, src
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// TestPackEvalGates is the tier-1 quality gate for the shipped spec
+// packs: on the seeded corpora every detectable bug is found (recall
+// 1.0) and at most the by-design FP patterns are spurious (precision
+// ≥ 0.9).
+func TestPackEvalGates(t *testing.T) {
+	scores, err := PackEval(context.Background(), 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 2 {
+		t.Fatalf("PackEval returned %d scores, want 2", len(scores))
+	}
+	for _, s := range scores {
+		if s.Recall != 1.0 {
+			t.Errorf("%s: recall = %.3f, want 1.0 (missed: %v)", s.Pack, s.Recall, s.Missed)
+		}
+		if s.Precision < 0.9 {
+			t.Errorf("%s: precision = %.3f, want >= 0.9 (spurious: %v)", s.Pack, s.Precision, s.Spurious)
+		}
+		if s.TP == 0 {
+			t.Errorf("%s: no true positives; the gate is vacuous", s.Pack)
+		}
+		if s.FP == 0 {
+			t.Errorf("%s: no false positives; the FP pattern stopped firing and the precision gate is vacuous", s.Pack)
+		}
+	}
+}
+
+// TestScoreCounting pins the scorer's accounting on a hand-built case.
+func TestScoreCounting(t *testing.T) {
+	truth := map[string]GroundTruth{
+		"hit":        {Real: true, Detectable: true},
+		"miss":       {Real: true, Detectable: true},
+		"unreach":    {Real: true},       // undetectable: excluded from recall
+		"fp_pattern": {FPExpected: true}, // correct code, reported
+		"clean":      {},                 // correct code, silent
+	}
+	reported := map[string]bool{"hit": true, "fp_pattern": true, "stranger": true}
+	s := Score("x", truth, reported)
+	if s.TP != 1 || s.FP != 2 || s.FN != 1 {
+		t.Fatalf("TP/FP/FN = %d/%d/%d, want 1/2/1", s.TP, s.FP, s.FN)
+	}
+	if s.Recall != 0.5 {
+		t.Errorf("recall = %v, want 0.5", s.Recall)
+	}
+	if len(s.Missed) != 1 || s.Missed[0] != "miss" {
+		t.Errorf("missed = %v", s.Missed)
+	}
+	if len(s.Spurious) != 2 {
+		t.Errorf("spurious = %v", s.Spurious)
+	}
+}

@@ -26,6 +26,11 @@ type Report struct {
 	SrcFile  string
 	Pos      token.Pos
 	Refcount *sym.Expr
+	// Resource is the declared resource kind of the tracked expression
+	// ("lock", "fd", ...) when a non-refcount spec pack claims its field.
+	// Empty for refcount packs, keeping their rendering and encodings
+	// byte-identical to the refcount-only analyzer.
+	Resource string
 	EntryA   *summary.Entry
 	EntryB   *summary.Entry
 	PathA    int
@@ -49,10 +54,19 @@ type Report struct {
 // IPP is reported as a bug").
 func (r *Report) Key() string { return r.Fn + "\x00" + r.Refcount.Key() }
 
+// ResourceWord is the noun used when rendering the report: the declared
+// resource kind, or "refcount" when none was tagged.
+func (r *Report) ResourceWord() string {
+	if r.Resource == "" {
+		return "refcount"
+	}
+	return r.Resource
+}
+
 // String renders a human-readable one-line diagnostic.
 func (r *Report) String() string {
-	return fmt.Sprintf("%s: function %s: inconsistent path pair on refcount %s (path %d: %+d, path %d: %+d)",
-		r.Pos, r.Fn, r.Refcount, r.PathA, r.DeltaA, r.PathB, r.DeltaB)
+	return fmt.Sprintf("%s: function %s: inconsistent path pair on %s %s (path %d: %+d, path %d: %+d)",
+		r.Pos, r.Fn, r.ResourceWord(), r.Refcount, r.PathA, r.DeltaA, r.PathB, r.DeltaB)
 }
 
 // Detail renders the full two-entry evidence, in the layout of Figure 2,
@@ -60,7 +74,7 @@ func (r *Report) String() string {
 func (r *Report) Detail() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "function %s (%s)\n", r.Fn, r.Pos)
-	fmt.Fprintf(&b, "  refcount: %s\n", r.Refcount)
+	fmt.Fprintf(&b, "  %s: %s\n", r.ResourceWord(), r.Refcount)
 	fmt.Fprintf(&b, "  path %d entry: %s\n", r.PathA, r.EntryA)
 	fmt.Fprintf(&b, "  path %d entry: %s\n", r.PathB, r.EntryB)
 	if len(r.Witness) > 0 {
@@ -99,6 +113,23 @@ type Options struct {
 	// the symexec pass to have run with Config.Provenance (otherwise
 	// the evidence carries only projected constraints and no paths).
 	Provenance bool
+
+	// FieldKinds maps tracked field names to their declared resource
+	// kinds (spec.Specs.FieldKinds). Reports on fields of a non-refcount
+	// kind are tagged with it; nil or unknown fields default to refcount.
+	FieldKinds map[string]string
+}
+
+// resourceKind resolves the resource tag for a tracked expression from
+// the outermost field name, returning "" for the default refcount kind.
+func resourceKind(rc *sym.Expr, kinds map[string]string) string {
+	if kinds == nil || rc.Kind != sym.KField {
+		return ""
+	}
+	if k, ok := kinds[rc.Name]; ok && k != "refcount" {
+		return k
+	}
+	return ""
 }
 
 // Check runs the consistency check over the per-path entries of one
@@ -201,6 +232,7 @@ func CheckWith(ctx context.Context, res symexec.Result, slv *solver.Solver, opts
 					SrcFile:  fn.SrcFile,
 					Pos:      fn.Pos,
 					Refcount: rc,
+					Resource: resourceKind(rc, opts.FieldKinds),
 					EntryA:   k.Entry,
 					EntryB:   cand.Entry,
 					PathA:    k.PathIndex,

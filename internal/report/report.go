@@ -259,8 +259,8 @@ func writeSARIF(w io.Writer, reports []*ipp.Report) error {
 			RuleID: ruleID,
 			Level:  "warning",
 			Message: sarifMessage{Text: fmt.Sprintf(
-				"function %s: inconsistent path pair on refcount %s (%+d vs %+d)",
-				r.Fn, r.Refcount.Key(), r.DeltaA, r.DeltaB)},
+				"function %s: inconsistent path pair on %s %s (%+d vs %+d)",
+				r.Fn, r.ResourceWord(), r.Refcount.Key(), r.DeltaA, r.DeltaB)},
 		}
 		if r.Pos.IsValid() && r.Pos.File != "" {
 			res.Locations = []sarifLocation{{PhysicalLocation: sarifPhysical{

@@ -24,11 +24,13 @@ const maxBodyBytes = 32 << 20
 // AnalyzeRequest is the POST /v1/analyze body. Exactly one of Files and
 // Corpus selects the sources; everything else is optional.
 type AnalyzeRequest struct {
-	// Spec names a predefined specification set ("linux-dpm" or
-	// "python-c"); empty uses the server default. SpecSrc is additional
-	// summary-DSL source merged on top.
-	Spec    string `json:"spec,omitempty"`
-	SpecSrc string `json:"spec_src,omitempty"`
+	// Spec names a built-in specification pack ("fd", "linux-dpm",
+	// "lock", "python-c"); empty uses the server default. SpecPacks merge
+	// further built-in packs on top (conflicting API definitions are
+	// rejected), and SpecSrc is additional summary-DSL source merged last.
+	Spec      string   `json:"spec,omitempty"`
+	SpecPacks []string `json:"spec_packs,omitempty"`
+	SpecSrc   string   `json:"spec_src,omitempty"`
 	// Files maps file names to mini-C sources. Corpus instead analyzes
 	// the corpus the server loaded at startup (-dir).
 	Files  map[string]string `json:"files,omitempty"`
@@ -110,7 +112,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, "no resident corpus: the server was started without -dir")
 		return
 	}
-	specs, err := s.resolveSpecs(req.Spec, req.SpecSrc)
+	specs, err := s.resolveSpecs(req.Spec, req.SpecPacks, req.SpecSrc)
 	if err != nil {
 		errorJSON(w, http.StatusBadRequest, "%v", err)
 		return
@@ -204,6 +206,11 @@ func (s *Server) runAnalyze(ctx context.Context, specs rid.Specs, req *AnalyzeRe
 	if len(req.Suppress) > 0 {
 		opts.Suppress = req.Suppress
 	}
+	if len(req.SpecPacks) > 0 {
+		// Request packs stack on the server's -spec-pack defaults;
+		// identical redefinitions merge cleanly, conflicts are a 400.
+		opts.SpecPacks = append(append([]string(nil), opts.SpecPacks...), req.SpecPacks...)
+	}
 	opts.QueryTiming = req.Metrics
 	var traceBuf bytes.Buffer
 	if req.Trace {
@@ -268,16 +275,21 @@ func (s *Server) requestContext(parent context.Context, deadlineMS int64) (conte
 }
 
 // resolveSpecs maps a request's spec fields onto a specification set.
-func (s *Server) resolveSpecs(name, src string) (rid.Specs, error) {
+// Extra packs are validated here (rejected before admission) but merged
+// later via Options.SpecPacks, so conflicts surface with the same
+// wording as the CLI.
+func (s *Server) resolveSpecs(name string, packs []string, src string) (rid.Specs, error) {
 	specs := s.cfg.Specs
-	switch name {
-	case "":
-	case "linux-dpm":
-		specs = rid.LinuxDPMSpecs()
-	case "python-c":
-		specs = rid.PythonCSpecs()
-	default:
-		return rid.Specs{}, fmt.Errorf("unknown spec %q (want linux-dpm or python-c)", name)
+	if name != "" {
+		var err error
+		if specs, err = rid.SpecPack(name); err != nil {
+			return rid.Specs{}, fmt.Errorf("unknown spec %q (want fd, linux-dpm, lock or python-c)", name)
+		}
+	}
+	for _, p := range packs {
+		if _, err := rid.SpecPack(p); err != nil {
+			return rid.Specs{}, err
+		}
 	}
 	if src != "" {
 		var err error
@@ -318,6 +330,8 @@ func requestKey(req *AnalyzeRequest) string {
 		}
 	}
 	put("spec", req.Spec, "specsrc", req.SpecSrc, "format", req.Format)
+	put("specpacks")
+	put(req.SpecPacks...) // order matters: merge order is load order
 	fmt.Fprintf(h, "verbose=%t corpus=%t maxpaths=%d maxsub=%d cat2=%d\x00",
 		req.Verbose, req.Corpus, req.MaxPaths, req.MaxSubcases, req.Cat2Conds)
 	sup := append([]string(nil), req.Suppress...)

@@ -11,6 +11,10 @@ package spec
 const LinuxDPMText = `
 # Linux DPM runtime power management counters (Figure 7, top).
 # get-side APIs ALWAYS increment, even when they return an error code.
+resource refcount {
+  fields: pm;
+  balance: zero;
+}
 summary pm_runtime_get(dev) {
   entry { cons: true; changes: [dev].pm += 1; return: [0]; }
 }
@@ -36,6 +40,12 @@ summary pm_runtime_put_noidle(dev) {
 
 // PythonCText is the DSL source for the Python/C object refcount APIs.
 const PythonCText = `
+# Python/C object reference counts.
+resource refcount {
+  fields: rc;
+  balance: zero;
+}
+
 # Basic interfaces (Figure 7, bottom).
 summary Py_INCREF(o) {
   entry { cons: true; changes: [o].rc += 1; return: ; }

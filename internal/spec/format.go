@@ -1,0 +1,140 @@
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/sym"
+)
+
+// Format renders the specification set back into DSL source in a
+// canonical form: resources first, then summaries, both in sorted name
+// order, with constraint conjuncts and change lists sorted by term key.
+// The output reparses to an equivalent set (Parse(Format(s)) then Format
+// is a fixpoint), which makes Format the basis for both Fingerprint and
+// the MergeStrict conflict check.
+func (s *Specs) Format() string {
+	var b strings.Builder
+	for _, k := range sortedResourceNames(s.Resources) {
+		b.WriteString(formatResource(s.Resources[k]))
+	}
+	for _, k := range s.Names() {
+		b.WriteString(formatAPI(k, s.APIs[k]))
+	}
+	return b.String()
+}
+
+// Fingerprint returns a stable content digest of the specification set,
+// suitable for keying summary caches: two Specs with the same canonical
+// rendering share a fingerprint regardless of load order or source file.
+func (s *Specs) Fingerprint() string {
+	h := sha256.Sum256([]byte(s.Format()))
+	return hex.EncodeToString(h[:])
+}
+
+func formatResource(r *Resource) string {
+	var b strings.Builder
+	b.WriteString("resource ")
+	b.WriteString(r.Kind)
+	b.WriteString(" {\n  fields:")
+	fields := append([]string(nil), r.Fields...)
+	sort.Strings(fields)
+	for i, f := range fields {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(" ")
+		b.WriteString(f)
+	}
+	b.WriteString(";\n  balance: ")
+	if r.Balance == "" {
+		b.WriteString("zero")
+	} else {
+		b.WriteString(r.Balance)
+	}
+	b.WriteString(";\n}\n")
+	return b.String()
+}
+
+func formatAPI(name string, a *API) string {
+	var b strings.Builder
+	b.WriteString("summary ")
+	b.WriteString(name)
+	b.WriteString("(")
+	b.WriteString(strings.Join(a.Params, ", "))
+	b.WriteString(") {\n")
+	if a.NewRef {
+		b.WriteString("  attr newref;\n")
+	}
+	if len(a.Steals) > 0 {
+		b.WriteString("  attr steals(")
+		for i, idx := range a.Steals {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if idx >= 0 && idx < len(a.Params) {
+				b.WriteString(a.Params[idx])
+			}
+		}
+		b.WriteString(");\n")
+	}
+	for _, e := range a.Summary.Entries {
+		b.WriteString("  entry { cons: ")
+		b.WriteString(formatCons(e.Cons))
+		b.WriteString("; changes:")
+		for i, c := range e.SortedChanges() {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if c.Delta >= 0 {
+				fmt.Fprintf(&b, " %s += %d", c.RC.Key(), c.Delta)
+			} else {
+				fmt.Fprintf(&b, " %s -= %d", c.RC.Key(), -c.Delta)
+			}
+		}
+		b.WriteString("; return:")
+		if e.Ret != nil {
+			b.WriteString(" ")
+			b.WriteString(e.Ret.Key())
+		}
+		b.WriteString("; }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// formatCons renders a constraint set as a DSL conjunction, conjuncts
+// sorted by canonical key so the rendering is independent of parse and
+// interning order.
+func formatCons(cons sym.Set) string {
+	conds := cons.Conds()
+	if len(conds) == 0 {
+		return "true"
+	}
+	parts := make([]string, 0, len(conds))
+	for _, c := range conds {
+		if c.Kind == sym.KCond {
+			parts = append(parts, c.A.Key()+" "+c.Pred.String()+" "+c.B.Key())
+		} else {
+			// Only a decided-false constant survives in a Set; render it
+			// as a contradiction the parser folds back to false.
+			parts = append(parts, "0 == 1")
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " && ")
+}
+
+// LoadFile parses one spec file from disk. The path is used as the error
+// position prefix.
+func LoadFile(path string) (*Specs, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(path, string(data))
+}

@@ -1,0 +1,36 @@
+package spec
+
+import "testing"
+
+// FuzzSpecParser fuzzes the DSL loader: no panics on arbitrary input,
+// and for any input that parses, the canonical printer is a fixpoint —
+// Format(Parse(src)) reparses and reformats byte-identically. This is
+// the property that makes Fingerprint a sound cache key.
+func FuzzSpecParser(f *testing.F) {
+	f.Add(LinuxDPMText)
+	f.Add(PythonCText)
+	f.Add(LockText)
+	f.Add(FDText)
+	f.Add("summary f(a, b) {\n  attr steals(b);\n  entry { cons: [0] == -4 && [a].x != null; changes: [a].x += 2, [b].y -= 1; return: [0]; }\n}\n")
+	f.Add("resource lock { fields: held; balance: zero; }\n")
+	f.Add("summary g() {\n  attr newref;\n  entry { cons: [0] != null; changes: [0].rc += 1; return: [0]; }\n  entry { cons: [0] == null; changes: ; return: null; }\n}\n")
+	f.Add("# comment\nsummary h(p) { entry { cons: 1 == 1 && 0 == 1; changes: [p].f += 1, [p].f -= 1; return: true; } }")
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse("fuzz", src)
+		if err != nil {
+			return
+		}
+		p1 := s.Format()
+		s2, err := Parse("fuzz-reparse", p1)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %v\ninput: %q\ncanonical:\n%s", err, src, p1)
+		}
+		p2 := s2.Format()
+		if p1 != p2 {
+			t.Fatalf("Format is not a fixpoint\ninput: %q\n--- first:\n%s\n--- second:\n%s", src, p1, p2)
+		}
+		if s.Fingerprint() != s2.Fingerprint() {
+			t.Fatal("fingerprint unstable across canonical reparse")
+		}
+	})
+}

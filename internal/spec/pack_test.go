@@ -1,0 +1,154 @@
+package spec
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackRegistry ensures every shipped pack parses and resolves.
+func TestPackRegistry(t *testing.T) {
+	for _, name := range PackNames() {
+		s, err := Pack(name)
+		if err != nil {
+			t.Fatalf("Pack(%q): %v", name, err)
+		}
+		if len(s.APIs) == 0 {
+			t.Fatalf("pack %q has no APIs", name)
+		}
+		if len(s.Resources) != 1 {
+			t.Fatalf("pack %q declares %d resources, want 1", name, len(s.Resources))
+		}
+	}
+	if _, err := Pack("bogus"); err == nil || !strings.Contains(err.Error(), `unknown spec pack "bogus"`) {
+		t.Fatalf("Pack(bogus) = %v", err)
+	}
+}
+
+// TestFormatFixpoint pins the canonical printer contract on every shipped
+// pack: Format output reparses, and reformatting the reparse is
+// byte-identical (parse∘print∘parse fixpoint).
+func TestFormatFixpoint(t *testing.T) {
+	for _, name := range PackNames() {
+		s, _ := Pack(name)
+		p1 := s.Format()
+		s2, err := Parse(name+"-reparse", p1)
+		if err != nil {
+			t.Fatalf("pack %q: canonical form does not reparse: %v\n%s", name, err, p1)
+		}
+		if p2 := s2.Format(); p1 != p2 {
+			t.Fatalf("pack %q: Format is not a fixpoint\n--- first:\n%s\n--- second:\n%s", name, p1, p2)
+		}
+	}
+}
+
+// TestFingerprintDistinguishesPacks: cache keys must differ across packs
+// and be stable for the same pack.
+func TestFingerprintDistinguishesPacks(t *testing.T) {
+	seen := make(map[string]string)
+	for _, name := range PackNames() {
+		s, _ := Pack(name)
+		fp := s.Fingerprint()
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("packs %q and %q share fingerprint %s", prev, name, fp)
+		}
+		seen[fp] = name
+		s2, _ := Pack(name)
+		if s2.Fingerprint() != fp {
+			t.Fatalf("pack %q fingerprint is not stable", name)
+		}
+	}
+}
+
+func TestMergeStrictConflict(t *testing.T) {
+	a := MustParse("a", `summary f(x) { entry { cons: true; changes: [x].held += 1; return: ; } }`)
+	b := MustParse("b", `summary f(x) { entry { cons: true; changes: [x].held -= 1; return: ; } }`)
+	merged := NewSpecs()
+	if err := merged.MergeStrict(a); err != nil {
+		t.Fatal(err)
+	}
+	err := merged.MergeStrict(b)
+	if err == nil || err.Error() != `conflicting definitions of API "f"` {
+		t.Fatalf("want conflict diagnostic, got %v", err)
+	}
+	// Identical redefinition is tolerated.
+	if err := merged.MergeStrict(a); err != nil {
+		t.Fatalf("identical redefinition rejected: %v", err)
+	}
+}
+
+func TestMergeStrictResourceUnion(t *testing.T) {
+	merged := NewSpecs()
+	if err := merged.MergeStrict(LinuxDPM()); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.MergeStrict(PythonC()); err != nil {
+		t.Fatalf("same-kind resources must union, got %v", err)
+	}
+	fk := merged.FieldKinds()
+	if fk["pm"] != "refcount" || fk["rc"] != "refcount" {
+		t.Fatalf("FieldKinds after union: %v", fk)
+	}
+	bad := MustParse("bad", `resource refcount { fields: pm; balance: saturating; }`)
+	if err := merged.MergeStrict(bad); err == nil || !strings.Contains(err.Error(), "conflicting balance") {
+		t.Fatalf("balance conflict not surfaced: %v", err)
+	}
+}
+
+func TestFieldKinds(t *testing.T) {
+	lock, _ := Pack("lock")
+	if fk := lock.FieldKinds(); fk["held"] != "lock" {
+		t.Fatalf("lock FieldKinds: %v", fk)
+	}
+	fd, _ := Pack("fd")
+	if fk := fd.FieldKinds(); fk["fd"] != "fd" {
+		t.Fatalf("fd FieldKinds: %v", fk)
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mini.spec")
+	src := "resource lock { fields: held; balance: zero; }\n" +
+		"summary grab(l) { entry { cons: true; changes: [l].held += 1; return: ; } }\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.APIs["grab"] == nil || s.Resources["lock"] == nil {
+		t.Fatalf("loaded specs incomplete: %v", s.Names())
+	}
+
+	if _, err := LoadFile(filepath.Join(dir, "nope.spec")); err == nil {
+		t.Fatal("missing file must error")
+	}
+
+	bad := filepath.Join(dir, "bad.spec")
+	if err := os.WriteFile(bad, []byte("summary f(x) {\n  entry { cons: true; changes: [x].held += q; return: ; }\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadFile(bad)
+	want := bad + `:2: expected integer delta, found "q"`
+	if err == nil || err.Error() != want {
+		t.Fatalf("malformed delta: got %v, want %s", err, want)
+	}
+}
+
+func TestParseResourceErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`resource { fields: x; }`, "expected resource kind name"},
+		{`resource lock { fields: ==; }`, "expected field name"},
+		{`resource lock { wat: 1; }`, `unknown resource field "wat"`},
+		{`summary 1bad() { entry { cons: true; changes: ; return: ; } }`, "expected function name"},
+		{`summary f(==) { entry { cons: true; changes: ; return: ; } }`, "expected parameter name"},
+	}
+	for _, c := range cases {
+		if _, err := Parse("t", c.src); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) = %v, want %s", c.src, err, c.want)
+		}
+	}
+}

@@ -39,19 +39,122 @@ type API struct {
 	NewRef  bool  // returns a new reference (allocation-style API)
 }
 
-// Specs is a set of predefined APIs.
+// Resource declares a paired-resource kind tracked by a spec pack: the
+// tracked field names (the f in [x].f delta keys) and the balance
+// semantics. The canonical refcount packs declare kind "refcount"; other
+// kinds (lock, fd) tag their reports with the kind name.
+type Resource struct {
+	Kind    string   // resource kind name ("refcount", "lock", "fd", ...)
+	Fields  []string // field names whose deltas track this resource
+	Balance string   // balance discipline; "zero" = acquire/release must net zero
+}
+
+// Specs is a set of predefined APIs plus the resource kinds they track.
 type Specs struct {
-	APIs map[string]*API
+	APIs      map[string]*API
+	Resources map[string]*Resource
 }
 
 // NewSpecs returns an empty specification set.
-func NewSpecs() *Specs { return &Specs{APIs: make(map[string]*API)} }
+func NewSpecs() *Specs {
+	return &Specs{APIs: make(map[string]*API), Resources: make(map[string]*Resource)}
+}
 
 // Merge folds other into s (other wins on conflicts).
 func (s *Specs) Merge(other *Specs) {
 	for k, v := range other.APIs {
 		s.APIs[k] = v
 	}
+	for k, v := range other.Resources {
+		if s.Resources == nil {
+			s.Resources = make(map[string]*Resource)
+		}
+		if old, ok := s.Resources[k]; ok {
+			s.Resources[k] = unionResource(old, v)
+		} else {
+			s.Resources[k] = v
+		}
+	}
+}
+
+// unionResource combines two declarations of the same resource kind:
+// field sets union (two packs can both track kind "refcount" through
+// different fields); b wins on balance.
+func unionResource(a, b *Resource) *Resource {
+	seen := make(map[string]bool, len(a.Fields)+len(b.Fields))
+	out := &Resource{Kind: a.Kind, Balance: b.Balance}
+	if out.Balance == "" {
+		out.Balance = a.Balance
+	}
+	for _, f := range append(append([]string(nil), a.Fields...), b.Fields...) {
+		if !seen[f] {
+			seen[f] = true
+			out.Fields = append(out.Fields, f)
+		}
+	}
+	sortStrings(out.Fields)
+	return out
+}
+
+// MergeStrict folds other into s, rejecting conflicting redefinitions:
+// an API or resource defined in both with a different canonical rendering
+// is an error rather than a silent last-wins. Byte-identical
+// redefinitions are tolerated (the same pack loaded twice is a no-op).
+func (s *Specs) MergeStrict(other *Specs) error {
+	for _, k := range other.Names() {
+		v := other.APIs[k]
+		if old, ok := s.APIs[k]; ok && formatAPI(k, old) != formatAPI(k, v) {
+			return fmt.Errorf("conflicting definitions of API %q", k)
+		}
+		s.APIs[k] = v
+	}
+	for _, k := range sortedResourceNames(other.Resources) {
+		v := other.Resources[k]
+		if s.Resources == nil {
+			s.Resources = make(map[string]*Resource)
+		}
+		if old, ok := s.Resources[k]; ok {
+			ab, bb := old.Balance, v.Balance
+			if ab == "" {
+				ab = "zero"
+			}
+			if bb == "" {
+				bb = "zero"
+			}
+			if ab != bb {
+				return fmt.Errorf("conflicting balance disciplines for resource %q (%s vs %s)", k, ab, bb)
+			}
+			s.Resources[k] = unionResource(old, v)
+		} else {
+			s.Resources[k] = v
+		}
+	}
+	return nil
+}
+
+// FieldKinds maps every declared resource field name to its resource
+// kind, e.g. {"pm": "refcount", "held": "lock"}. Resources are visited
+// in sorted kind order so a field claimed twice resolves deterministically.
+func (s *Specs) FieldKinds() map[string]string {
+	if len(s.Resources) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(s.Resources))
+	for _, k := range sortedResourceNames(s.Resources) {
+		for _, f := range s.Resources[k].Fields {
+			out[f] = k
+		}
+	}
+	return out
+}
+
+func sortedResourceNames(m map[string]*Resource) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
 }
 
 // ApplyTo installs every predefined summary into db.
@@ -94,14 +197,22 @@ func Parse(name, src string) (*Specs, error) {
 	p.next()
 	specs := NewSpecs()
 	for p.tok != "" {
-		if p.tok != "summary" {
-			return nil, p.errorf("expected 'summary', found %q", p.tok)
+		switch p.tok {
+		case "summary":
+			api, fnName, err := p.parseSummary()
+			if err != nil {
+				return nil, err
+			}
+			specs.APIs[fnName] = api
+		case "resource":
+			res, err := p.parseResource()
+			if err != nil {
+				return nil, err
+			}
+			specs.Resources[res.Kind] = res
+		default:
+			return nil, p.errorf("expected 'summary' or 'resource', found %q", p.tok)
 		}
-		api, fnName, err := p.parseSummary()
-		if err != nil {
-			return nil, err
-		}
-		specs.APIs[fnName] = api
 	}
 	return specs, nil
 }
@@ -183,11 +294,83 @@ func (p *specParser) expect(tok string) error {
 	return nil
 }
 
+// isIdent reports whether tok is a DSL identifier (function, parameter,
+// field, or resource name). Keywords and punctuation are not identifiers;
+// requiring this keeps parse∘print a fixpoint under fuzzing.
+func isIdent(tok string) bool {
+	if tok == "" {
+		return false
+	}
+	for i, r := range tok {
+		if r == '_' || unicode.IsLetter(r) || (i > 0 && unicode.IsDigit(r)) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// parseResource parses a resource-kind declaration:
+//
+//	resource lock {
+//	  fields: held;
+//	  balance: zero;
+//	}
+func (p *specParser) parseResource() (*Resource, error) {
+	p.next() // 'resource'
+	if !isIdent(p.tok) {
+		return nil, p.errorf("expected resource kind name, found %q", p.tok)
+	}
+	res := &Resource{Kind: p.tok}
+	p.next()
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for p.tok != "}" && p.tok != "" {
+		field := p.tok
+		p.next()
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		switch field {
+		case "fields":
+			for p.tok != ";" && p.tok != "" {
+				if !isIdent(p.tok) {
+					return nil, p.errorf("expected field name, found %q", p.tok)
+				}
+				res.Fields = append(res.Fields, p.tok)
+				p.next()
+				if p.tok == "," {
+					p.next()
+				}
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		case "balance":
+			if !isIdent(p.tok) {
+				return nil, p.errorf("expected balance discipline, found %q", p.tok)
+			}
+			res.Balance = p.tok
+			p.next()
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errorf("unknown resource field %q", field)
+		}
+	}
+	if err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
 func (p *specParser) parseSummary() (*API, string, error) {
 	p.next() // 'summary'
 	fnName := p.tok
-	if fnName == "" {
-		return nil, "", p.errorf("expected function name")
+	if !isIdent(fnName) {
+		return nil, "", p.errorf("expected function name, found %q", fnName)
 	}
 	p.next()
 	if err := p.expect("("); err != nil {
@@ -195,6 +378,9 @@ func (p *specParser) parseSummary() (*API, string, error) {
 	}
 	var params []string
 	for p.tok != ")" && p.tok != "" {
+		if !isIdent(p.tok) {
+			return nil, "", p.errorf("expected parameter name, found %q", p.tok)
+		}
 		params = append(params, p.tok)
 		p.next()
 		if p.tok == "," {
@@ -415,8 +601,8 @@ func (p *specParser) parseTerm(params []string) (*sym.Expr, error) {
 	for p.tok == "." {
 		p.next()
 		field := p.tok
-		if field == "" || field == ";" {
-			return nil, p.errorf("expected field name after '.'")
+		if !isIdent(field) {
+			return nil, p.errorf("expected field name after '.', found %q", field)
 		}
 		base = sym.Field(base, field)
 		p.next()

@@ -38,8 +38,9 @@ import (
 
 // FormatVersion is the on-disk format version. Bump it whenever the entry
 // encoding, the digest recipe, or the semantics of any analysis stage
-// change in a way that makes old entries unsound to replay.
-const FormatVersion = 1
+// change in a way that makes old entries unsound to replay. Version 2:
+// the fingerprint gained the spec digest and reports a resource tag.
+const FormatVersion = 2
 
 // Digest is a SHA-256 content address.
 type Digest [sha256.Size]byte
@@ -67,15 +68,20 @@ type Fingerprint struct {
 	NoBucketing          bool
 	SolverMaxConstraints int // normalized: zero never appears here
 	SolverMaxSplits      int
+	// SpecDigest is the content fingerprint of the run's resource specs
+	// (spec.Specs.Fingerprint). Two runs over the same corpus with
+	// different spec packs track different resources and must never share
+	// summaries, even under the same cache directory.
+	SpecDigest string
 }
 
 // Hash returns the fingerprint's digest, which seeds every SCC digest and
 // is recorded in every entry header.
 func (f Fingerprint) Hash() Digest {
 	h := sha256.New()
-	fmt.Fprintf(h, "rid-fingerprint v%d maxpaths=%d maxsub=%d noprune=%t keeplocals=%t cat2=%d all=%t nobucket=%t maxcons=%d maxsplits=%d",
+	fmt.Fprintf(h, "rid-fingerprint v%d maxpaths=%d maxsub=%d noprune=%t keeplocals=%t cat2=%d all=%t nobucket=%t maxcons=%d maxsplits=%d spec=%s",
 		FormatVersion, f.MaxPaths, f.MaxSubcases, f.NoPrune, f.KeepLocalConds,
-		f.MaxCat2Conds, f.AnalyzeAll, f.NoBucketing, f.SolverMaxConstraints, f.SolverMaxSplits)
+		f.MaxCat2Conds, f.AnalyzeAll, f.NoBucketing, f.SolverMaxConstraints, f.SolverMaxSplits, f.SpecDigest)
 	var d Digest
 	h.Sum(d[:0])
 	return d

@@ -359,6 +359,7 @@ type reportJSON struct {
 	SrcFile  string           `json:"src_file,omitempty"`
 	Pos      posJSON          `json:"pos"`
 	Refcount json.RawMessage  `json:"refcount"`
+	Resource string           `json:"resource,omitempty"`
 	EntryA   json.RawMessage  `json:"entry_a"`
 	EntryB   json.RawMessage  `json:"entry_b"`
 	PathA    int              `json:"path_a"`
@@ -384,10 +385,11 @@ func encodeEntry(e *Entry, fp, d Digest) ([]byte, error) {
 	}
 	for _, r := range e.Reports {
 		rj := reportJSON{
-			Fn:      r.Fn,
-			SrcFile: r.SrcFile,
-			Pos:     posJSON{File: r.Pos.File, Line: r.Pos.Line, Col: r.Pos.Column},
-			PathA:   r.PathA, PathB: r.PathB,
+			Fn:       r.Fn,
+			SrcFile:  r.SrcFile,
+			Pos:      posJSON{File: r.Pos.File, Line: r.Pos.Line, Col: r.Pos.Column},
+			Resource: r.Resource,
+			PathA:    r.PathA, PathB: r.PathB,
 			DeltaA: r.DeltaA, DeltaB: r.DeltaB,
 			Witness: r.Witness,
 		}
@@ -433,10 +435,11 @@ func decodePayload(hdr header, payload []byte) (*Entry, error) {
 	e := &Entry{Fn: ej.Fn, Summary: sum, Paths: ej.Paths, Diags: ej.Diags}
 	for i, rj := range ej.Reports {
 		r := &ipp.Report{
-			Fn:      rj.Fn,
-			SrcFile: rj.SrcFile,
-			Pos:     token.Pos{File: rj.Pos.File, Line: rj.Pos.Line, Column: rj.Pos.Col},
-			PathA:   rj.PathA, PathB: rj.PathB,
+			Fn:       rj.Fn,
+			SrcFile:  rj.SrcFile,
+			Pos:      token.Pos{File: rj.Pos.File, Line: rj.Pos.Line, Column: rj.Pos.Col},
+			Resource: rj.Resource,
+			PathA:    rj.PathA, PathB: rj.PathB,
 			DeltaA: rj.DeltaA, DeltaB: rj.DeltaB,
 			Witness: rj.Witness,
 		}

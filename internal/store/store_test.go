@@ -1,6 +1,7 @@
 package store
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -223,7 +224,8 @@ func TestLoadFlippedPayloadByte(t *testing.T) {
 
 func TestLoadVersionSkew(t *testing.T) {
 	st, d := corruptedEntry(t, func(b []byte) []byte {
-		return []byte(strings.Replace(string(b), "RIDSUM 1 ", "RIDSUM 99 ", 1))
+		cur := fmt.Sprintf("RIDSUM %d ", FormatVersion)
+		return []byte(strings.Replace(string(b), cur, "RIDSUM 99 ", 1))
 	})
 	wantInvalid(t, st, d, "version")
 }

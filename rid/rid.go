@@ -54,8 +54,31 @@ func LinuxDPMSpecs() Specs { return Specs{spec.LinuxDPM()} }
 // specifications (Py_INCREF/Py_DECREF, new/borrowed/stolen references).
 func PythonCSpecs() Specs { return Specs{spec.PythonC()} }
 
+// LockSpecs returns the built-in lock-imbalance spec pack (spin/mutex
+// lock, unlock, and conditional-acquisition trylock variants).
+func LockSpecs() Specs { return Specs{spec.Lock()} }
+
+// FDSpecs returns the built-in fd-leak spec pack (open/dup/close plus
+// ownership transfer on send).
+func FDSpecs() Specs { return Specs{spec.FD()} }
+
+// SpecPack resolves a built-in spec pack by name: "linux-dpm",
+// "python-c", "lock", or "fd".
+func SpecPack(name string) (Specs, error) {
+	s, err := spec.Pack(name)
+	if err != nil {
+		return Specs{}, err
+	}
+	return Specs{s}, nil
+}
+
+// SpecPackNames lists the built-in spec packs in sorted order.
+func SpecPackNames() []string { return spec.PackNames() }
+
 // ParseSpecs parses additional specifications in the summary DSL (see
-// package documentation for the format) and merges them into s.
+// package documentation for the format) and merges them into s. An API
+// already present with a conflicting definition is an error, not a
+// silent override.
 func (s Specs) Parse(name, src string) (Specs, error) {
 	extra, err := spec.Parse(name, src)
 	if err != nil {
@@ -65,7 +88,9 @@ func (s Specs) Parse(name, src string) (Specs, error) {
 	if s.s != nil {
 		merged.Merge(s.s)
 	}
-	merged.Merge(extra)
+	if err := merged.MergeStrict(extra); err != nil {
+		return s, fmt.Errorf("%s: %w", name, err)
+	}
 	return Specs{merged}, nil
 }
 
@@ -121,6 +146,13 @@ type Options struct {
 	// fall back to cold analysis with a "cache-invalid" Diagnostic.
 	// Ignored when Provenance is set — explain always re-derives.
 	CacheDir string
+	// SpecPacks names built-in spec packs ("lock", "fd", "linux-dpm",
+	// "python-c") merged into the analyzer's specifications at Run time.
+	// Conflicting API definitions across packs are a Run error.
+	SpecPacks []string
+	// SpecFiles lists spec DSL files loaded from disk and merged at Run
+	// time, after SpecPacks, under the same conflict rule.
+	SpecFiles []string
 	// Provenance records, per bug, the full derivation (Bug.Provenance,
 	// Result.WriteExplain/WriteExplainHTML): both CFG paths with source
 	// positions, the constraint before and after the projection of
@@ -156,7 +188,10 @@ type Bug struct {
 	Function string
 	File     string
 	Line     int
-	Refcount string // e.g. "[dev].pm"
+	Refcount string // the tracked expression, e.g. "[dev].pm" or "[l].held"
+	// Resource is the declared resource kind of the tracked expression
+	// ("lock", "fd", ...); empty for refcount packs.
+	Resource string
 	DeltaA   int
 	DeltaB   int
 	Evidence string // two-entry detail in the layout of the paper's Fig. 2
@@ -353,6 +388,39 @@ func (a *Analyzer) Run() (*Result, error) {
 	return a.RunContext(context.Background())
 }
 
+// effectiveSpecs resolves the run's specifications: the analyzer's base
+// specs plus Options.SpecPacks and Options.SpecFiles, merged strictly so
+// a conflicting API redefinition surfaces as a diagnostic rather than a
+// silent last-wins.
+func (a *Analyzer) effectiveSpecs() (*spec.Specs, error) {
+	if len(a.opts.SpecPacks) == 0 && len(a.opts.SpecFiles) == 0 {
+		return a.specs.s, nil
+	}
+	merged := spec.NewSpecs()
+	if a.specs.s != nil {
+		merged.Merge(a.specs.s)
+	}
+	for _, name := range a.opts.SpecPacks {
+		p, err := spec.Pack(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := merged.MergeStrict(p); err != nil {
+			return nil, fmt.Errorf("spec pack %s: %w", name, err)
+		}
+	}
+	for _, path := range a.opts.SpecFiles {
+		s, err := spec.LoadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("-spec-file %s: %w", path, err)
+		}
+		if err := merged.MergeStrict(s); err != nil {
+			return nil, fmt.Errorf("-spec-file %s: %w", path, err)
+		}
+	}
+	return merged, nil
+}
+
 // RunContext executes the full pipeline under a context. Cancellation (or
 // a deadline) stops the run promptly at the next function or path
 // boundary; the returned Result then holds the reports derived so far and
@@ -362,6 +430,10 @@ func (a *Analyzer) Run() (*Result, error) {
 func (a *Analyzer) RunContext(ctx context.Context) (*Result, error) {
 	if err := a.prog.Validate(); err != nil {
 		return nil, fmt.Errorf("invalid program: %w", err)
+	}
+	specs, err := a.effectiveSpecs()
+	if err != nil {
+		return nil, err
 	}
 	opts := core.Options{
 		MaxCat2Conds: a.opts.MaxCat2Conds,
@@ -385,7 +457,7 @@ func (a *Analyzer) RunContext(ctx context.Context) (*Result, error) {
 	if a.opts.QueryTiming {
 		opts.Obs.EnableQueryTiming()
 	}
-	res := core.Analyze(ctx, a.prog, a.specs.s, opts)
+	res := core.Analyze(ctx, a.prog, specs, opts)
 	if len(a.opts.Suppress) > 0 {
 		drop := make(map[string]bool, len(a.opts.Suppress))
 		for _, fn := range a.opts.Suppress {
@@ -480,6 +552,7 @@ func toBug(r *ipp.Report) Bug {
 		File:       r.Pos.File,
 		Line:       r.Pos.Line,
 		Refcount:   r.Refcount.Key(),
+		Resource:   r.Resource,
 		DeltaA:     r.DeltaA,
 		DeltaB:     r.DeltaB,
 		Evidence:   r.Detail(),

@@ -280,6 +280,10 @@ func runServe(args []string) {
 		reqTimeout  = fs.Duration("request-timeout", 60*time.Second, "per-request analysis deadline (clients can only shorten it)")
 		drain       = fs.Duration("drain", 15*time.Second, "how long shutdown waits for in-flight requests")
 		quiet       = fs.Bool("quiet", false, "no per-request log lines")
+		accessLog   = fs.String("access-log", "", "append one structured JSONL line per request to this file (- for stderr)")
+		slowDir     = fs.String("slow-trace-dir", "", "tail-sampled slow-request traces: flush <dir>/<request-id>.jsonl for requests over -slow-threshold (or the sliding p99, or ending 504/panic); implies per-query timing on analyze requests")
+		slowThresh  = fs.Duration("slow-threshold", 0, "fixed slow-request trigger for -slow-trace-dir (0 = p99 and failure triggers only)")
+		checkProm   = fs.Bool("check-metrics", false, "render the /metrics exposition once, validate it against the text-format parser, and exit")
 	)
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
@@ -299,13 +303,36 @@ func runServe(args []string) {
 		QueueDepth:     *queueDepth,
 		QueueWait:      *queueWait,
 		RequestTimeout: *reqTimeout,
+		SlowTraceDir:   *slowDir,
+		SlowThreshold:  *slowThresh,
 	}
 	if !*quiet {
 		cfg.Log = log.New(os.Stderr, "rid serve: ", log.LstdFlags)
 	}
+	switch *accessLog {
+	case "":
+	case "-":
+		cfg.AccessLog = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			fatalf("access log: %v", err)
+		}
+		defer f.Close()
+		cfg.AccessLog = f
+	}
 	srv, err := serve.New(cfg)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *checkProm {
+		// Self-check mode: render the daemon's own exposition to memory
+		// and round-trip it through the validating parser. No listener.
+		if err := srv.CheckMetrics(); err != nil {
+			fatalf("metrics self-check: %v", err)
+		}
+		fmt.Println("metrics exposition OK")
+		return
 	}
 	actual, err := srv.Start(*addr)
 	if err != nil {
@@ -338,9 +365,18 @@ func runExplain(args []string) {
 		fnFilter  = fs.String("fn", "", "explain only bugs in this comma-separated function list")
 		htmlOut   = fs.String("html", "", "also write a self-contained HTML evidence page to this file")
 		workers   = fs.Int("workers", 1, "scheduler workers (negative = all cores)")
-		trace     = fs.String("trace", "", "write a JSONL span log to this file (evidence query refs gain trace seq numbers)")
+		trace     = fs.String("trace", "", "with sources: write a JSONL span log to this file; without sources: read, validate and summarize an existing trace file (e.g. a serve slow-trace)")
 	)
 	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	// Trace-read mode: `rid explain -trace FILE` with no sources views an
+	// existing trace instead of writing one.
+	if *trace != "" && *dir == "" && len(fs.Args()) == 0 {
+		if _, err := os.Stat(*trace); err == nil {
+			runExplainTrace(*trace)
+			return
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs/promtext"
+	"repro/internal/serve"
+)
+
+// startServeBinary boots the built rid binary as a daemon and returns
+// its base URL; the daemon is interrupted and drained at cleanup.
+func startServeBinary(t *testing.T, bin string, extraArgs ...string) string {
+	t.Helper()
+	args := append([]string{"serve", "-addr", "127.0.0.1:0", "-quiet"}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Signal(os.Interrupt) //nolint:errcheck
+		cmd.Wait()                       //nolint:errcheck
+	})
+
+	// The daemon announces its bound address on stderr once listening.
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "serving analysis API on http://"); i >= 0 {
+			addr := line[i+len("serving analysis API on http://"):]
+			if j := strings.IndexByte(addr, ' '); j >= 0 {
+				addr = addr[:j]
+			}
+			go func() { // drain the rest so the child never blocks on stderr
+				for sc.Scan() {
+				}
+			}()
+			return "http://" + addr
+		}
+	}
+	t.Fatal("daemon never announced its address")
+	return ""
+}
+
+// TestCLIServeObservabilityE2E drives the full operator surface of the
+// built binary: access log, tail-sampled slow traces, the /metrics
+// exposition, and `rid explain -trace` on a flushed trace file.
+func TestCLIServeObservabilityE2E(t *testing.T) {
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	accessPath := filepath.Join(dir, "access.jsonl")
+	traceDir := filepath.Join(dir, "traces")
+
+	// 20ms separates the two requests decisively: the single-function
+	// fast request analyzes in ~1ms, the scale-2 corpus in ~100ms.
+	base := startServeBinary(t, bin,
+		"-access-log", accessPath,
+		"-slow-trace-dir", traceDir,
+		"-slow-threshold", "20ms",
+		"-request-timeout", "2m",
+	)
+
+	post := func(req *serve.AnalyzeRequest) (*http.Response, *serve.AnalyzeResponse) {
+		t.Helper()
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ar serve.AnalyzeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+			t.Fatalf("status %d: %v", resp.StatusCode, err)
+		}
+		return resp, &ar
+	}
+
+	fastResp, fastAR := post(&serve.AnalyzeRequest{Files: map[string]string{"drv.c": buggyDriver}, NoCache: true})
+	if fastResp.StatusCode != http.StatusOK || fastAR.Bugs != 1 {
+		t.Fatalf("fast request: %d %+v", fastResp.StatusCode, fastAR)
+	}
+	slowResp, slowAR := post(&serve.AnalyzeRequest{Files: experiments.ServeCorpus(2, 1), NoCache: true})
+	if slowResp.StatusCode != http.StatusOK {
+		t.Fatalf("slow request: %d %+v", slowResp.StatusCode, slowAR)
+	}
+	slowID := slowResp.Header.Get("X-Rid-Request-Id")
+	if slowID == "" {
+		t.Fatal("slow response has no request id")
+	}
+	if len(slowAR.Phases) == 0 || slowResp.Header.Get("Server-Timing") == "" {
+		t.Fatal("response missing phase breakdown or Server-Timing")
+	}
+
+	// Exactly one trace file — the slow request's — must appear; the
+	// flush happens after the response is written, so poll briefly.
+	tracePath := filepath.Join(traceDir, slowID+".jsonl")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(tracePath); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			entries, _ := os.ReadDir(traceDir)
+			t.Fatalf("trace %s never flushed; dir has %v", tracePath, entries)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if entries, err := os.ReadDir(traceDir); err != nil || len(entries) != 1 {
+		t.Fatalf("trace dir: %v entries, err %v (fast request must not flush)", entries, err)
+	}
+
+	// The flushed trace is what `rid explain -trace` reads.
+	out, err := exec.Command(bin, "explain", "-trace", tracePath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("explain -trace: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "spans") || !strings.Contains(string(out), slowID) {
+		t.Fatalf("explain -trace output: %s", out)
+	}
+
+	// Access log: one schema-conforming line per analyze request, with
+	// the slow corpus run visibly slower than the driver run.
+	var lines []string
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		data, _ := os.ReadFile(accessPath)
+		lines = strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) >= 2 && lines[0] != "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("access log never reached 2 lines: %q", string(data))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i, l := range lines[:2] {
+		var rec struct {
+			ID        string           `json:"id"`
+			Route     string           `json:"route"`
+			Status    int              `json:"status"`
+			ElapsedUS int64            `json:"elapsed_us"`
+			Phases    map[string]int64 `json:"phases"`
+		}
+		if err := json.Unmarshal([]byte(l), &rec); err != nil {
+			t.Fatalf("access line %d: %v: %s", i, err, l)
+		}
+		if rec.Route != "analyze" || rec.Status != 200 || rec.ID == "" || len(rec.Phases) != 7 {
+			t.Fatalf("access line %d: %s", i, l)
+		}
+	}
+	if !strings.Contains(lines[1], `"id":"`+slowID+`"`) {
+		t.Fatalf("second access line is not the slow request: %s", lines[1])
+	}
+
+	// The live exposition parses and counted both analyzes.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := promtext.Parse(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("daemon exposition rejected: %v", err)
+	}
+	if v, _ := fams.Value("rid_serve_requests_total", map[string]string{"route": "analyze", "code": "200"}); v != 2 {
+		t.Fatalf("requests_total{analyze,200} = %v, want 2", v)
+	}
+	if v, _ := fams.Value("rid_serve_slow_traces_total", nil); v != 1 {
+		t.Fatalf("slow_traces_total = %v, want 1", v)
+	}
+}
+
+// TestCLIServeCheckMetrics: the no-listener self-check mode.
+func TestCLIServeCheckMetrics(t *testing.T) {
+	bin := buildCLI(t)
+	out, err := exec.Command(bin, "serve", "-check-metrics").CombinedOutput()
+	if err != nil {
+		t.Fatalf("serve -check-metrics: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "metrics exposition OK") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+// TestCLIExplainTraceRejectsGarbage: a malformed trace file is a usage
+// error (exit 2), not a crash or silent success.
+func TestCLIExplainTraceRejectsGarbage(t *testing.T) {
+	bin := buildCLI(t)
+	p := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(p, []byte("{\"seq\":1,\"phase\":\"x\",\"fn\":\"f\",\"start_us\":1,\"dur_us\":2}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "explain", "-trace", p).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("want exit 2 on malformed trace, got %v\n%s", err, out)
+	}
+}

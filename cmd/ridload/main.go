@@ -9,6 +9,16 @@
 //	ridload -json BENCH_serve.json                  # save the sweep
 //	ridload -p99-max 30s                            # CI latency gate
 //	ridload -warm-check -warm-min-speedup 2         # daemon residency gate
+//	ridload -scrape -json BENCH_serve.json          # + /metrics curves
+//	ridload -check-promtext dump.prom               # validate an exposition
+//
+// With -scrape, each level is bracketed by /metrics scrapes (every
+// scrape is validated against the text-format parser) and polled while
+// it runs: peak queue depth and inflight, plus memoization and summary-
+// store hit-ratio deltas, land in the sweep table and BENCH_serve.json,
+// and the daemon's analyze-request counter must match the requests the
+// generator sent. A level where every request fails exits non-zero with
+// the first error, instead of reporting a zeros row.
 //
 // Sweep requests carry no_cache so every request pays for real analysis;
 // -warm-check instead measures the memoized path: the same corpus twice,
@@ -21,6 +31,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
@@ -28,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs/promtext"
 	"repro/internal/serve"
 )
 
@@ -45,8 +57,16 @@ func main() {
 		warmMin     = flag.Float64("warm-min-speedup", 0, "with -warm-check: exit non-zero unless warm beats cold by this factor")
 		maxInflight = flag.Int("max-inflight", 4, "self-hosted daemon: concurrent analysis slots")
 		timeout     = flag.Duration("timeout", 5*time.Minute, "per-request client timeout")
+		scrape      = flag.Bool("scrape", false, "poll /metrics during the sweep: validate the exposition, fold queue-depth and hit-ratio curves into the sweep, and assert the daemon's analyze counter matches requests sent")
+		scrapeEvery = flag.Duration("scrape-interval", 100*time.Millisecond, "with -scrape: polling interval")
+		checkProm   = flag.String("check-promtext", "", "validate a saved Prometheus text exposition file (- for stdin) and exit")
 	)
 	flag.Parse()
+
+	if *checkProm != "" {
+		runCheckPromtext(*checkProm)
+		return
+	}
 
 	levels, err := parseLevels(*clientsFlag)
 	check(err)
@@ -100,14 +120,57 @@ func main() {
 		Corpus: fmt.Sprintf("kernelgen scale=%d seed=%d", *scale, *seed),
 		Funcs:  first.FuncsTotal,
 	}
+	var scraper *serve.Scraper
+	var before serve.ScrapeSnapshot
+	if *scrape {
+		scraper = serve.NewScraper(base, *timeout)
+		fams, err := scraper.Scrape(ctx)
+		check(err)
+		before = serve.Snapshot(fams)
+	}
 	for _, c := range levels {
+		var stopPoll func() (serve.PollStats, error)
+		if scraper != nil {
+			stopPoll = scraper.Poll(ctx, *scrapeEvery)
+		}
 		pt, err := serve.RunLoad(ctx, serve.LoadConfig{
 			BaseURL: base, Body: sweepBody, Clients: c, Requests: *n, Timeout: *timeout,
 		})
 		check(err)
+		if stopPoll != nil {
+			st, perr := stopPoll()
+			check(perr)
+			fams, err := scraper.Scrape(ctx)
+			check(err)
+			after := serve.Snapshot(fams)
+			foldScrape(&pt, st, before, after)
+			// The daemon's own request accounting must agree with ours:
+			// every request we sent (OK or 429) reached route=analyze.
+			// Transport errors may never have arrived, so the assertion
+			// only holds on error-free levels.
+			if pt.Errors == 0 {
+				if got, want := after.AnalyzeRequests-before.AnalyzeRequests, int64(pt.Requests); got != want {
+					check(fmt.Errorf("scrape: daemon counted %d analyze requests at clients=%d, load generator sent %d", got, pt.Clients, want))
+				}
+			}
+			before = after
+		}
+		// A level where nothing succeeded is a failed run, not a data
+		// point: fail loudly with the first error instead of printing a
+		// zeros row and exiting 0.
+		if pt.OK == 0 {
+			diag := pt.FirstError
+			if diag == "" && pt.Rejected > 0 {
+				diag = fmt.Sprintf("all %d requests rejected 429 (queue too small for this level?)", pt.Rejected)
+			}
+			check(fmt.Errorf("clients=%d: all %d requests failed: %s", pt.Clients, pt.Requests, diag))
+		}
 		sweep.Points = append(sweep.Points, pt)
 	}
 	fmt.Print(experiments.FormatServeSweep(sweep))
+	if t := experiments.FormatServeScrape(sweep); t != "" {
+		fmt.Print(t)
+	}
 
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
@@ -150,6 +213,35 @@ func runWarmCheck(ctx context.Context, base string, body []byte, timeout time.Du
 	if minSpeedup > 0 && speedup < minSpeedup {
 		check(fmt.Errorf("warm-check: speedup %.2fx is below the required %.2fx", speedup, minSpeedup))
 	}
+}
+
+// foldScrape merges one level's polling stats and before/after scrape
+// snapshots into its sweep point.
+func foldScrape(pt *experiments.ServePoint, st serve.PollStats, before, after serve.ScrapeSnapshot) {
+	pt.ScrapeSamples = st.Samples
+	pt.QueueMax = st.MaxQueued
+	pt.InflightMax = st.MaxInflight
+	if dh, dm := after.MemoHits-before.MemoHits, after.MemoMisses-before.MemoMisses; dh+dm > 0 {
+		pt.MemoHitRatio = float64(dh) / float64(dh+dm)
+	}
+	if dh, dm := after.StoreHits-before.StoreHits, after.StoreMisses-before.StoreMisses; dh+dm > 0 {
+		pt.StoreHitRatio = float64(dh) / float64(dh+dm)
+	}
+}
+
+// runCheckPromtext validates one saved exposition (CI keeps before/after
+// scrapes as artifacts and gates on their well-formedness).
+func runCheckPromtext(path string) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		check(err)
+		defer f.Close()
+		r = f
+	}
+	fams, err := promtext.Parse(r)
+	check(err)
+	fmt.Printf("promtext OK: %d families\n", len(fams))
 }
 
 func parseLevels(s string) ([]int, error) {

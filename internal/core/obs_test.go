@@ -165,6 +165,11 @@ func TestObsOverheadAllocFree(t *testing.T) {
 	}
 	reg := obs.NewRegistry()
 	withObs := testing.AllocsPerRun(10, func() { run(obs.New(nil, reg)) })
+	// Per-request child registries (the daemon's exact-delta path) forward
+	// every Count/Observe to the parent with plain atomic adds; the chain
+	// walk must stay just as allocation-free as the flat registry.
+	child := reg.Child()
+	withChild := testing.AllocsPerRun(10, func() { run(obs.New(nil, child)) })
 	baseline := testing.AllocsPerRun(10, func() { run(nil) })
 	// The nil-obs run allocates its own private registry inside Analyze, so
 	// the instrumented run should be at or below baseline; a small slack
@@ -174,5 +179,9 @@ func TestObsOverheadAllocFree(t *testing.T) {
 	if !raceEnabled && withObs > baseline+5 {
 		t.Errorf("observed run allocates %.0f/op vs %.0f/op baseline; hooks are allocating",
 			withObs, baseline)
+	}
+	if !raceEnabled && withChild > baseline+5 {
+		t.Errorf("child-registry run allocates %.0f/op vs %.0f/op baseline; parent forwarding is allocating",
+			withChild, baseline)
 	}
 }

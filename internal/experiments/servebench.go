@@ -31,6 +31,18 @@ type ServePoint struct {
 	MaxMS      float64 `json:"max_ms"`
 	Throughput float64 `json:"throughput_rps"` // OK responses per wall-clock second
 	WallMS     float64 `json:"wall_ms"`
+
+	// FirstError is the first transport/status failure at this level —
+	// the diagnostic behind ridload's all-requests-failed exit.
+	FirstError string `json:"first_error,omitempty"`
+
+	// Scrape-derived fields (ridload -scrape): peak admission gauges and
+	// hit ratios observed while this level ran. Zero when scraping off.
+	ScrapeSamples int     `json:"scrape_samples,omitempty"`
+	QueueMax      int64   `json:"queue_max,omitempty"`
+	InflightMax   int64   `json:"inflight_max,omitempty"`
+	MemoHitRatio  float64 `json:"memo_hit_ratio,omitempty"`
+	StoreHitRatio float64 `json:"store_hit_ratio,omitempty"`
 }
 
 // ServeSweep is a whole saturation run: one point per concurrency level
@@ -93,6 +105,31 @@ func FormatServeSweep(s *ServeSweep) string {
 	for _, p := range s.Points {
 		fmt.Fprintf(&b, "%8d %8d %6d %6d %6d %11.1fms %11.1fms %11.1fms %10.2f\n",
 			p.Clients, p.Requests, p.OK, p.Rejected, p.Errors, p.P50MS, p.P99MS, p.MaxMS, p.Throughput)
+	}
+	return b.String()
+}
+
+// FormatServeScrape renders the scrape-derived table (queue depth and
+// hit-ratio curves); empty string when no point carries scrape data.
+func FormatServeScrape(s *ServeSweep) string {
+	any := false
+	for _, p := range s.Points {
+		if p.ScrapeSamples > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "scrape curves (%s)\n", s.Corpus)
+	fmt.Fprintf(&b, "%8s %8s %10s %12s %10s %10s\n",
+		"clients", "samples", "queue_max", "inflight_max", "memo_hit", "store_hit")
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%8d %8d %10d %12d %9.0f%% %9.0f%%\n",
+			p.Clients, p.ScrapeSamples, p.QueueMax, p.InflightMax,
+			100*p.MemoHitRatio, 100*p.StoreHitRatio)
 	}
 	return b.String()
 }

@@ -110,6 +110,22 @@ func (o *Obs) Registry() *Registry {
 	return o.reg
 }
 
+// With returns a derived observer emitting spans to t instead of o's
+// tracer, counting into the same registry with the same query-timing
+// setting. It is the request-scoped tracer seam: `rid serve` attaches a
+// per-request buffer tracer for tail-sampled slow-request capture
+// without touching the process-wide observer. With(nil) detaches the
+// tracer; a nil receiver yields a tracer-only observer.
+func (o *Obs) With(t Tracer) *Obs {
+	if o == nil {
+		if t == nil {
+			return nil
+		}
+		return &Obs{tracer: t}
+	}
+	return &Obs{tracer: t, reg: o.reg, queryTiming: o.queryTiming}
+}
+
 // Seqer is implemented by tracers that expose a strictly-increasing event
 // sequence number (JSONLTracer does). Provenance capture uses it to
 // cross-link solver queries in Evidence records to trace lines.

@@ -1,0 +1,603 @@
+// Package promtext emits and validates the Prometheus text exposition
+// format, version 0.0.4 — the `GET /metrics` wire format of `rid serve`.
+// It is stdlib-only and deliberately hand-rolled, like the JSONL tracer
+// and the report renderers: the format is simple, the dependency is not.
+//
+// The package has two halves that are each other's contract:
+//
+//   - Writer emits metric families (counter, gauge, histogram) with
+//     escaped help text and labels, cumulative histogram buckets, and a
+//     terminal +Inf bucket.
+//   - Parse reads an exposition back, validating everything a scraper
+//     would reject: malformed names and labels, samples without a TYPE,
+//     histogram buckets that are missing +Inf or not cumulative,
+//     duplicate series, non-numeric values.
+//
+// `rid serve -check-metrics` round-trips the server's own output through
+// Parse, so the emitted format can never drift silently from what the
+// parser (and any real Prometheus scraper) accepts.
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Label is one name="value" pair of a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Writer emits one exposition document. Methods keep the first write
+// error and turn later calls into no-ops; check Err once at the end.
+type Writer struct {
+	w    *bufio.Writer
+	err  error
+	buck []byte // scratch for bucket lines
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 16<<10)}
+}
+
+// Family begins a metric family: one # HELP and one # TYPE line. typ is
+// "counter", "gauge" or "histogram".
+func (p *Writer) Family(name, typ, help string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Sample emits one sample line for name with the given labels.
+func (p *Writer) Sample(name string, labels []Label, value float64) {
+	if p.err != nil {
+		return
+	}
+	if _, p.err = p.w.WriteString(name); p.err != nil {
+		return
+	}
+	p.writeLabels(labels, "", 0)
+	_, p.err = fmt.Fprintf(p.w, " %s\n", formatValue(value))
+}
+
+// Int is Sample for integer-valued series (counters, gauges).
+func (p *Writer) Int(name string, labels []Label, value int64) {
+	if p.err != nil {
+		return
+	}
+	if _, p.err = p.w.WriteString(name); p.err != nil {
+		return
+	}
+	p.writeLabels(labels, "", 0)
+	_, p.err = fmt.Fprintf(p.w, " %d\n", value)
+}
+
+// Histogram emits one histogram series: cumulative _bucket lines for
+// each upper bound in uppers (seconds) with the matching cumulative
+// counts, a terminal +Inf bucket, then _sum (seconds) and _count.
+// counts[i] is the cumulative observation count with value <= uppers[i];
+// total is the overall observation count (the +Inf bucket and _count).
+func (p *Writer) Histogram(name string, labels []Label, uppers []float64, counts []int64, sum float64, total int64) {
+	if p.err == nil && len(uppers) != len(counts) {
+		p.err = fmt.Errorf("promtext: histogram %s: %d bounds vs %d counts", name, len(uppers), len(counts))
+	}
+	if p.err != nil {
+		return
+	}
+	for i, le := range uppers {
+		p.w.WriteString(name)
+		p.w.WriteString("_bucket")
+		p.writeLabels(labels, "le", le)
+		fmt.Fprintf(p.w, " %d\n", counts[i])
+	}
+	p.w.WriteString(name)
+	p.w.WriteString("_bucket")
+	p.writeLabels(labels, "le", math.Inf(1))
+	fmt.Fprintf(p.w, " %d\n", total)
+	p.w.WriteString(name)
+	p.w.WriteString("_sum")
+	p.writeLabels(labels, "", 0)
+	fmt.Fprintf(p.w, " %s\n", formatValue(sum))
+	p.w.WriteString(name)
+	p.w.WriteString("_count")
+	p.writeLabels(labels, "", 0)
+	_, p.err = fmt.Fprintf(p.w, " %d\n", total)
+}
+
+// writeLabels renders {a="b",...}, appending an le label when leName is
+// non-empty. No output at all when there are no labels.
+func (p *Writer) writeLabels(labels []Label, leName string, le float64) {
+	if len(labels) == 0 && leName == "" {
+		return
+	}
+	p.w.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			p.w.WriteByte(',')
+		}
+		p.w.WriteString(l.Name)
+		p.w.WriteString(`="`)
+		p.w.WriteString(escapeLabel(l.Value))
+		p.w.WriteByte('"')
+	}
+	if leName != "" {
+		if len(labels) > 0 {
+			p.w.WriteByte(',')
+		}
+		p.w.WriteString(leName)
+		p.w.WriteString(`="`)
+		p.w.WriteString(formatValue(le))
+		p.w.WriteByte('"')
+	}
+	p.w.WriteByte('}')
+}
+
+// Flush writes any buffered output and returns the first error
+// encountered over the Writer's lifetime.
+func (p *Writer) Flush() error {
+	if p.err != nil {
+		return p.err
+	}
+	return p.w.Flush()
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(s)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+// Sample is one parsed series sample.
+type Sample struct {
+	// Name is the sample's metric name as written — for histograms this
+	// includes the _bucket/_sum/_count suffix.
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family: every sample that belongs to one
+// # TYPE declaration, in input order.
+type Family struct {
+	Name    string
+	Type    string // counter, gauge, histogram, summary, untyped
+	Help    string
+	Samples []Sample
+}
+
+// Families is a parsed exposition, keyed by family name.
+type Families map[string]*Family
+
+// Value returns the value of the series with the given sample name whose
+// labels exactly match want (nil matches the unlabeled series), and
+// whether it exists.
+func (fs Families) Value(sampleName string, want map[string]string) (float64, bool) {
+	fam := fs[familyOf(sampleName)]
+	if fam == nil {
+		return 0, false
+	}
+	for _, s := range fam.Samples {
+		if s.Name != sampleName || len(s.Labels) != len(want) {
+			continue
+		}
+		match := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Names returns the family names in sorted order.
+func (fs Families) Names() []string {
+	out := make([]string, 0, len(fs))
+	for n := range fs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+// Parse reads one exposition document and validates it. Any condition a
+// Prometheus scraper would reject is an error: unknown TYPE, a sample
+// with no TYPE declaration, malformed metric or label names, duplicate
+// series, unparsable values, and histograms whose buckets are missing
+// +Inf, not cumulative, or inconsistent with _count.
+func Parse(r io.Reader) (Families, error) {
+	fams := Families{}
+	seen := map[string]bool{} // duplicate-series guard: name + sorted labels
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			switch fields[1] {
+			case "HELP":
+				f := fams[name]
+				if f == nil {
+					f = &Family{Name: name}
+					fams[name] = f
+				}
+				if len(fields) == 4 {
+					f.Help = fields[3]
+				}
+			case "TYPE":
+				if len(fields) < 4 || !validTypes[fields[3]] {
+					return nil, fmt.Errorf("line %d: invalid TYPE for %s", lineNo, name)
+				}
+				f := fams[name]
+				if f == nil {
+					f = &Family{Name: name}
+					fams[name] = f
+				}
+				if f.Type != "" {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if len(f.Samples) > 0 {
+					return nil, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				f.Type = fields[3]
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		famName := familyOf(s.Name)
+		fam := fams[famName]
+		// A bare sample name that is not a histogram suffix of a declared
+		// family must have its own TYPE.
+		if fam == nil || fam.Type == "" {
+			return nil, fmt.Errorf("line %d: sample %s has no TYPE declaration", lineNo, s.Name)
+		}
+		if fam.Type != "histogram" && fam.Type != "summary" && s.Name != fam.Name {
+			return nil, fmt.Errorf("line %d: sample %s does not belong to %s family %s", lineNo, s.Name, fam.Type, fam.Name)
+		}
+		key := seriesKey(s)
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range fams {
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %s has HELP but no TYPE", f.Name)
+		}
+		if f.Type == "histogram" {
+			if err := validateHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+		if f.Type == "counter" {
+			for _, s := range f.Samples {
+				if s.Value < 0 || math.IsNaN(s.Value) {
+					return nil, fmt.Errorf("counter %s has invalid value %v", s.Name, s.Value)
+				}
+			}
+		}
+	}
+	return fams, nil
+}
+
+// familyOf strips the histogram/summary sample suffixes.
+func familyOf(sampleName string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(sampleName, suf) {
+			return strings.TrimSuffix(sampleName, suf)
+		}
+	}
+	return sampleName
+}
+
+// validateHistogram checks each labeled sub-series of a histogram family:
+// buckets are cumulative in le order, the +Inf bucket exists and equals
+// _count, and _sum/_count are present.
+func validateHistogram(f *Family) error {
+	type series struct {
+		les     []float64
+		counts  []int64
+		sum     bool
+		count   int64
+		hasCnt  bool
+		infSeen bool
+		inf     int64
+	}
+	groups := map[string]*series{}
+	get := func(labels map[string]string) *series {
+		key := labelKey(labels, "le")
+		g := groups[key]
+		if g == nil {
+			g = &series{}
+			groups[key] = g
+		}
+		return g
+	}
+	for _, s := range f.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %s: bucket without le label", f.Name)
+			}
+			g := get(s.Labels)
+			if leStr == "+Inf" {
+				g.infSeen = true
+				g.inf = int64(s.Value)
+				continue
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				return fmt.Errorf("histogram %s: bad le %q", f.Name, leStr)
+			}
+			g.les = append(g.les, le)
+			g.counts = append(g.counts, int64(s.Value))
+		case strings.HasSuffix(s.Name, "_sum"):
+			get(s.Labels).sum = true
+		case strings.HasSuffix(s.Name, "_count"):
+			g := get(s.Labels)
+			g.hasCnt = true
+			g.count = int64(s.Value)
+		default:
+			return fmt.Errorf("histogram %s: stray sample %s", f.Name, s.Name)
+		}
+	}
+	for key, g := range groups {
+		if !g.infSeen {
+			return fmt.Errorf("histogram %s{%s}: missing +Inf bucket", f.Name, key)
+		}
+		if !g.sum || !g.hasCnt {
+			return fmt.Errorf("histogram %s{%s}: missing _sum or _count", f.Name, key)
+		}
+		if g.inf != g.count {
+			return fmt.Errorf("histogram %s{%s}: +Inf bucket %d != _count %d", f.Name, key, g.inf, g.count)
+		}
+		last := int64(-1)
+		lastLe := math.Inf(-1)
+		for i, le := range g.les {
+			if le <= lastLe {
+				return fmt.Errorf("histogram %s{%s}: le values not increasing", f.Name, key)
+			}
+			if g.counts[i] < last {
+				return fmt.Errorf("histogram %s{%s}: buckets not cumulative at le=%v", f.Name, key, le)
+			}
+			last = g.counts[i]
+			lastLe = le
+		}
+		if last > g.inf {
+			return fmt.Errorf("histogram %s{%s}: bucket count %d exceeds +Inf %d", f.Name, key, last, g.inf)
+		}
+	}
+	return nil
+}
+
+// labelKey renders labels (minus skip) as a canonical sorted string.
+func labelKey(labels map[string]string, skip string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != skip {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	return b.String()
+}
+
+func seriesKey(s Sample) string {
+	return s.Name + "{" + labelKey(s.Labels, "") + "}"
+}
+
+// parseSample parses `name{labels} value` or `name value` (an optional
+// trailing timestamp is accepted and ignored).
+func parseSample(line string) (Sample, error) {
+	name := line
+	rest := ""
+	if i := strings.IndexAny(line, "{ "); i >= 0 {
+		name, rest = line[:i], line[i:]
+	}
+	if !validMetricName(name) {
+		return Sample{}, fmt.Errorf("invalid metric name %q", name)
+	}
+	s := Sample{Name: name}
+	rest = strings.TrimLeft(rest, " ")
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQ := false
+		esc := false
+		for i := 1; i < len(rest); i++ {
+			c := rest[i]
+			switch {
+			case esc:
+				esc = false
+			case c == '\\':
+				esc = true
+			case c == '"':
+				inQ = !inQ
+			case c == '}' && !inQ:
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return Sample{}, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return Sample{}, err
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return Sample{}, fmt.Errorf("want `name[{labels}] value [ts]`, got %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return Sample{}, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses `a="x",b="y"`.
+func parseLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without value in %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !validLabelName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %s: value must be quoted", name)
+		}
+		var b strings.Builder
+		i := 1
+		for ; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					b.WriteByte('\n')
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				default:
+					return nil, fmt.Errorf("label %s: bad escape \\%c", name, s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			b.WriteByte(c)
+		}
+		if i >= len(s) {
+			return nil, fmt.Errorf("label %s: unterminated value", name)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate label %s", name)
+		}
+		out[name] = b.String()
+		s = s[i+1:]
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

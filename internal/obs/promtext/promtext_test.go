@@ -1,0 +1,125 @@
+package promtext
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestWriterParserRoundTrip is the drift guard in miniature: everything
+// the Writer can emit, Parse must accept and read back exactly.
+func TestWriterParserRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Family("rid_requests_total", "counter", "requests by route and status")
+	w.Int("rid_requests_total", []Label{{"route", "analyze"}, {"code", "200"}}, 7)
+	w.Int("rid_requests_total", []Label{{"route", "analyze"}, {"code", "429"}}, 2)
+	w.Family("rid_inflight", "gauge", "analyses running now")
+	w.Int("rid_inflight", nil, 3)
+	w.Family("rid_wait_seconds", "histogram", `queue wait; help with "quotes" and \backslash`)
+	w.Histogram("rid_wait_seconds", []Label{{"route", "analyze"}},
+		[]float64{0.001, 0.01, 0.1}, []int64{1, 4, 9}, 0.75, 10)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	fams, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse own output: %v\n%s", err, buf.String())
+	}
+	if got := fams.Names(); len(got) != 3 {
+		t.Fatalf("families = %v, want 3", got)
+	}
+	if v, ok := fams.Value("rid_requests_total", map[string]string{"route": "analyze", "code": "429"}); !ok || v != 2 {
+		t.Fatalf("requests_total{429} = %v, %t", v, ok)
+	}
+	if v, ok := fams.Value("rid_inflight", nil); !ok || v != 3 {
+		t.Fatalf("inflight = %v, %t", v, ok)
+	}
+	if v, ok := fams.Value("rid_wait_seconds_count", map[string]string{"route": "analyze"}); !ok || v != 10 {
+		t.Fatalf("wait_count = %v, %t", v, ok)
+	}
+	if v, ok := fams.Value("rid_wait_seconds_bucket", map[string]string{"route": "analyze", "le": "+Inf"}); !ok || v != 10 {
+		t.Fatalf("+Inf bucket = %v, %t", v, ok)
+	}
+	if fams["rid_wait_seconds"].Type != "histogram" {
+		t.Fatalf("type = %q", fams["rid_wait_seconds"].Type)
+	}
+}
+
+// TestParseRejectsMalformed enumerates everything a scraper would choke
+// on; each must be a parse error, not a silent accept.
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"sample without type", "x_total 1\n", "no TYPE"},
+		{"bad type", "# TYPE x bogus\nx 1\n", "invalid TYPE"},
+		{"bad metric name", "# TYPE 9x counter\n9x 1\n", "invalid metric name"},
+		{"bad value", "# TYPE x counter\nx one\n", "bad value"},
+		{"duplicate series", "# TYPE x counter\nx 1\nx 2\n", "duplicate series"},
+		{"duplicate labeled series", "# TYPE x counter\nx{a=\"1\"} 1\nx{a=\"1\"} 2\n", "duplicate series"},
+		{"negative counter", "# TYPE x counter\nx -1\n", "invalid value"},
+		{"unterminated labels", "# TYPE x counter\nx{a=\"1\" 2\n", "unterminated"},
+		{"bad label name", "# TYPE x counter\nx{1a=\"v\"} 2\n", "invalid label name"},
+		{"unquoted label", "# TYPE x counter\nx{a=v} 2\n", "quoted"},
+		{"histogram no inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n", "missing +Inf"},
+		{"histogram not cumulative", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n", "not cumulative"},
+		{"histogram inf != count", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n", "!= _count"},
+		{"histogram missing sum", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n", "missing _sum"},
+		{"stray sample in counter family", "# TYPE x counter\nx_extra 1\n", "no TYPE"},
+		{"help without type", "# HELP x something\nx 1\n", "no TYPE"},
+		{"type after samples", "# TYPE x counter\nx 1\n# TYPE x counter\n", "duplicate TYPE"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("Parse accepted malformed input:\n%s", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseAcceptsRealWorldShape covers accepted-but-unemitted syntax:
+// timestamps, free-form comments, escaped label values, untyped series.
+func TestParseAcceptsRealWorldShape(t *testing.T) {
+	in := `# scraped from somewhere
+# TYPE go_info gauge
+go_info{version="go1.22",note="line\nbreak \"q\" back\\slash"} 1 1700000000000
+# TYPE x untyped
+x 3.14
+# TYPE inf_gauge gauge
+inf_gauge +Inf
+`
+	fams, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := fams.Value("go_info", map[string]string{"version": "go1.22", "note": "line\nbreak \"q\" back\\slash"}); !ok || v != 1 {
+		t.Fatalf("go_info = %v, %t", v, ok)
+	}
+	if v, _ := fams.Value("inf_gauge", nil); !math.IsInf(v, 1) {
+		t.Fatalf("inf_gauge = %v", v)
+	}
+}
+
+// TestValueMissing returns ok=false for absent series and label sets.
+func TestValueMissing(t *testing.T) {
+	fams, err := Parse(strings.NewReader("# TYPE x counter\nx{a=\"1\"} 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fams.Value("x", nil); ok {
+		t.Fatal("unlabeled lookup matched a labeled series")
+	}
+	if _, ok := fams.Value("y", nil); ok {
+		t.Fatal("lookup of absent family succeeded")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether this test binary was built with the race
+// detector: allocation-accounting tests skip under it, since the runtime
+// instruments allocations the production build never makes.
+const raceEnabled = true

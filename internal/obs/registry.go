@@ -190,6 +190,10 @@ type Registry struct {
 	counters [numMetrics]counter
 	phases   [numPhases]hist
 
+	// parent, when non-nil, receives a copy of every Count and Observe —
+	// the request-scoped rollup `rid serve` uses (see Child).
+	parent *Registry
+
 	workersMu sync.Mutex
 	workers   []*WorkerCounters
 }
@@ -217,9 +221,21 @@ func (r *Registry) NumWorkers() int {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry { return &Registry{} }
 
-// Count adds d to metric m.
+// Child returns a fresh registry whose every Count and Observe also
+// lands in r (and transitively in r's own parent): the request-scoped
+// rollup seam. A serve request runs against a child, reads its own
+// counters back as an exact per-request delta — the same mechanism that
+// made Stats.Solver exact under Workers>1 — while the long-lived parent
+// keeps aggregating across all requests. The rollup is lock-free: one
+// extra atomic add per event, no shared state beyond the counters
+// themselves.
+func (r *Registry) Child() *Registry { return &Registry{parent: r} }
+
+// Count adds d to metric m, and to every ancestor registry.
 func (r *Registry) Count(m Metric, d int64) {
-	r.counters[m].v.Add(d)
+	for q := r; q != nil; q = q.parent {
+		q.counters[m].v.Add(d)
+	}
 }
 
 // Counter returns the current value of metric m.
@@ -227,9 +243,24 @@ func (r *Registry) Counter(m Metric) int64 {
 	return r.counters[m].v.Load()
 }
 
-// Observe records one completed span duration for phase ph.
+// CounterByName returns the value of the named counter (the -metrics
+// wire names), or 0 for an unknown name. Callers outside the obs layer
+// use it to read single counters without importing the Metric taxonomy.
+func (r *Registry) CounterByName(name string) int64 {
+	for m := Metric(0); m < numMetrics; m++ {
+		if m.Name() == name {
+			return r.Counter(m)
+		}
+	}
+	return 0
+}
+
+// Observe records one completed span duration for phase ph, in r and in
+// every ancestor registry.
 func (r *Registry) Observe(ph Phase, d time.Duration) {
-	r.phases[ph].observe(int64(d))
+	for q := r; q != nil; q = q.parent {
+		q.phases[ph].observe(int64(d))
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -13,32 +13,38 @@ var errOverloaded = errors.New("server overloaded")
 
 // admit acquires one inflight slot, queueing for at most cfg.QueueWait
 // behind at most cfg.QueueDepth other waiters. On success the returned
-// release must be called exactly once when the work completes. Admission
+// release must be called exactly once when the work completes, and wait
+// is how long the request queued (0 on the fast path) — it lands in the
+// rid_serve_queue_wait_seconds histogram and the access log. Admission
 // is deliberately in front of everything expensive: a request the server
 // has no capacity for costs it one channel operation and an atomic, which
 // is what keeps overload from compounding.
-func (s *Server) admit(ctx context.Context) (release func(), err error) {
+func (s *Server) admit(ctx context.Context) (release func(), wait time.Duration, err error) {
 	select {
 	case s.sem <- struct{}{}:
-		return s.release, nil
+		s.metrics.queueWait.Observe(0)
+		return s.release, 0, nil
 	default:
 	}
 	if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
 		s.queued.Add(-1)
 		s.rejected.Add(1)
-		return nil, errOverloaded
+		return nil, 0, errOverloaded
 	}
 	defer s.queued.Add(-1)
+	t0 := time.Now()
 	t := time.NewTimer(s.cfg.QueueWait)
 	defer t.Stop()
 	select {
 	case s.sem <- struct{}{}:
-		return s.release, nil
+		wait = time.Since(t0)
+		s.metrics.queueWait.Observe(wait)
+		return s.release, wait, nil
 	case <-t.C:
 		s.rejected.Add(1)
-		return nil, errOverloaded
+		return nil, time.Since(t0), errOverloaded
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, time.Since(t0), ctx.Err()
 	}
 }
 

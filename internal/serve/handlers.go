@@ -80,9 +80,24 @@ type AnalyzeResponse struct {
 	Diagnostics   []Diag          `json:"diagnostics,omitempty"`
 	Cached        bool            `json:"cached"`
 	ElapsedMS     float64         `json:"elapsed_ms"`
+	Phases        []PhaseMS       `json:"phases,omitempty"`
 	Metrics       json.RawMessage `json:"metrics,omitempty"`
 	Trace         string          `json:"trace,omitempty"`
 	Error         string          `json:"error,omitempty"`
+}
+
+// PhaseMS is one pipeline phase's share of the request: spans completed
+// and total wall-clock in milliseconds. The slice is in fixed phase
+// order (classify, enumerate, exec, ipp, solver, cacheio, replay) and
+// exact for this request alone at any Workers setting — the run counts
+// into a private child of the server registry, so concurrent requests
+// never bleed into each other's breakdown. A cached response replays
+// the phases of the run that produced it. The same numbers ride the
+// Server-Timing response header.
+type PhaseMS struct {
+	Phase string  `json:"phase"`
+	Count int64   `json:"count"`
+	MS    float64 `json:"ms"`
 }
 
 // errorJSON writes a JSON error body with the given status.
@@ -125,7 +140,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Admission before any expensive work.
-	release, err := s.admit(r.Context())
+	rec := recordOf(w)
+	release, qwait, err := s.admit(r.Context())
+	if rec != nil {
+		rec.queueWait = qwait
+	}
 	if err != nil {
 		if err == errOverloaded {
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
@@ -148,16 +167,21 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			s.cacheHits.Add(1)
 			resp.Cached = true
 			s.served.Add(1)
+			if rec != nil {
+				rec.memoHit = true
+			}
+			w.Header().Set("Server-Timing", serverTiming(resp.Phases))
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
+		s.metrics.cacheMiss.Add(1)
 	}
 
 	ctx, cancel := s.requestContext(r.Context(), req.DeadlineMS)
 	defer cancel()
 
 	t0 := time.Now()
-	resp, status, runErr := s.runAnalyze(ctx, specs, &req)
+	resp, status, runErr := s.runAnalyze(ctx, specs, &req, rec)
 	if runErr != nil {
 		errorJSON(w, status, "%v", runErr)
 		return
@@ -173,23 +197,23 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	s.logf("analyze files=%d corpus=%t status=%d cached=%t elapsed=%.1fms",
 		len(req.Files), req.Corpus, status, resp.Cached, resp.ElapsedMS)
+	w.Header().Set("Server-Timing", serverTiming(resp.Phases))
 	writeJSON(w, status, resp)
 }
 
 // runAnalyze performs one admitted, deadline-bounded analysis and shapes
 // the response. It returns a non-nil error only for client mistakes
-// (unparsable sources); degradation is reported in-band.
-func (s *Server) runAnalyze(ctx context.Context, specs rid.Specs, req *AnalyzeRequest) (*AnalyzeResponse, int, error) {
-	// A metrics request runs on a detached analyzer with a private
-	// registry so the snapshot is exactly this run's; everything else
-	// shares the server registry (live on /debug/vars).
-	var a *rid.Analyzer
-	if req.Metrics {
-		a = rid.New(specs)
-	} else {
-		a = s.base.NewRequest()
-		a.SetSpecs(specs)
-	}
+// (unparsable sources); degradation is reported in-band. rec, when
+// non-nil, is annotated with the run's phase breakdown, store traffic,
+// and degradation outcome for the access log and slow-trace sampler.
+func (s *Server) runAnalyze(ctx context.Context, specs rid.Specs, req *AnalyzeRequest, rec *reqRecord) (*AnalyzeResponse, int, error) {
+	// Every request runs on a child of the server registry: its own
+	// counters are an exact per-request delta (the phase breakdown and
+	// the Metrics snapshot are this run's alone, at any Workers
+	// setting) while every event still rolls up into the shared
+	// registry behind /metrics and /debug/vars.
+	a := s.base.NewRequestChild()
+	a.SetSpecs(specs)
 	opts := s.cfg.Options
 	if req.Workers != 0 {
 		opts.Workers = req.Workers
@@ -212,9 +236,24 @@ func (s *Server) runAnalyze(ctx context.Context, specs rid.Specs, req *AnalyzeRe
 		opts.SpecPacks = append(append([]string(nil), opts.SpecPacks...), req.SpecPacks...)
 	}
 	opts.QueryTiming = req.Metrics
+	// Trace sinks: the client's inline trace (req.Trace) and the slow
+	// sampler's bounded buffer (rec.trace) share one JSONL stream.
+	// Attaching either implies per-query timing, the documented cost of
+	// tracing.
 	var traceBuf bytes.Buffer
+	var sink io.Writer
 	if req.Trace {
-		opts.TraceWriter = &traceBuf
+		sink = &traceBuf
+	}
+	if rec != nil && rec.trace != nil {
+		if sink != nil {
+			sink = io.MultiWriter(sink, rec.trace)
+		} else {
+			sink = rec.trace
+		}
+	}
+	if sink != nil {
+		opts.TraceWriter = sink
 	}
 	a.SetOptions(opts)
 
@@ -246,8 +285,32 @@ func (s *Server) runAnalyze(ctx context.Context, specs rid.Specs, req *AnalyzeRe
 		Degraded:      res.Degraded(),
 		Trace:         traceBuf.String(),
 	}
+	timings := res.PhaseTimings()
+	for _, name := range accessPhases {
+		for _, t := range timings {
+			if t.Phase == name {
+				resp.Phases = append(resp.Phases, PhaseMS{
+					Phase: name,
+					Count: t.Count,
+					MS:    float64(t.Total.Microseconds()) / 1000,
+				})
+			}
+		}
+	}
 	for _, d := range res.Diagnostics {
 		resp.Diagnostics = append(resp.Diagnostics, Diag{Function: d.Function, Kind: d.Kind, Cause: d.Cause})
+	}
+	if rec != nil {
+		rec.phases = append(rec.phases[:0], timings...)
+		rec.storeHit = res.MetricValue("store_hits")
+		rec.storeMiss = res.MetricValue("store_misses")
+		rec.degraded = res.Degraded()
+		rec.diags = diagKinds(rec.diags[:0], res.Diagnostics)
+		for _, k := range rec.diags {
+			if k == "panic" {
+				rec.panicked = true
+			}
+		}
 	}
 	if req.Metrics {
 		var mbuf bytes.Buffer
@@ -260,6 +323,24 @@ func (s *Server) runAnalyze(ctx context.Context, specs rid.Specs, req *AnalyzeRe
 		return resp, http.StatusGatewayTimeout, nil
 	}
 	return resp, http.StatusOK, nil
+}
+
+// diagKinds appends the distinct diagnostic kinds, sorted, onto dst.
+func diagKinds(dst []string, diags []rid.Diagnostic) []string {
+	for _, d := range diags {
+		seen := false
+		for _, k := range dst {
+			if k == d.Kind {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			dst = append(dst, d.Kind)
+		}
+	}
+	sort.Strings(dst)
+	return dst
 }
 
 // requestContext derives the per-request deadline: the server cap, or the
@@ -367,7 +448,10 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusNotFound, "function %q not defined in the resident corpus", fn)
 		return
 	}
-	release, err := s.admit(r.Context())
+	release, qwait, err := s.admit(r.Context())
+	if rec := recordOf(w); rec != nil {
+		rec.queueWait = qwait
+	}
 	if err != nil {
 		if err == errOverloaded {
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
@@ -479,33 +563,44 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 
 // Health is the GET /healthz reply: liveness plus the admission gauges
 // and counters CI smoke checks assert on (goroutine stability across a
-// load run, zero stuck inflight after drain).
+// load run, zero stuck inflight after drain). The schema is versioned
+// by accretion: fields are only ever appended, never renamed or
+// removed, so checks written against an older daemon keep working. The
+// full schema is documented in DESIGN.md §10.
 type Health struct {
-	Spec             string `json:"spec"`
-	CorpusFuncs      int    `json:"corpus_funcs"`
-	Inflight         int    `json:"inflight"`
-	MaxInflight      int    `json:"max_inflight"`
-	Queued           int64  `json:"queued"`
-	QueueDepth       int    `json:"queue_depth"`
-	Served           int64  `json:"served"`
-	Rejected         int64  `json:"rejected"`
-	DeadlineExceeded int64  `json:"deadline_exceeded"`
-	ResultCacheHits  int64  `json:"result_cache_hits"`
-	Goroutines       int    `json:"goroutines"`
+	Spec              string `json:"spec"`
+	CorpusFuncs       int    `json:"corpus_funcs"`
+	Inflight          int    `json:"inflight"`
+	MaxInflight       int    `json:"max_inflight"`
+	Queued            int64  `json:"queued"`
+	QueueDepth        int    `json:"queue_depth"`
+	Served            int64  `json:"served"`
+	Rejected          int64  `json:"rejected"`
+	DeadlineExceeded  int64  `json:"deadline_exceeded"`
+	ResultCacheHits   int64  `json:"result_cache_hits"`
+	Goroutines        int    `json:"goroutines"`
+	ResultCacheMisses int64  `json:"result_cache_misses"`
+	StoreHits         int64  `json:"store_hits"`
+	StoreMisses       int64  `json:"store_misses"`
+	SlowTraces        int64  `json:"slow_traces"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, Health{
-		Spec:             s.cfg.SpecName,
-		CorpusFuncs:      s.base.NumFunctions(),
-		Inflight:         len(s.sem),
-		MaxInflight:      s.cfg.MaxInflight,
-		Queued:           s.queued.Load(),
-		QueueDepth:       s.cfg.QueueDepth,
-		Served:           s.served.Load(),
-		Rejected:         s.rejected.Load(),
-		DeadlineExceeded: s.deadlineExceeded.Load(),
-		ResultCacheHits:  s.cacheHits.Load(),
-		Goroutines:       runtime.NumGoroutine(),
+		Spec:              s.cfg.SpecName,
+		CorpusFuncs:       s.base.NumFunctions(),
+		Inflight:          len(s.sem),
+		MaxInflight:       s.cfg.MaxInflight,
+		Queued:            s.queued.Load(),
+		QueueDepth:        s.cfg.QueueDepth,
+		Served:            s.served.Load(),
+		Rejected:          s.rejected.Load(),
+		DeadlineExceeded:  s.deadlineExceeded.Load(),
+		ResultCacheHits:   s.cacheHits.Load(),
+		Goroutines:        runtime.NumGoroutine(),
+		ResultCacheMisses: s.metrics.cacheMiss.Load(),
+		StoreHits:         s.base.LiveMetricValue("store_hits"),
+		StoreMisses:       s.base.LiveMetricValue("store_misses"),
+		SlowTraces:        s.metrics.slowTraces.Load(),
 	})
 }

@@ -48,6 +48,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (experiments.ServePoint, error
 		lats     []time.Duration
 		rejected int
 		errors   int
+		firstErr string
 	)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -66,6 +67,13 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (experiments.ServePoint, error
 				switch {
 				case err != nil || (status != http.StatusOK && status != http.StatusTooManyRequests):
 					errors++
+					if firstErr == "" {
+						if err != nil {
+							firstErr = err.Error()
+						} else {
+							firstErr = fmt.Sprintf("unexpected status %d", status)
+						}
+					}
 				case status == http.StatusTooManyRequests:
 					rejected++
 				default:
@@ -76,7 +84,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (experiments.ServePoint, error
 		}()
 	}
 	wg.Wait()
-	return experiments.LatencyPoint(cfg.Clients, lats, rejected, errors, time.Since(start)), nil
+	pt := experiments.LatencyPoint(cfg.Clients, lats, rejected, errors, time.Since(start))
+	pt.FirstError = firstErr
+	return pt, nil
 }
 
 func postOnce(ctx context.Context, client *http.Client, url string, body []byte) (int, error) {

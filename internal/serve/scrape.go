@@ -1,0 +1,148 @@
+// Client-side /metrics scraping for the load generator and CI: fetch a
+// daemon's Prometheus exposition, validate it with the promtext parser
+// (every scrape doubles as a well-formedness gate), and digest the
+// series the saturation benchmark folds into its sweep points.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs/promtext"
+)
+
+// Scraper polls one daemon's GET /metrics endpoint.
+type Scraper struct {
+	url    string
+	client *http.Client
+}
+
+// NewScraper returns a scraper for the daemon at baseURL.
+func NewScraper(baseURL string, timeout time.Duration) *Scraper {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &Scraper{url: baseURL + "/metrics", client: &http.Client{Timeout: timeout}}
+}
+
+// Scrape fetches and parses one exposition. A parse failure is an error:
+// a daemon emitting text Prometheus would reject is a bug, whatever the
+// values say.
+func (s *Scraper) Scrape(ctx context.Context) (promtext.Families, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("scrape: status %d: %s", resp.StatusCode, b)
+	}
+	fams, err := promtext.Parse(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("scrape: malformed exposition: %w", err)
+	}
+	return fams, nil
+}
+
+// ScrapeSnapshot digests one scrape into the counters and gauges the
+// saturation benchmark works with.
+type ScrapeSnapshot struct {
+	AnalyzeRequests int64 // rid_serve_requests_total{route="analyze"}, all codes
+	Queued          int64 // rid_serve_queued gauge
+	Inflight        int64 // rid_serve_inflight gauge
+	MemoHits        int64
+	MemoMisses      int64
+	StoreHits       int64
+	StoreMisses     int64
+}
+
+// Snapshot reduces parsed families to a ScrapeSnapshot. Absent series
+// read as zero, so it works against older daemons too.
+func Snapshot(fams promtext.Families) ScrapeSnapshot {
+	var snap ScrapeSnapshot
+	if f := fams["rid_serve_requests_total"]; f != nil {
+		for _, s := range f.Samples {
+			if s.Labels["route"] == "analyze" {
+				snap.AnalyzeRequests += int64(s.Value)
+			}
+		}
+	}
+	intOf := func(name string) int64 {
+		v, _ := fams.Value(name, nil)
+		return int64(v)
+	}
+	snap.Queued = intOf("rid_serve_queued")
+	snap.Inflight = intOf("rid_serve_inflight")
+	snap.MemoHits = intOf("rid_serve_result_cache_hits_total")
+	snap.MemoMisses = intOf("rid_serve_result_cache_misses_total")
+	snap.StoreHits = intOf("rid_store_hits_total")
+	snap.StoreMisses = intOf("rid_store_misses_total")
+	return snap
+}
+
+// PollStats summarizes a background polling run over one load level.
+type PollStats struct {
+	Samples     int   // successful scrapes
+	MaxQueued   int64 // peak rid_serve_queued observed
+	MaxInflight int64 // peak rid_serve_inflight observed
+}
+
+// Poll scrapes every interval until the returned stop function is
+// called, tracking peak admission gauges. stop reports the aggregate
+// and the first scrape error, if any — one malformed exposition fails
+// the poll even if later scrapes recover.
+func (s *Scraper) Poll(ctx context.Context, interval time.Duration) (stop func() (PollStats, error)) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	done := make(chan struct{})
+	var (
+		wg       sync.WaitGroup
+		st       PollStats
+		firstErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+			fams, err := s.Scrape(ctx)
+			if err != nil {
+				if firstErr == nil && ctx.Err() == nil {
+					firstErr = err
+				}
+				continue
+			}
+			snap := Snapshot(fams)
+			st.Samples++
+			if snap.Queued > st.MaxQueued {
+				st.MaxQueued = snap.Queued
+			}
+			if snap.Inflight > st.MaxInflight {
+				st.MaxInflight = snap.Inflight
+			}
+		}
+	}()
+	return func() (PollStats, error) {
+		close(done)
+		wg.Wait()
+		return st, firstErr
+	}
+}

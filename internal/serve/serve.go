@@ -16,6 +16,11 @@
 //	                          by content digest
 //	GET  /healthz             admission gauges, request counters,
 //	                          goroutine count (leak checks in CI)
+//	GET  /metrics             Prometheus text exposition v0.0.4:
+//	                          serve-level series (requests by route and
+//	                          status, queue wait, durations, memoization)
+//	                          plus the shared analysis registry
+//	                          (counters, per-phase histograms)
 //	GET  /debug/...           net/http/pprof + /debug/vars with the live
 //	                          shared metrics registry
 //
@@ -38,6 +43,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -87,6 +93,24 @@ type Config struct {
 	ResultCacheEntries int
 	// Log receives one line per served request; nil logs nothing.
 	Log *log.Logger
+	// AccessLog, when non-nil, receives one structured JSONL line per
+	// HTTP request (fixed key order; see accessLogger). This is the
+	// machine-readable counterpart of Log.
+	AccessLog io.Writer
+	// SlowTraceDir, when non-empty, enables tail-sampled trace capture:
+	// every analyze request buffers its span trace in memory, and
+	// requests that were slow (over SlowThreshold or the sliding-window
+	// p99) or ended badly (504, panic diagnostic) flush it to
+	// <dir>/<request-id>.jsonl — ready for `rid explain -trace`.
+	// Buffering implies per-query timing on every analyze request, the
+	// documented cost of the flag.
+	SlowTraceDir string
+	// SlowThreshold is the fixed slow-request trigger (default 0: only
+	// the p99 and failure triggers fire).
+	SlowThreshold time.Duration
+	// IDSeed, when nonzero, makes generated request IDs a deterministic
+	// stream (tests); 0 uses crypto/rand.
+	IDSeed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -114,9 +138,15 @@ func (c Config) withDefaults() Config {
 // Server is one daemon instance. Create with New, expose with Handler or
 // Start, stop with Shutdown.
 type Server struct {
-	cfg  Config
-	base *rid.Analyzer // resident corpus + shared metrics registry
-	mux  *http.ServeMux
+	cfg     Config
+	base    *rid.Analyzer // resident corpus + shared metrics registry
+	mux     *http.ServeMux
+	handler http.Handler // mux behind the instrumentation middleware
+
+	metrics serveMetrics
+	ids     *idSource
+	access  *accessLogger // nil without Config.AccessLog
+	sampler *slowSampler  // nil without Config.SlowTraceDir
 
 	corpus map[string]string // resident sources, nil when none loaded
 
@@ -150,6 +180,16 @@ func New(cfg Config) (*Server, error) {
 		base:   base,
 		sem:    make(chan struct{}, cfg.MaxInflight),
 		rcache: newResultCache(cfg.ResultCacheEntries),
+		ids:    newIDSource(cfg.IDSeed),
+	}
+	if cfg.AccessLog != nil {
+		s.access = newAccessLogger(cfg.AccessLog)
+	}
+	if cfg.SlowTraceDir != "" {
+		if err := os.MkdirAll(cfg.SlowTraceDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: slow-trace dir: %w", err)
+		}
+		s.sampler = newSlowSampler(cfg.SlowTraceDir, cfg.SlowThreshold)
 	}
 	if cfg.CorpusDir != "" {
 		files, err := loadCorpus(cfg.CorpusDir)
@@ -178,14 +218,19 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/explain/{fn}", s.handleExplain)
 	mux.HandleFunc("GET /v1/summary/{digest}", s.handleSummary)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("/debug/", base.DebugHandler())
 	s.mux = mux
+	s.handler = s.instrument(mux)
 	return s, nil
 }
 
 // Handler returns the daemon's full HTTP surface (for tests and for
-// embedding; Start serves the same handler).
-func (s *Server) Handler() http.Handler { return s.mux }
+// embedding; Start serves the same handler). Every request passes
+// through the instrumentation middleware: request-ID assignment, the
+// route×status counters behind /metrics, access logging and slow-trace
+// sampling when configured.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Start listens on addr (port 0 picks a free one) and serves in the
 // background, returning the bound address.
@@ -195,7 +240,7 @@ func (s *Server) Start(addr string) (string, error) {
 		return "", fmt.Errorf("serve: listen %s: %w", addr, err)
 	}
 	s.listener = ln
-	s.srv = &http.Server{Handler: s.mux}
+	s.srv = &http.Server{Handler: s.handler}
 	go s.srv.Serve(ln) //nolint:errcheck // Shutdown returns ErrServerClosed here
 	return ln.Addr().String(), nil
 }

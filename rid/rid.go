@@ -331,6 +331,18 @@ func (a *Analyzer) NewRequest() *Analyzer {
 	return &Analyzer{specs: a.specs, opts: a.opts, prog: ir.NewProgram(), reg: a.reg}
 }
 
+// NewRequestChild is NewRequest with a child metrics registry: the
+// request analyzer counts into its own fresh registry, and every count
+// also rolls up into a's long-lived one. The request's Result then
+// carries an exact per-request metrics delta (its registry started at
+// zero) while the parent keeps process-wide totals — the observability
+// shape `rid serve` uses for per-request phase breakdowns and the
+// /metrics endpoint at once. The rollup is lock-free; the only per-call
+// cost is one extra atomic add per event.
+func (a *Analyzer) NewRequestChild() *Analyzer {
+	return &Analyzer{specs: a.specs, opts: a.opts, prog: ir.NewProgram(), reg: a.reg.Child()}
+}
+
 // AddSource parses and lowers one mini-C source buffer into the program
 // under analysis. Multiple sources merge as with linking (§5.3); duplicate
 // definitions follow last-wins, mirroring weak-symbol merging.
@@ -516,6 +528,43 @@ func (r *Result) WriteMetrics(w io.Writer, format string) error {
 	return report.WriteMetrics(w, f, r.metrics)
 }
 
+// PhaseTiming is one pipeline phase's share of a run: how many spans
+// completed and their total wall-clock. The slice from PhaseTimings is
+// in fixed phase order with stable names ("run", "classify",
+// "enumerate", "exec", "ipp", "solver", "replay", "cacheio", "steal",
+// "queue") — the names are append-only wire format, shared with -trace
+// and -metrics output.
+type PhaseTiming struct {
+	Phase string
+	Count int64
+	Total time.Duration
+}
+
+// PhaseTimings returns the run's per-phase timing breakdown. For an
+// analyzer made with NewRequestChild the numbers are exact for this run
+// alone, whatever the worker count; for a shared-registry analyzer they
+// aggregate everything the registry has seen.
+func (r *Result) PhaseTimings() []PhaseTiming {
+	out := make([]PhaseTiming, 0, len(r.metrics.Phases))
+	for _, p := range r.metrics.Phases {
+		out = append(out, PhaseTiming{Phase: p.Phase, Count: p.Count, Total: p.Total})
+	}
+	return out
+}
+
+// MetricValue returns the run's value for one named event counter (the
+// -metrics wire names: "solver_queries", "store_hits", ...), or 0 for a
+// name this build does not know. Same exactness contract as
+// PhaseTimings.
+func (r *Result) MetricValue(name string) int64 {
+	for _, c := range r.metrics.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
 // ServeDebug starts an HTTP server on addr (e.g. "localhost:6060"; port 0
 // picks a free one) exposing /debug/pprof/ and /debug/vars — the expvar
 // globals plus the analyzer's live metrics registry under "rid_metrics".
@@ -531,6 +580,23 @@ func (a *Analyzer) ServeDebug(addr string) (stop func() error, actual string, er
 // (net/http/pprof, /debug/vars with the live metrics registry), for
 // embedding under another server's mux — `rid serve` mounts it at /debug/.
 func (a *Analyzer) DebugHandler() http.Handler { return obs.DebugMux(a.reg) }
+
+// WritePrometheus renders the analyzer's live metrics registry in
+// Prometheus text exposition format v0.0.4: one rid_<counter>_total
+// family per event counter and a rid_phase_duration_seconds histogram
+// labeled by phase. `rid serve` composes this into its /metrics
+// endpoint below the serve-level series; it is also usable standalone
+// for scraping a long-lived embedded analyzer.
+func (a *Analyzer) WritePrometheus(w io.Writer) error {
+	return obs.WritePrometheus(w, a.reg)
+}
+
+// LiveMetricValue reads one named event counter from the live registry
+// (not a Result snapshot) — 0 for unknown names. `rid serve` uses it
+// for the cheap always-on counters in /healthz.
+func (a *Analyzer) LiveMetricValue(name string) int64 {
+	return a.reg.CounterByName(name)
+}
 
 // WriteDiagnostics renders the run's degradation diagnostics to w in the
 // named format ("text" or "json"); see cmd/rid's -diag flag.

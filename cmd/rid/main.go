@@ -7,6 +7,7 @@
 //	rid [flags] -dir path/to/tree
 //	rid explain [-fn F] [-html out.html] file.c [file2.c ...]
 //	rid serve [-addr host:port] [-dir corpus] [-cache-dir dir]
+//	rid storeserve [-addr host:port] -cache-dir dir
 //
 // The explain subcommand re-runs the analysis with provenance capture on
 // and prints, per bug, the complete derivation: both CFG paths with
@@ -38,6 +39,14 @@
 // -cache-dir names a persistent summary store, and warm runs skip every
 // function whose content digest (its own IR plus its callees', see
 // internal/store) is unchanged, with byte-identical output.
+//
+// The storeserve subcommand exposes one such store directory over HTTP
+// as a fleet-shared warm cache (internal/store/remote). Any rid,
+// ridbench, or `rid serve` process pointed at it with -cache-url fetches
+// entries it is missing and ships back what it computes; a dead or
+// misbehaving store server only costs warmth — runs degrade to the local
+// tier with a cache-remote diagnostic, never hang, and never change
+// their answers.
 package main
 
 import (
@@ -57,6 +66,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/solver"
 	"repro/internal/spec"
+	"repro/internal/store/remote"
 	"repro/internal/summary"
 	"repro/rid"
 )
@@ -93,6 +103,9 @@ func cliMain() (code int) {
 		case "serve":
 			runServe(os.Args[2:])
 			return 0
+		case "storeserve":
+			runStoreServe(os.Args[2:])
+			return 0
 		}
 	}
 	var (
@@ -118,10 +131,19 @@ func cliMain() (code int) {
 		suppress  = flag.String("suppress", "", "comma-separated function names whose reports are discarded")
 		trace     = flag.String("trace", "", "write a JSONL span log of every pipeline phase to this file")
 		cacheDir  = flag.String("cache-dir", "", "persistent summary store directory: warm runs skip unchanged functions (see README)")
+		cacheURL  = flag.String("cache-url", "", "fleet summary store URL (`rid storeserve`) layered behind -cache-dir; requires -cache-dir")
 		metrics   = flag.Bool("metrics", false, "print the metrics registry (counters and phase histograms) after the run")
 		pprofSrv  = flag.String("pprof", "", "serve /debug/pprof/ and /debug/vars on this address (e.g. localhost:6060) for the duration of the run")
 	)
 	flag.Parse()
+
+	if *cacheURL != "" && *cacheDir == "" {
+		// The fleet store is a warm tier behind the local one, not a
+		// replacement: without a local directory there is nowhere to write
+		// through to, and a network blip would mean re-analyzing work this
+		// very run already did.
+		fatalf("-cache-url requires -cache-dir (the fleet store layers behind a local store)")
+	}
 
 	// ^C cancels the analysis; the run returns promptly with partial
 	// results instead of being killed mid-write.
@@ -147,6 +169,7 @@ func cliMain() (code int) {
 			FuncTimeout:  *funcTO,
 			SolverLimits: solver.Limits{MaxConstraints: *maxCons, MaxSplits: *maxSplit},
 			CacheDir:     *cacheDir,
+			CacheURL:     *cacheURL,
 		}
 		copts.Exec.MaxPaths = *maxPaths
 		copts.Exec.MaxSubcases = *maxSubs
@@ -178,6 +201,7 @@ func cliMain() (code int) {
 		SolverMaxSplits:      *maxSplit,
 		QueryTiming:          *metrics,
 		CacheDir:             *cacheDir,
+		CacheURL:             *cacheURL,
 	}
 	if traceW != nil {
 		opts.TraceWriter = traceW.buf
@@ -270,6 +294,7 @@ func runServe(args []string) {
 		specFile    = fs.String("spec-file", "", "additional summary-DSL file merged into the default specs")
 		dir         = fs.String("dir", "", "resident corpus: every *.c under this directory is kept loaded; enables corpus requests and /v1/explain")
 		cacheDir    = fs.String("cache-dir", "", "persistent summary store shared by all requests; enables /v1/summary digest lookups")
+		cacheURL    = fs.String("cache-url", "", "fleet summary store URL (`rid storeserve`) layered behind -cache-dir (or alone, for lookup-only /v1/summary)")
 		workers     = fs.Int("workers", 1, "default scheduler workers per analysis (negative = all cores)")
 		maxPaths    = fs.Int("max-paths", 100, "default maximum paths enumerated per function")
 		maxSubs     = fs.Int("max-subcases", 10, "default maximum summary entries per path")
@@ -296,6 +321,7 @@ func runServe(args []string) {
 			Workers:     *workers,
 			FuncTimeout: *funcTO,
 			CacheDir:    *cacheDir,
+			CacheURL:    *cacheURL,
 			SpecPacks:   splitList(*specPacks),
 		},
 		CorpusDir:      *dir,
@@ -345,6 +371,62 @@ func runServe(args []string) {
 	defer stop()
 	<-ctx.Done()
 	fmt.Fprintf(os.Stderr, "rid: shutting down (draining up to %v)\n", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		fatalf("shutdown: %v", err)
+	}
+}
+
+// runStoreServe implements `rid storeserve`: the fleet summary store
+// server. It exposes one store directory over HTTP (get/put/has-batch on
+// raw validated entries, /healthz, /metrics) so any number of rid,
+// ridbench, and `rid serve` processes can share warm analysis results by
+// pointing -cache-url at it. Blocks until interrupted, then drains.
+func runStoreServe(args []string) {
+	fs := flag.NewFlagSet("rid storeserve", flag.ExitOnError)
+	var (
+		addr        = fs.String("addr", "localhost:8081", "listen address (port 0 picks a free one)")
+		cacheDir    = fs.String("cache-dir", "", "store directory to serve (required; created if absent)")
+		maxInflight = fs.Int("max-inflight", 32, "concurrent store operations; more are queued")
+		queueDepth  = fs.Int("queue-depth", 0, "operations waiting for a slot before 429 (0 = 4x max-inflight)")
+		queueWait   = fs.Duration("queue-wait", time.Second, "longest a queued operation waits for a slot before 429")
+		failEvery   = fs.Int("fail-every", 0, "fault injection: make every Nth store operation fail with 500 (0 = off; for degradation drills)")
+		drain       = fs.Duration("drain", 5*time.Second, "how long shutdown waits for in-flight operations")
+		quiet       = fs.Bool("quiet", false, "no per-event log lines")
+	)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *cacheDir == "" {
+		fatalf("storeserve: -cache-dir is required")
+	}
+	cfg := remote.ServerConfig{
+		Dir:         *cacheDir,
+		MaxInflight: *maxInflight,
+		QueueDepth:  *queueDepth,
+		QueueWait:   *queueWait,
+		FailEvery:   *failEvery,
+	}
+	if !*quiet {
+		cfg.Log = log.New(os.Stderr, "rid storeserve: ", log.LstdFlags)
+	}
+	srv, err := remote.NewServer(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	actual, err := srv.Start(*addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "rid: serving summary store %s on http://%s (max-inflight %d)\n",
+		*cacheDir, actual, *maxInflight)
+	if *failEvery > 0 {
+		fmt.Fprintf(os.Stderr, "rid: storeserve fault injection on: every %dth operation fails\n", *failEvery)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	<-ctx.Done()
+	fmt.Fprintf(os.Stderr, "rid: storeserve shutting down (draining up to %v)\n", *drain)
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {

@@ -81,6 +81,7 @@ func main() {
 		perf        = flag.Bool("perf", false, "§6.5: performance scaling")
 		perfJSON    = flag.String("perf-json", "", "write the -perf series to this file as JSON")
 		cacheDir    = flag.String("cache-dir", "", "with -perf: measure cold vs warm runs against this persistent summary store")
+		cacheURL    = flag.String("cache-url", "", "with -perf -cache-dir: layer a fleet summary store (`rid storeserve`) behind the local one")
 		compare     = flag.String("compare", "", "diff the -perf series against a snapshot written by -perf-json")
 		ablations   = flag.Bool("ablations", false, "design-decision ablations (DESIGN.md §5)")
 		packs       = flag.Bool("packs", false, "spec packs: precision/recall of the lock and fd packs on their seeded corpora")
@@ -95,6 +96,10 @@ func main() {
 		pprofSrv    = flag.String("pprof", "", "serve /debug/pprof/ and /debug/vars on this address for the duration of the run")
 	)
 	flag.Parse()
+
+	if *cacheURL != "" && *cacheDir == "" {
+		check(fmt.Errorf("-cache-url requires -cache-dir (the fleet store layers behind a local store)"))
+	}
 
 	workerList, err := parseWorkers(*workersFlag)
 	check(err)
@@ -196,7 +201,7 @@ func main() {
 		if *perfJSON != "" || *compare != "" {
 			fmt.Fprintln(os.Stderr, "ridbench: -perf-json/-compare apply to the plain -perf series and are ignored with -cache-dir")
 		}
-		pts, err := experiments.PerfCached(ctx, scales, *workers, *cacheDir)
+		pts, err := experiments.PerfCached(ctx, scales, *workers, *cacheDir, *cacheURL)
 		check(err)
 		fmt.Println(experiments.FormatPerfCached(pts, *workers))
 	} else if *perf {

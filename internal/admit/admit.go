@@ -1,0 +1,118 @@
+// Package admit is the admission-control gate shared by the long-lived
+// servers (`rid serve`, `rid storeserve`): at most a configured number of
+// requests run concurrently, a bounded number more wait a bounded time
+// for a slot, and everything beyond that is rejected immediately — so an
+// overloaded server sheds load in O(1) instead of compounding it.
+//
+// The gate is deliberately in front of everything expensive: a request
+// the server has no capacity for costs it one channel operation and an
+// atomic add.
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded means the gate declined to start the work: every inflight
+// slot is busy and either the queue is full or the queue wait expired.
+// HTTP servers map it to 429 + Retry-After.
+var ErrOverloaded = errors.New("server overloaded")
+
+// Gate is one admission gate. Create with New; all methods are safe for
+// concurrent use.
+type Gate struct {
+	sem      chan struct{}
+	queued   atomic.Int64
+	rejected atomic.Int64
+	depth    int
+	wait     time.Duration
+	observe  func(time.Duration) // queue-wait histogram hook; never nil
+}
+
+// New builds a gate admitting at most maxInflight concurrent requests,
+// queueing up to queueDepth more for at most queueWait each. observe,
+// when non-nil, receives every admitted request's queue wait (0 on the
+// uncontended fast path) — the hook behind queue-wait histograms.
+func New(maxInflight, queueDepth int, queueWait time.Duration, observe func(time.Duration)) *Gate {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	if observe == nil {
+		observe = func(time.Duration) {}
+	}
+	return &Gate{
+		sem:     make(chan struct{}, maxInflight),
+		depth:   queueDepth,
+		wait:    queueWait,
+		observe: observe,
+	}
+}
+
+// Admit acquires one inflight slot, queueing for at most the configured
+// wait behind at most the configured depth of other waiters. On success
+// the returned release must be called exactly once when the work
+// completes; wait is how long the request queued. err is ErrOverloaded
+// when the gate sheds the request, or ctx.Err() if the caller gave up
+// first.
+func (g *Gate) Admit(ctx context.Context) (release func(), wait time.Duration, err error) {
+	select {
+	case g.sem <- struct{}{}:
+		g.observe(0)
+		return g.release, 0, nil
+	default:
+	}
+	if g.queued.Add(1) > int64(g.depth) {
+		g.queued.Add(-1)
+		g.rejected.Add(1)
+		return nil, 0, ErrOverloaded
+	}
+	defer g.queued.Add(-1)
+	t0 := time.Now()
+	t := time.NewTimer(g.wait)
+	defer t.Stop()
+	select {
+	case g.sem <- struct{}{}:
+		wait = time.Since(t0)
+		g.observe(wait)
+		return g.release, wait, nil
+	case <-t.C:
+		g.rejected.Add(1)
+		return nil, time.Since(t0), ErrOverloaded
+	case <-ctx.Done():
+		return nil, time.Since(t0), ctx.Err()
+	}
+}
+
+func (g *Gate) release() { <-g.sem }
+
+// Inflight is the number of slots currently held.
+func (g *Gate) Inflight() int { return len(g.sem) }
+
+// MaxInflight is the slot capacity.
+func (g *Gate) MaxInflight() int { return cap(g.sem) }
+
+// Queued is the number of requests currently waiting for a slot.
+func (g *Gate) Queued() int64 { return g.queued.Load() }
+
+// QueueDepth is the waiting-room capacity.
+func (g *Gate) QueueDepth() int { return g.depth }
+
+// Rejected counts requests shed with ErrOverloaded since creation.
+func (g *Gate) Rejected() int64 { return g.rejected.Load() }
+
+// RetryAfter is the Retry-After hint for a shed request: the queue wait
+// rounded up to whole seconds — by then either a slot freed or the
+// client should back off harder.
+func (g *Gate) RetryAfter() int {
+	secs := int((g.wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

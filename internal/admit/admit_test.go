@@ -1,0 +1,166 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFastPathUncontended(t *testing.T) {
+	var waits []time.Duration
+	g := New(2, 4, time.Second, func(d time.Duration) { waits = append(waits, d) })
+	release, wait, err := g.Admit(context.Background())
+	if err != nil || wait != 0 {
+		t.Fatalf("Admit = (wait %v, err %v), want instant success", wait, err)
+	}
+	if g.Inflight() != 1 || g.MaxInflight() != 2 {
+		t.Fatalf("inflight %d/%d, want 1/2", g.Inflight(), g.MaxInflight())
+	}
+	release()
+	if g.Inflight() != 0 {
+		t.Fatalf("inflight %d after release, want 0", g.Inflight())
+	}
+	if len(waits) != 1 || waits[0] != 0 {
+		t.Fatalf("observe hook saw %v, want one zero wait", waits)
+	}
+}
+
+func TestQueueOverflowRejectsImmediately(t *testing.T) {
+	g := New(1, 0, time.Minute, nil)
+	release, _, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	// Slot busy, no queue: rejection must not wait out the queueWait.
+	t0 := time.Now()
+	_, _, err = g.Admit(context.Background())
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if e := time.Since(t0); e > 5*time.Second {
+		t.Fatalf("zero-depth rejection took %v", e)
+	}
+	if g.Rejected() != 1 {
+		t.Fatalf("rejected = %d, want 1", g.Rejected())
+	}
+}
+
+func TestQueuedRequestGetsFreedSlot(t *testing.T) {
+	g := New(1, 1, 5*time.Second, nil)
+	release, _, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		r2, wait, err := g.Admit(context.Background())
+		if err == nil {
+			if wait <= 0 {
+				err = errors.New("queued admit reported zero wait")
+			}
+			r2()
+		}
+		got <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the goroutine queue
+	release()
+	if err := <-got; err != nil {
+		t.Fatalf("queued Admit: %v", err)
+	}
+}
+
+func TestQueueWaitExpires(t *testing.T) {
+	g := New(1, 1, 30*time.Millisecond, nil)
+	release, _, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	_, wait, err := g.Admit(context.Background())
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded after queue wait", err)
+	}
+	if wait < 30*time.Millisecond {
+		t.Fatalf("gave up after %v, before the configured wait", wait)
+	}
+}
+
+func TestContextCancelWhileQueued(t *testing.T) {
+	g := New(1, 1, time.Minute, nil)
+	release, _, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, _, err = g.Admit(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A caller giving up is not server overload.
+	if g.Rejected() != 0 {
+		t.Fatalf("rejected = %d after context cancel, want 0", g.Rejected())
+	}
+}
+
+func TestConcurrencyNeverExceedsLimit(t *testing.T) {
+	const limit = 3
+	g := New(limit, 100, time.Second, nil)
+	var (
+		mu      sync.Mutex
+		cur, pk int
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, _, err := g.Admit(context.Background())
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			cur++
+			if cur > pk {
+				pk = cur
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			cur--
+			mu.Unlock()
+			release()
+		}()
+	}
+	wg.Wait()
+	if pk > limit {
+		t.Fatalf("peak concurrency %d exceeded the limit %d", pk, limit)
+	}
+	if g.Inflight() != 0 || g.Queued() != 0 {
+		t.Fatalf("inflight %d queued %d after drain, want 0/0", g.Inflight(), g.Queued())
+	}
+}
+
+func TestRetryAfterRoundsUp(t *testing.T) {
+	for _, tc := range []struct {
+		wait time.Duration
+		want int
+	}{
+		{0, 1},
+		{200 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1500 * time.Millisecond, 2},
+	} {
+		g := New(1, 1, tc.wait, nil)
+		if got := g.RetryAfter(); got != tc.want {
+			t.Errorf("RetryAfter(wait=%v) = %d, want %d", tc.wait, got, tc.want)
+		}
+	}
+}

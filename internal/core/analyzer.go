@@ -78,6 +78,15 @@ type Options struct {
 	// Provenance is set: evidence is never serialized, so `rid explain`
 	// always re-derives.
 	CacheDir string
+	// CacheURL, when non-empty alongside CacheDir, layers a fleet summary
+	// store (`rid storeserve`) behind the local one: local misses are
+	// fetched from the fleet (validated, then written through to
+	// CacheDir), and freshly computed entries are shipped back
+	// write-behind. A dead, slow, or corrupt fleet store degrades the run
+	// to the local tier with a run-level cache-remote diagnostic — it can
+	// never change results and never hang the run. Ignored without
+	// CacheDir.
+	CacheURL string
 	// Provenance records, per report, the full derivation as an
 	// ipp.Evidence object (CFG paths with positions, constraint history,
 	// applied callee entries, the deciding solver query) and then runs
@@ -245,6 +254,9 @@ func analyzeWithDB(ctx context.Context, prog *ir.Program, specs *spec.Specs, db 
 		analyzeSteal(ctx, prog, g, db, toAnalyze, cache, opts, res)
 	}
 	res.Stats.AnalyzeTime = time.Since(t1)
+	// Drain the fleet write-behind queue and surface any remote
+	// degradation before diagnostics are sorted into their final order.
+	cache.finish(res)
 
 	if err := ctx.Err(); err != nil {
 		res.Diagnostics = append(res.Diagnostics, Diagnostic{

@@ -7,21 +7,30 @@ import (
 	"repro/internal/callgraph"
 	"repro/internal/obs"
 	"repro/internal/store"
+	"repro/internal/store/remote"
 	"repro/internal/summary"
 )
 
 // cacheState binds an open persistent summary store to one analyzeWithDB
 // call: the per-function content digests computed for this program plus a
-// latch that keeps one disk problem from flooding the diagnostics.
+// latch that keeps one disk problem from flooding the diagnostics. With
+// Options.CacheURL set, the store is the local directory tiered over the
+// fleet store (read-through, write-behind); tiered is non-nil exactly
+// then, and finish drains its write-behind queue and reports whether the
+// fleet degraded.
 type cacheState struct {
-	store    *store.Store
+	store    store.Backend
+	tiered   *remote.Tiered
 	digests  map[string]store.Digest
 	saveFail atomic.Bool
 }
 
-// openCache opens opts.CacheDir and computes the program's digests. On
-// failure it appends a run-level cache-invalid diagnostic to res and
-// returns nil — the run proceeds cold, it never dies over the cache.
+// openCache opens opts.CacheDir (tiered over opts.CacheURL when set) and
+// computes the program's digests. On failure it appends a run-level
+// cache-invalid diagnostic to res and returns nil — the run proceeds
+// cold, it never dies over the cache. A fleet store that cannot even be
+// configured (a malformed URL) likewise only costs a cache-remote
+// diagnostic, not the local tier.
 func openCache(opts Options, g *callgraph.Graph, db *summary.DB, res *Result) *cacheState {
 	fp := cacheFingerprint(opts)
 	st, err := store.Open(opts.CacheDir, fp, opts.Obs)
@@ -35,7 +44,48 @@ func openCache(opts Options, g *callgraph.Graph, db *summary.DB, res *Result) *c
 	sp := opts.Obs.Start(obs.PhaseCacheIO, "")
 	digests := store.Digests(g, db, fp)
 	sp.End()
-	return &cacheState{store: st, digests: digests}
+	c := &cacheState{store: st, digests: digests}
+	if opts.CacheURL != "" {
+		client, err := remote.NewClient(remote.Config{
+			URL:         opts.CacheURL,
+			Fingerprint: fp.Hash(),
+			Obs:         opts.Obs,
+		})
+		if err != nil {
+			res.Diagnostics = append(res.Diagnostics, Diagnostic{
+				Kind:  DegradeCacheRemote,
+				Cause: fmt.Sprintf("fleet store disabled for this run: %v", err),
+			})
+			return c
+		}
+		t := remote.NewTiered(st, client)
+		fns := make([]string, 0, len(digests))
+		for fn := range digests {
+			fns = append(fns, fn)
+		}
+		t.Prime(fns)
+		c.store, c.tiered = t, t
+	}
+	return c
+}
+
+// finish closes out the run's cache use: the write-behind queue is
+// drained (so a completed run's summaries really are on the fleet store
+// before the process exits) and any remote degradation surfaces as one
+// run-level cache-remote diagnostic. Results are never affected — the
+// diagnostic records that fleet warmth was lost, not that anything is
+// wrong with the report.
+func (c *cacheState) finish(res *Result) {
+	if c == nil || c.tiered == nil {
+		return
+	}
+	c.tiered.Close()
+	if cause := c.tiered.DegradedCause(); cause != "" {
+		res.Diagnostics = append(res.Diagnostics, Diagnostic{
+			Kind:  DegradeCacheRemote,
+			Cause: fmt.Sprintf("fleet store unavailable, ran from local tier: %s", cause),
+		})
+	}
 }
 
 // cacheFingerprint projects the result-determining options into the
@@ -78,12 +128,14 @@ func (c *cacheState) load(fn string) (out funcOutcome, hit bool, diag *Diagnosti
 	out.paths = e.Paths
 	for _, dg := range e.Diags {
 		k, ok := ParseDegradeKind(dg.Kind)
-		if !ok {
+		if !ok || k == DegradeCacheRemote {
 			// A kind this build doesn't know means the entry came from an
 			// incompatible writer despite the version check; don't trust
-			// the rest of it either.
+			// the rest of it either. cache-remote is equally disqualifying:
+			// it is a run-level wall-clock event that save() never
+			// persists, so an entry carrying it was not written by us.
 			return funcOutcome{}, false, &Diagnostic{Fn: fn, Kind: DegradeCacheInvalid,
-				Cause: fmt.Sprintf("stored entry has unknown diagnostic kind %q, analyzed cold", dg.Kind)}
+				Cause: fmt.Sprintf("stored entry has unexpected diagnostic kind %q, analyzed cold", dg.Kind)}
 		}
 		out.diags = append(out.diags, Diagnostic{Fn: fn, Kind: k, Cause: dg.Cause})
 		if k == DegradePathBudget || k == DegradeSubcaseBudget {

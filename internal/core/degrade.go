@@ -35,6 +35,12 @@ const (
 	// fingerprint-mismatched — and the affected function was analyzed
 	// cold. Results are unaffected; only warm-start time was lost.
 	DegradeCacheInvalid
+	// DegradeCacheRemote: the fleet summary store (-cache-url) was dead,
+	// slow, or served bytes that failed validation, and the run fell back
+	// to the local tier. Results are unaffected; only fleet warmth was
+	// lost. Always run-level, and never persisted in store entries — it
+	// describes this run's wall-clock environment, not the function.
+	DegradeCacheRemote
 )
 
 // String names the kind for diagnostics output.
@@ -54,6 +60,8 @@ func (k DegradeKind) String() string {
 		return "canceled"
 	case DegradeCacheInvalid:
 		return "cache-invalid"
+	case DegradeCacheRemote:
+		return "cache-remote"
 	}
 	return fmt.Sprintf("DegradeKind(%d)", int(k))
 }
@@ -62,7 +70,7 @@ func (k DegradeKind) String() string {
 // persistent summary store serializes diagnostics by their string names,
 // so loading an entry round-trips through this.
 func ParseDegradeKind(s string) (DegradeKind, bool) {
-	for k := DegradePathBudget; k <= DegradeCacheInvalid; k++ {
+	for k := DegradePathBudget; k <= DegradeCacheRemote; k++ {
 		if k.String() == s {
 			return k, true
 		}

@@ -487,6 +487,13 @@ type CachedPerfPoint struct {
 	Evictions int64         // warm-run store evictions
 	Identical bool          // warm output byte-identical to cold output
 	CacheIO   obs.PhaseStats
+
+	// Fleet-store counters, summed over both runs (zero without a URL).
+	RemoteHits      int64
+	RemotePuts      int64
+	RemoteErrors    int64
+	RemoteIntegrity int64
+	Degraded        bool // either run carried a cache-remote diagnostic
 }
 
 // PerfCached runs each corpus scale twice against a persistent summary
@@ -494,8 +501,11 @@ type CachedPerfPoint struct {
 // corpus sizes never collide): a cold run that populates the store and a
 // warm run that should serve almost every function from it. The warm run's
 // reports and diagnostics are compared byte-for-byte against the cold
-// run's.
-func PerfCached(ctx context.Context, scales []int, workers int, dir string) ([]CachedPerfPoint, error) {
+// run's. A non-empty url layers the fleet store (`rid storeserve`) behind
+// each run's local tier; with a misbehaving remote the point is marked
+// Degraded but the byte-identity comparison still applies — remote
+// trouble may cost warmth, never answers.
+func PerfCached(ctx context.Context, scales []int, workers int, dir, url string) ([]CachedPerfPoint, error) {
 	var out []CachedPerfPoint
 	for _, s := range scales {
 		c := kernelgen.Generate(kernelgen.Config{
@@ -510,12 +520,12 @@ func PerfCached(ctx context.Context, scales []int, workers int, dir string) ([]C
 		run := func() (*core.Result, obs.Snapshot) {
 			reg := obs.NewRegistry()
 			res := core.Analyze(ctx, prog, spec.LinuxDPM(),
-				core.Options{Workers: workers, Obs: obs.New(nil, reg), CacheDir: sub})
+				core.Options{Workers: workers, Obs: obs.New(nil, reg), CacheDir: sub, CacheURL: url})
 			return res, reg.Snapshot()
 		}
-		cold, _ := run()
+		cold, csnap := run()
 		warm, snap := run()
-		out = append(out, CachedPerfPoint{
+		p := CachedPerfPoint{
 			Funcs:     cold.Stats.FuncsTotal,
 			Cold:      cold.Stats.AnalyzeTime,
 			Warm:      warm.Stats.AnalyzeTime,
@@ -524,7 +534,20 @@ func PerfCached(ctx context.Context, scales []int, workers int, dir string) ([]C
 			Evictions: snap.Counter(obs.MStoreEvictions),
 			Identical: renderOutcome(cold) == renderOutcome(warm),
 			CacheIO:   snap.Phase(obs.PhaseCacheIO),
-		})
+
+			RemoteHits:      csnap.Counter(obs.MRemoteHits) + snap.Counter(obs.MRemoteHits),
+			RemotePuts:      csnap.Counter(obs.MRemotePuts) + snap.Counter(obs.MRemotePuts),
+			RemoteErrors:    csnap.Counter(obs.MRemoteErrors) + snap.Counter(obs.MRemoteErrors),
+			RemoteIntegrity: csnap.Counter(obs.MRemoteIntegrity) + snap.Counter(obs.MRemoteIntegrity),
+		}
+		for _, res := range []*core.Result{cold, warm} {
+			for _, d := range res.Diagnostics {
+				if d.Kind == core.DegradeCacheRemote {
+					p.Degraded = true
+				}
+			}
+		}
+		out = append(out, p)
 	}
 	return out, nil
 }
@@ -570,6 +593,18 @@ func FormatPerfCached(points []CachedPerfPoint, workers int) string {
 			p.CacheIO.P50.Round(time.Microsecond),
 			p.CacheIO.P95.Round(time.Microsecond),
 			p.CacheIO.Max.Round(time.Microsecond))
+	}
+	fleet := false
+	for _, p := range points {
+		fleet = fleet || p.Degraded ||
+			p.RemoteHits+p.RemotePuts+p.RemoteErrors+p.RemoteIntegrity > 0
+	}
+	if fleet {
+		b.WriteString("fleet store (read-through/write-behind, both runs):\n")
+		for _, p := range points {
+			fmt.Fprintf(&b, "  functions=%-8d remote_hits=%-8d remote_puts=%-8d remote_errors=%-8d remote_integrity_errors=%-8d degraded(cache-remote)=%t\n",
+				p.Funcs, p.RemoteHits, p.RemotePuts, p.RemoteErrors, p.RemoteIntegrity, p.Degraded)
+		}
 	}
 	return b.String()
 }

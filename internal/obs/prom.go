@@ -36,6 +36,11 @@ var counterHelp = [numMetrics]string{
 	MStoreEvictions:   "stale store entries replaced by a fresh write",
 	MTasksExecuted:    "path-level scheduler tasks executed",
 	MTasksStolen:      "tasks executed by a worker other than the enqueuer",
+	MRemoteHits:       "functions served from the fleet summary store",
+	MRemoteMisses:     "fleet-store lookups that found no usable entry",
+	MRemoteErrors:     "fleet-store operations that failed",
+	MRemoteIntegrity:  "fleet-store responses rejected by validation",
+	MRemotePuts:       "entries shipped to the fleet store",
 }
 
 // promBucketBounds returns the histogram upper bounds in seconds: bucket

@@ -37,6 +37,11 @@ const (
 	MStoreEvictions                 // stale store entries replaced by a fresh write
 	MTasksExecuted                  // path-level scheduler tasks executed (any worker)
 	MTasksStolen                    // tasks executed by a worker other than the enqueuer
+	MRemoteHits                     // functions served from the fleet summary store
+	MRemoteMisses                   // fleet-store lookups that found no usable entry
+	MRemoteErrors                   // fleet-store operations that failed (timeout, refusal, 5xx)
+	MRemoteIntegrity                // fleet-store responses rejected by validation
+	MRemotePuts                     // entries shipped to the fleet store (write-behind)
 	numMetrics
 )
 
@@ -61,6 +66,11 @@ var metricNames = [numMetrics]string{
 	MStoreEvictions:   "store_evictions",
 	MTasksExecuted:    "tasks_executed",
 	MTasksStolen:      "tasks_stolen",
+	MRemoteHits:       "remote_hits",
+	MRemoteMisses:     "remote_misses",
+	MRemoteErrors:     "remote_errors",
+	MRemoteIntegrity:  "remote_integrity_errors",
+	MRemotePuts:       "remote_puts",
 }
 
 // Name returns the stable metric name used in -metrics and /debug/vars.

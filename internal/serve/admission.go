@@ -2,61 +2,25 @@ package serve
 
 import (
 	"context"
-	"errors"
 	"time"
+
+	"repro/internal/admit"
 )
 
 // errOverloaded means the server declined to start the work: every
 // inflight slot is busy and either the queue is full or the queue wait
-// expired. The caller maps it to 429 + Retry-After.
-var errOverloaded = errors.New("server overloaded")
+// expired. The caller maps it to 429 + Retry-After. It aliases the shared
+// gate's sentinel so handler code can compare against one value.
+var errOverloaded = admit.ErrOverloaded
 
-// admit acquires one inflight slot, queueing for at most cfg.QueueWait
-// behind at most cfg.QueueDepth other waiters. On success the returned
-// release must be called exactly once when the work completes, and wait
-// is how long the request queued (0 on the fast path) — it lands in the
-// rid_serve_queue_wait_seconds histogram and the access log. Admission
-// is deliberately in front of everything expensive: a request the server
-// has no capacity for costs it one channel operation and an atomic, which
-// is what keeps overload from compounding.
+// admit acquires one inflight slot through the shared admission gate
+// (internal/admit — the same gate `rid storeserve` uses). On success the
+// returned release must be called exactly once when the work completes,
+// and wait is how long the request queued (0 on the fast path) — it lands
+// in the rid_serve_queue_wait_seconds histogram and the access log.
 func (s *Server) admit(ctx context.Context) (release func(), wait time.Duration, err error) {
-	select {
-	case s.sem <- struct{}{}:
-		s.metrics.queueWait.Observe(0)
-		return s.release, 0, nil
-	default:
-	}
-	if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
-		s.queued.Add(-1)
-		s.rejected.Add(1)
-		return nil, 0, errOverloaded
-	}
-	defer s.queued.Add(-1)
-	t0 := time.Now()
-	t := time.NewTimer(s.cfg.QueueWait)
-	defer t.Stop()
-	select {
-	case s.sem <- struct{}{}:
-		wait = time.Since(t0)
-		s.metrics.queueWait.Observe(wait)
-		return s.release, wait, nil
-	case <-t.C:
-		s.rejected.Add(1)
-		return nil, time.Since(t0), errOverloaded
-	case <-ctx.Done():
-		return nil, time.Since(t0), ctx.Err()
-	}
+	return s.gate.Admit(ctx)
 }
 
-func (s *Server) release() { <-s.sem }
-
-// retryAfter is the Retry-After hint on a 429: the queue wait rounded up
-// to whole seconds — by then either a slot freed or the client should
-// back off harder.
-func (s *Server) retryAfter() int {
-	secs := int((s.cfg.QueueWait + time.Second - 1) / time.Second)
-	if secs < 1 {
-		secs = 1
-	}
-	return secs
-}
+// retryAfter is the Retry-After hint on a 429.
+func (s *Server) retryAfter() int { return s.gate.RetryAfter() }

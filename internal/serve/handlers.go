@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/store"
+	"repro/internal/store/remote"
 	"repro/rid"
 )
 
@@ -148,7 +149,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if err == errOverloaded {
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
-			errorJSON(w, http.StatusTooManyRequests, "overloaded: %d analyses running, %d queued", len(s.sem), s.queued.Load())
+			errorJSON(w, http.StatusTooManyRequests, "overloaded: %d analyses running, %d queued", s.gate.Inflight(), s.gate.Queued())
 			return
 		}
 		errorJSON(w, http.StatusServiceUnavailable, "%v", err)
@@ -392,7 +393,10 @@ func cachable(resp *AnalyzeResponse) bool {
 	}
 	for _, d := range resp.Diagnostics {
 		switch d.Kind {
-		case "timeout", "panic", "canceled":
+		case "timeout", "panic", "canceled", "cache-remote":
+			// cache-remote is transient too: it records that the fleet
+			// store was unreachable during THIS run, which must not be
+			// replayed to requests served after the remote recovers.
 			return false
 		}
 	}
@@ -526,7 +530,7 @@ type SummaryResponse struct {
 
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	if s.lookup == nil {
-		errorJSON(w, http.StatusNotFound, "no persistent store: the server was started without -cache-dir")
+		errorJSON(w, http.StatusNotFound, "no persistent store: the server was started without -cache-dir or -cache-url")
 		return
 	}
 	raw, err := hex.DecodeString(r.PathValue("digest"))
@@ -583,18 +587,30 @@ type Health struct {
 	StoreHits         int64  `json:"store_hits"`
 	StoreMisses       int64  `json:"store_misses"`
 	SlowTraces        int64  `json:"slow_traces"`
+	// Fleet-cache tier (-cache-url). RemoteState is "" without a remote,
+	// else the circuit-breaker state: "closed" (healthy), "open"
+	// (degraded to local, probe pending) or "probing".
+	RemoteHits      int64  `json:"remote_hits"`
+	RemoteMisses    int64  `json:"remote_misses"`
+	RemoteErrors    int64  `json:"remote_errors"`
+	RemoteIntegrity int64  `json:"remote_integrity_errors"`
+	RemoteState     string `json:"remote_state"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	remoteState := ""
+	if s.cfg.Options.CacheURL != "" {
+		remoteState = remote.CircuitState(s.cfg.Options.CacheURL)
+	}
 	writeJSON(w, http.StatusOK, Health{
 		Spec:              s.cfg.SpecName,
 		CorpusFuncs:       s.base.NumFunctions(),
-		Inflight:          len(s.sem),
+		Inflight:          s.gate.Inflight(),
 		MaxInflight:       s.cfg.MaxInflight,
-		Queued:            s.queued.Load(),
+		Queued:            s.gate.Queued(),
 		QueueDepth:        s.cfg.QueueDepth,
 		Served:            s.served.Load(),
-		Rejected:          s.rejected.Load(),
+		Rejected:          s.gate.Rejected(),
 		DeadlineExceeded:  s.deadlineExceeded.Load(),
 		ResultCacheHits:   s.cacheHits.Load(),
 		Goroutines:        runtime.NumGoroutine(),
@@ -602,5 +618,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		StoreHits:         s.base.LiveMetricValue("store_hits"),
 		StoreMisses:       s.base.LiveMetricValue("store_misses"),
 		SlowTraces:        s.metrics.slowTraces.Load(),
+		RemoteHits:        s.base.LiveMetricValue("remote_hits"),
+		RemoteMisses:      s.base.LiveMetricValue("remote_misses"),
+		RemoteErrors:      s.base.LiveMetricValue("remote_errors"),
+		RemoteIntegrity:   s.base.LiveMetricValue("remote_integrity_errors"),
+		RemoteState:       remoteState,
 	})
 }

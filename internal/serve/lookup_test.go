@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/store/remote"
+	"repro/internal/store/storetest"
+)
+
+// TestSummaryLookupOrder pins the /v1/summary tier order the serve.go
+// comment promises: with both -cache-dir and -cache-url configured, the
+// local store is always consulted first — a digest the replica has
+// computed locally is answered with zero wire traffic — and only a local
+// miss falls through to the fleet store.
+func TestSummaryLookupOrder(t *testing.T) {
+	// Fleet store server, fronted by a pass-through proxy whose request
+	// counter is the wire-traffic oracle.
+	remoteDir := t.TempDir()
+	rsrv, err := remote.NewServer(remote.ServerConfig{Dir: remoteDir})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	addr, err := rsrv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		rsrv.Shutdown(ctx) //nolint:errcheck // teardown
+	})
+	proxy := storetest.NewFlakyProxy(t, "http://"+addr)
+
+	// One digest only the local tier holds, one only the fleet holds.
+	localDir := t.TempDir()
+	localOnly, remoteOnly := "lookup_local_fn", "lookup_remote_fn"
+	var dLocal, dRemote store.Digest
+	dLocal[0], dRemote[0] = 0x11, 0x22
+	lst, err := store.Open(localDir, store.Fingerprint{}, nil)
+	if err != nil {
+		t.Fatalf("open local store: %v", err)
+	}
+	if err := lst.Save(localOnly, dLocal, storetest.Entry(localOnly)); err != nil {
+		t.Fatalf("seed local store: %v", err)
+	}
+	rst, err := store.Open(remoteDir, store.Fingerprint{}, nil)
+	if err != nil {
+		t.Fatalf("open remote store dir: %v", err)
+	}
+	if err := rst.Save(remoteOnly, dRemote, storetest.Entry(remoteOnly)); err != nil {
+		t.Fatalf("seed remote store: %v", err)
+	}
+
+	cfg := Config{}
+	cfg.Options.CacheDir = localDir
+	cfg.Options.CacheURL = proxy.URL()
+	_, ts := newTestServer(t, cfg)
+
+	lookup := func(d store.Digest) (int, SummaryResponse) {
+		t.Helper()
+		r, err := http.Get(ts.URL + "/v1/summary/" + d.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		data, _ := io.ReadAll(r.Body)
+		var sr SummaryResponse
+		if r.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(data, &sr); err != nil {
+				t.Fatalf("bad summary response %s: %v", data, err)
+			}
+		}
+		return r.StatusCode, sr
+	}
+
+	// Locally-held digest: served without touching the fleet store.
+	before := proxy.Served()
+	status, sr := lookup(dLocal)
+	if status != http.StatusOK || sr.Fn != localOnly {
+		t.Fatalf("local-tier lookup: status %d fn %q, want 200 %q", status, sr.Fn, localOnly)
+	}
+	if n := proxy.Served() - before; n != 0 {
+		t.Fatalf("local-tier lookup crossed the wire %d times; local must be consulted first", n)
+	}
+
+	// Fleet-only digest: a local miss falls through to the remote tier.
+	before = proxy.Served()
+	status, sr = lookup(dRemote)
+	if status != http.StatusOK || sr.Fn != remoteOnly {
+		t.Fatalf("remote-tier lookup: status %d fn %q, want 200 %q", status, sr.Fn, remoteOnly)
+	}
+	if proxy.Served() == before {
+		t.Fatal("remote-tier lookup produced no wire traffic; the fleet store was never consulted")
+	}
+
+	// Unknown digest: miss in both tiers, clean 404.
+	var dNone store.Digest
+	dNone[0] = 0x33
+	if status, _ := lookup(dNone); status != http.StatusNotFound {
+		t.Fatalf("unknown digest: status %d, want 404", status)
+	}
+}

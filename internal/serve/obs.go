@@ -518,16 +518,16 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	}
 
 	pw.Family("rid_serve_inflight", "gauge", "analyses running now")
-	pw.Int("rid_serve_inflight", nil, int64(len(s.sem)))
+	pw.Int("rid_serve_inflight", nil, int64(s.gate.Inflight()))
 	pw.Family("rid_serve_inflight_limit", "gauge", "MaxInflight setting")
 	pw.Int("rid_serve_inflight_limit", nil, int64(s.cfg.MaxInflight))
 	pw.Family("rid_serve_queued", "gauge", "requests waiting for an inflight slot")
-	pw.Int("rid_serve_queued", nil, s.queued.Load())
+	pw.Int("rid_serve_queued", nil, s.gate.Queued())
 	pw.Family("rid_serve_queue_limit", "gauge", "QueueDepth setting")
 	pw.Int("rid_serve_queue_limit", nil, int64(s.cfg.QueueDepth))
 
 	pw.Family("rid_serve_rejected_total", "counter", "requests rejected 429 by admission control")
-	pw.Int("rid_serve_rejected_total", nil, s.rejected.Load())
+	pw.Int("rid_serve_rejected_total", nil, s.gate.Rejected())
 	pw.Family("rid_serve_deadline_exceeded_total", "counter", "requests answered 504 with partial results")
 	pw.Int("rid_serve_deadline_exceeded_total", nil, s.deadlineExceeded.Load())
 	pw.Family("rid_serve_result_cache_hits_total", "counter", "analyze requests served from the in-memory result cache")

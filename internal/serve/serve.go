@@ -55,7 +55,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/store"
+	"repro/internal/store/remote"
 	"repro/rid"
 )
 
@@ -150,17 +152,18 @@ type Server struct {
 
 	corpus map[string]string // resident sources, nil when none loaded
 
-	sem    chan struct{} // inflight slots
-	queued atomic.Int64
+	gate *admit.Gate // inflight slots + bounded queue (shared admission plumbing)
 
 	served           atomic.Int64 // analyze requests answered 200
-	rejected         atomic.Int64 // 429s
 	deadlineExceeded atomic.Int64 // 504s
 	cacheHits        atomic.Int64 // result-cache hits
 
 	rcache *resultCache
 
-	lookup *store.Store // digest lookups for /v1/summary, nil without CacheDir
+	// lookup answers /v1/summary digest lookups: the local store when the
+	// server has -cache-dir, layered over the fleet store when it also has
+	// -cache-url (local is always consulted first; see TestSummaryLookupOrder).
+	lookup store.Backend
 
 	explainMu  sync.Mutex
 	explainRes *rid.Result
@@ -178,10 +181,10 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:    cfg,
 		base:   base,
-		sem:    make(chan struct{}, cfg.MaxInflight),
 		rcache: newResultCache(cfg.ResultCacheEntries),
 		ids:    newIDSource(cfg.IDSeed),
 	}
+	s.gate = admit.New(cfg.MaxInflight, cfg.QueueDepth, cfg.QueueWait, s.metrics.queueWait.Observe)
 	if cfg.AccessLog != nil {
 		s.access = newAccessLogger(cfg.AccessLog)
 	}
@@ -204,14 +207,32 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: corpus: %w", err)
 		}
 	}
-	if cfg.Options.CacheDir != "" {
-		// Lookup-only handle: the zero fingerprint is fine, digest
-		// lookups don't consult it (see store.LookupDigest).
-		st, err := store.Open(cfg.Options.CacheDir, store.Fingerprint{}, nil)
-		if err != nil {
-			return nil, fmt.Errorf("serve: %w", err)
+	if cfg.Options.CacheDir != "" || cfg.Options.CacheURL != "" {
+		// Digest-lookup backend for /v1/summary. The zero fingerprint is
+		// fine: digest lookups don't consult it (see store.LookupDigest).
+		// With both tiers configured, lookups try the local store first and
+		// only then the fleet store — replicas answer from the shared cache
+		// for digests they have never computed locally.
+		var local *store.Store
+		if cfg.Options.CacheDir != "" {
+			st, err := store.Open(cfg.Options.CacheDir, store.Fingerprint{}, nil)
+			if err != nil {
+				return nil, fmt.Errorf("serve: %w", err)
+			}
+			local = st
+			s.lookup = st
 		}
-		s.lookup = st
+		if cfg.Options.CacheURL != "" {
+			client, err := remote.NewClient(remote.Config{URL: cfg.Options.CacheURL})
+			if err != nil {
+				return nil, fmt.Errorf("serve: %w", err)
+			}
+			if local != nil {
+				s.lookup = remote.NewTiered(local, client)
+			} else {
+				s.lookup = client
+			}
+		}
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)

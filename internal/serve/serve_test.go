@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -172,7 +173,10 @@ func TestAnalyzeAdmissionRejected429(t *testing.T) {
 
 	// Occupy the only inflight slot; with no queue the next request must
 	// be rejected immediately.
-	srv.sem <- struct{}{}
+	release, _, err := srv.gate.Admit(context.Background())
+	if err != nil {
+		t.Fatalf("occupying the inflight slot: %v", err)
+	}
 	resp, _ := postAnalyze(t, ts.URL, &AnalyzeRequest{Files: map[string]string{"drv.c": buggyDriver}})
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d (want 429)", resp.StatusCode)
@@ -185,7 +189,7 @@ func TestAnalyzeAdmissionRejected429(t *testing.T) {
 	}
 
 	// Freeing the slot restores service.
-	<-srv.sem
+	release()
 	resp2, ar := postAnalyze(t, ts.URL, &AnalyzeRequest{Files: map[string]string{"drv.c": buggyDriver}})
 	if resp2.StatusCode != http.StatusOK || ar.Bugs != 1 {
 		t.Fatalf("after release: status %d %+v", resp2.StatusCode, ar)

@@ -1,0 +1,21 @@
+package store_test
+
+import (
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/store/storetest"
+)
+
+// TestLocalStoreConformance drives the on-disk store through the shared
+// backend conformance battery: the same contract and fault injections
+// the fleet-store client must satisfy. The local store is strict — a
+// corrupt entry is an error, a blocked write is an error.
+func TestLocalStoreConformance(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Fingerprint{MaxPaths: 100, MaxSubcases: 10}, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	storetest.Conform(t, storetest.Target{Backend: st, Dir: dir})
+}

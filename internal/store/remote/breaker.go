@@ -1,0 +1,135 @@
+package remote
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen means the client refused to even try the fleet store:
+// recent operations failed consecutively and the circuit is open. Callers
+// treat it exactly like any other remote failure — degrade to local — but
+// it costs a mutex, not a network timeout, so an unreachable store slows
+// each miss by nanoseconds instead of seconds.
+var ErrCircuitOpen = errors.New("fleet store circuit open")
+
+// Circuit states, as reported by CircuitState and /healthz.
+const (
+	stateClosed  = "closed"  // normal operation
+	stateOpen    = "open"    // refusing operations, waiting to probe
+	stateProbing = "probing" // one trial operation in flight
+)
+
+// breaker is a consecutive-failure circuit breaker. Closed until
+// threshold consecutive operations fail; then open, refusing everything
+// for probeAfter; then a single operation is let through as a probe —
+// success closes the circuit, failure re-opens it for another interval.
+//
+// Breakers are shared per URL (see forURL): `rid serve` builds one tiered
+// backend per request, and without sharing each request would rediscover
+// a dead store by timing out from scratch.
+type breaker struct {
+	mu        sync.Mutex
+	state     string
+	failures  int
+	openedAt  time.Time
+	threshold int
+	probeWait time.Duration
+
+	now func() time.Time // injectable clock for tests
+}
+
+func newBreaker(threshold int, probeWait time.Duration) *breaker {
+	return &breaker{state: stateClosed, threshold: threshold, probeWait: probeWait, now: time.Now}
+}
+
+// allow reports whether an operation may proceed. In the open state, at
+// most one caller per probe interval gets true (and moves the breaker to
+// probing); everyone else is refused until the probe resolves.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if b.now().Sub(b.openedAt) >= b.probeWait {
+			b.state = stateProbing
+			return true
+		}
+		return false
+	default: // probing: the probe slot is taken
+		return false
+	}
+}
+
+// success records a completed operation (any well-formed HTTP exchange,
+// including a 404 miss) and closes the circuit.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state = stateClosed
+	b.failures = 0
+	b.mu.Unlock()
+}
+
+// failure records a failed operation. A failed probe re-opens
+// immediately; in the closed state the circuit opens after threshold
+// consecutive failures.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	b.failures++
+	if b.state == stateProbing || b.failures >= b.threshold {
+		b.state = stateOpen
+		b.openedAt = b.now()
+	}
+	b.mu.Unlock()
+}
+
+func (b *breaker) current() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// ---------------------------------------------------------------------------
+// Per-URL registry
+
+var breakers = struct {
+	mu sync.Mutex
+	m  map[string]*breaker
+}{m: map[string]*breaker{}}
+
+// forURL returns the process-wide breaker for url, creating it with the
+// given tuning on first use (later callers share the existing breaker,
+// whatever their tuning — one URL, one health opinion).
+func forURL(url string, threshold int, probeWait time.Duration) *breaker {
+	breakers.mu.Lock()
+	defer breakers.mu.Unlock()
+	b, ok := breakers.m[url]
+	if !ok {
+		b = newBreaker(threshold, probeWait)
+		breakers.m[url] = b
+	}
+	return b
+}
+
+// CircuitState reports the breaker state for url — "closed", "open", or
+// "probing" — or "" when no client for url exists in this process. It is
+// the /healthz surface for fleet-store health.
+func CircuitState(url string) string {
+	breakers.mu.Lock()
+	b := breakers.m[url]
+	breakers.mu.Unlock()
+	if b == nil {
+		return ""
+	}
+	return b.current()
+}
+
+// ResetCircuit discards the breaker for url (tests that reuse an address
+// across subtests call it so one test's failures don't leak state).
+func ResetCircuit(url string) {
+	breakers.mu.Lock()
+	delete(breakers.m, url)
+	breakers.mu.Unlock()
+}

@@ -1,0 +1,22 @@
+package remote
+
+// Wire-level constants and JSON bodies shared by client and server.
+// Entry bytes themselves travel opaque (application/octet-stream) in the
+// store's own self-validating on-disk format; JSON appears only on the
+// has-batch probe and /healthz.
+
+// maxEntryBytes caps one entry on the wire (and a server-side read).
+// Far above any real summary — a guard against a confused or malicious
+// peer streaming unbounded data, not a tuning knob.
+const maxEntryBytes = 16 << 20
+
+// maxHasBatch caps names per has-batch probe; clients chunk above it.
+const maxHasBatch = 4096
+
+type hasRequest struct {
+	Names []string `json:"names"`
+}
+
+type hasResponse struct {
+	Has []bool `json:"has"`
+}

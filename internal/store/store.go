@@ -90,9 +90,7 @@ func Open(dir string, fp Fingerprint, o *obs.Obs) (*Store, error) {
 func (s *Store) Dir() string { return s.dir }
 
 func (s *Store) path(fn string) string {
-	h := sha256.Sum256([]byte(fn))
-	name := hex.EncodeToString(h[:])[:24]
-	return filepath.Join(s.dir, "entries", name[:2], name+".sum")
+	return EntryPath(s.dir, EntryName(fn))
 }
 
 // Load looks up fn's entry and returns it if its digest matches d.
@@ -156,48 +154,12 @@ func (s *Store) Save(fn string, d Digest, e *Entry) error {
 	if err != nil {
 		return fmt.Errorf("encode entry %s: %w", fn, err)
 	}
-	p := s.path(fn)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-		return fmt.Errorf("save entry %s: %w", fn, err)
-	}
-	_, statErr := os.Stat(p)
-	existed := statErr == nil
-	tmp, err := os.CreateTemp(filepath.Dir(p), filepath.Base(p)+".tmp*")
+	// writeAtomic does the temp+fsync+rename+dir-fsync dance; any error
+	// surfaces as a cache-invalid diagnostic in core and the run proceeds
+	// without the store.
+	existed, err := writeAtomic(s.path(fn), data, true)
 	if err != nil {
 		return fmt.Errorf("save entry %s: %w", fn, err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("save entry %s: %w", fn, err)
-	}
-	// Sync before the rename publishes the file: otherwise a crash can
-	// leave the final name pointing at zero-length or partial content —
-	// exactly the corruption the atomic-write dance exists to rule out.
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("save entry %s: sync: %w", fn, err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("save entry %s: %w", fn, err)
-	}
-	if err := os.Rename(tmp.Name(), p); err != nil {
-		// Do not leave the staged file behind: a *.tmp* orphan per failed
-		// publish would otherwise accumulate until the cache directory
-		// fills (the error itself surfaces as a cache-invalid diagnostic
-		// in core, and the run proceeds without the store).
-		os.Remove(tmp.Name())
-		return fmt.Errorf("save entry %s: publish: %w", fn, err)
-	}
-	// The rename is only durable once the directory entry is: fsync the
-	// parent so a crash after Save returns cannot silently drop a
-	// "published" entry (a stale-but-valid older entry would be fine; a
-	// vanished one would re-analyze cold, which is correct but defeats
-	// the cache exactly when recovering from a crash).
-	if err := syncDir(filepath.Dir(p)); err != nil {
-		return fmt.Errorf("save entry %s: sync dir: %w", fn, err)
 	}
 	if existed {
 		s.o.Count(obs.MStoreEvictions, 1)

@@ -1,0 +1,176 @@
+package storetest
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Fault is one scripted misbehavior a FlakyProxy applies to a request.
+type Fault int
+
+const (
+	// Pass forwards the request untouched.
+	Pass Fault = iota
+	// Drop severs the connection without writing a response.
+	Drop
+	// Err500 answers 500 without forwarding.
+	Err500
+	// TruncateBody forwards the request but sends only half the response
+	// body (with the full Content-Length, so the cut is visible).
+	TruncateBody
+	// CorruptBody forwards the request but flips a byte in the response
+	// body.
+	CorruptBody
+	// Stall sleeps StallFor before forwarding, to trip client deadlines.
+	Stall
+)
+
+// FlakyProxy is a deterministic misbehaving reverse proxy for a summary
+// store server. Faults are scripted per request in FIFO order — no
+// randomness, so a test controls exactly which attempt (first try or
+// retry) sees which failure. When the script is empty, requests pass
+// through untouched.
+type FlakyProxy struct {
+	target string
+	srv    *httptest.Server
+
+	// StallFor is how long a Stall fault sleeps; set it above the client's
+	// per-attempt timeout.
+	StallFor time.Duration
+
+	mu        sync.Mutex
+	script    []Fault
+	served    int
+	killAfter int
+}
+
+// NewFlakyProxy starts a proxy in front of the store server at target
+// (e.g. srv.Addr() as a URL) and tears it down with the test.
+func NewFlakyProxy(t *testing.T, target string) *FlakyProxy {
+	t.Helper()
+	p := &FlakyProxy{target: target, StallFor: 500 * time.Millisecond}
+	p.srv = httptest.NewUnstartedServer(http.HandlerFunc(p.serve))
+	// No keep-alives: a request that dies on a reused connection is
+	// retried transparently inside Go's transport, which would let one
+	// Drop consume several scripted faults. Fresh connections make every
+	// fault hit exactly one client attempt.
+	p.srv.Config.SetKeepAlivesEnabled(false)
+	p.srv.Start()
+	t.Cleanup(p.srv.Close)
+	return p
+}
+
+// URL is the address clients should dial.
+func (p *FlakyProxy) URL() string { return p.srv.URL }
+
+// Inject appends faults to the script; each consumes one request. The
+// client retries a failed call once, so defeating one logical operation
+// takes two consecutive faults.
+func (p *FlakyProxy) Inject(faults ...Fault) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.script = append(p.script, faults...)
+}
+
+// Served reports how many requests the proxy has handled.
+func (p *FlakyProxy) Served() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.served
+}
+
+// KillAfter makes the store appear to die mid-run: after n more requests
+// have been served, every subsequent request severs its connection. This
+// is the deterministic stand-in for `kill -9` on the store server.
+func (p *FlakyProxy) KillAfter(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.killAfter = p.served + n
+}
+
+// next pops the next scripted fault (Pass when the script is empty).
+func (p *FlakyProxy) next() Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.served++
+	if p.killAfter > 0 && p.served > p.killAfter {
+		return Drop
+	}
+	if len(p.script) == 0 {
+		return Pass
+	}
+	f := p.script[0]
+	p.script = p.script[1:]
+	return f
+}
+
+func (p *FlakyProxy) serve(w http.ResponseWriter, r *http.Request) {
+	fault := p.next()
+	switch fault {
+	case Drop:
+		panic(http.ErrAbortHandler)
+	case Err500:
+		http.Error(w, "flaky proxy: injected failure", http.StatusInternalServerError)
+		return
+	case Stall:
+		time.Sleep(p.StallFor)
+	}
+
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		panic(http.ErrAbortHandler)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.target+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, "flaky proxy: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		http.Error(w, "flaky proxy: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		panic(http.ErrAbortHandler)
+	}
+
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	switch fault {
+	case TruncateBody:
+		// Keep the upstream Content-Length but send half the bytes: the
+		// client sees a short read, not a clean small response.
+		w.WriteHeader(resp.StatusCode)
+		if len(out) > 0 {
+			w.Write(out[:len(out)/2]) //nolint:errcheck
+		}
+		// Flush so the client really receives headers plus a partial body;
+		// unflushed, the abort would look like a pre-response drop instead
+		// of a mid-body truncation.
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	case CorruptBody:
+		if len(out) > 2 {
+			out[len(out)/2] ^= 0x20
+		}
+		w.Header().Del("Content-Length")
+		w.WriteHeader(resp.StatusCode)
+		w.Write(out) //nolint:errcheck
+	default:
+		w.WriteHeader(resp.StatusCode)
+		w.Write(out) //nolint:errcheck
+	}
+}

@@ -105,6 +105,8 @@ var metricNames = []string{
 	"replay_confirmed", "replay_diverged", "replay_unreplayed",
 	"store_hits", "store_misses", "store_evictions",
 	"tasks_executed", "tasks_stolen",
+	"remote_hits", "remote_misses", "remote_errors",
+	"remote_integrity_errors", "remote_puts",
 }
 
 var phaseNames = []string{"run", "classify", "enumerate", "exec", "ipp", "solver", "replay", "cacheio", "steal", "queue"}

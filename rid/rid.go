@@ -146,6 +146,12 @@ type Options struct {
 	// fall back to cold analysis with a "cache-invalid" Diagnostic.
 	// Ignored when Provenance is set — explain always re-derives.
 	CacheDir string
+	// CacheURL, when non-empty alongside CacheDir, layers a fleet summary
+	// store (`rid storeserve`, cmd/rid's -cache-url flag) behind the
+	// local one as a read-through/write-behind warm tier. Remote failure
+	// of any kind degrades to the local tier with a "cache-remote"
+	// Diagnostic; results are never affected. Ignored without CacheDir.
+	CacheURL string
 	// SpecPacks names built-in spec packs ("lock", "fd", "linux-dpm",
 	// "python-c") merged into the analyzer's specifications at Run time.
 	// Conflicting API definitions across packs are a Run error.
@@ -457,6 +463,7 @@ func (a *Analyzer) RunContext(ctx context.Context) (*Result, error) {
 		},
 		Provenance: a.opts.Provenance,
 		CacheDir:   a.opts.CacheDir,
+		CacheURL:   a.opts.CacheURL,
 	}
 	// Unset fields default individually inside core (paper's §6.1 values).
 	opts.Exec.MaxPaths = a.opts.MaxPaths
